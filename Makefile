@@ -1,0 +1,50 @@
+# swrec — standard development targets. Everything is stdlib Go; no
+# external tools are required beyond the Go toolchain.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz experiments experiments-paper examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz pass over the RDF parsers (see internal/rdf/fuzz_test.go).
+fuzz:
+	$(GO) test -fuzz FuzzParseNTriples -fuzztime 30s ./internal/rdf/
+	$(GO) test -fuzz FuzzParseTurtle -fuzztime 30s ./internal/rdf/
+	$(GO) test -fuzz FuzzParseRDFXML -fuzztime 30s ./internal/rdf/
+	$(GO) test -fuzz FuzzParseDocument -fuzztime 30s ./internal/rdf/
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+# The §4.1 corpus scale: 9,100 agents, 9,953 books, >20k topics (~25 min).
+experiments-paper:
+	$(GO) run ./cmd/experiments -scale paper | tee experiments_paper_output.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/bookclub
+	$(GO) run ./examples/trustnet
+	$(GO) run ./examples/decentralized
+	$(GO) run ./examples/stereotypes
+
+clean:
+	$(GO) clean ./...

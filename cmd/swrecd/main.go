@@ -1,0 +1,109 @@
+// Command swrecd serves recommendations over a JSON HTTP API — the
+// deployment face of an installation once its crawler has materialized a
+// community view. The community comes from a corpus directory (written
+// by `swrec export` or by a crawl) or is generated synthetically.
+//
+// Usage:
+//
+//	swrecd [-addr 127.0.0.1:8080] [-in DIR | -scale small|paper -seed N]
+//	       [-metric appleseed|advogato|pathtrust|none] [-alpha 0.5]
+//
+// Endpoints (see internal/api):
+//
+//	GET /v1/stats
+//	GET /v1/agents?limit=N
+//	GET /v1/agents/{escaped-uri}
+//	GET /v1/agents/{escaped-uri}/neighbors
+//	GET /v1/agents/{escaped-uri}/profile
+//	GET /v1/agents/{escaped-uri}/recommendations?n=10&novel=1
+//	GET /v1/products/{escaped-id}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+
+	"swrec"
+	"swrec/internal/api"
+	"swrec/internal/cf"
+	"swrec/internal/core"
+	"swrec/internal/datagen"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	inDir := flag.String("in", "", "corpus directory to serve (empty = generate)")
+	scale := flag.String("scale", "small", "generated dataset scale: small | paper")
+	seed := flag.Int64("seed", 1, "generation seed")
+	metric := flag.String("metric", "appleseed", "trust metric: appleseed | advogato | pathtrust | none")
+	alpha := flag.Float64("alpha", 0.5, "rank synthesization blend")
+	flag.Parse()
+
+	var comm *swrec.Community
+	if *inDir != "" {
+		var err error
+		comm, err = swrec.ImportCorpus(*inDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serving corpus %s: %d agents, %d products\n",
+			*inDir, comm.NumAgents(), comm.NumProducts())
+	} else {
+		cfg := datagen.SmallScale()
+		if *scale == "paper" {
+			cfg = datagen.PaperScale()
+		}
+		cfg.Seed = *seed
+		comm, _ = swrec.GenerateCommunity(cfg)
+		fmt.Printf("serving generated %s community: %d agents, %d products\n",
+			*scale, comm.NumAgents(), comm.NumProducts())
+	}
+
+	opt := core.Options{
+		Alpha: *alpha, AlphaSet: true,
+		CF: cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy},
+	}
+	if comm.Taxonomy() == nil {
+		opt.CF.Representation = cf.Product
+	}
+	switch *metric {
+	case "appleseed":
+		opt.Metric = core.Appleseed
+	case "advogato":
+		opt.Metric = core.Advogato
+	case "pathtrust":
+		opt.Metric = core.PathTrust
+	case "none":
+		opt.Metric = core.NoTrust
+	default:
+		fatal(fmt.Errorf("unknown metric %q", *metric))
+	}
+
+	srv, err := api.New(comm, opt)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	sample := ""
+	if ids := comm.Agents(); len(ids) > 0 {
+		sample = url.PathEscape(string(ids[0]))
+	}
+	fmt.Printf("listening on http://%s\n", ln.Addr())
+	fmt.Printf("  try: curl http://%s/v1/stats\n", ln.Addr())
+	fmt.Printf("  try: curl 'http://%s/v1/agents/%s/recommendations?n=5'\n", ln.Addr(), sample)
+	if err := (&http.Server{Handler: srv}).Serve(ln); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swrecd:", err)
+	os.Exit(1)
+}

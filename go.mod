@@ -1,0 +1,3 @@
+module swrec
+
+go 1.22

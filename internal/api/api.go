@@ -1,0 +1,350 @@
+// Package api exposes the recommender over a JSON HTTP API — the
+// deployment surface a §4-style installation offers its own user
+// interface once the crawler has materialized a community. Endpoints are
+// read-only (all mutation happens by crawling the Semantic Web):
+//
+//	GET /v1/stats                          community + taxonomy statistics
+//	GET /v1/agents?limit=N                 agents by trust out-degree
+//	GET /v1/agents/{uri}                   one agent's statements
+//	GET /v1/agents/{uri}/neighbors?n=N     synthesized peer ranks
+//	GET /v1/agents/{uri}/profile?n=N       top taxonomy interests
+//	GET /v1/agents/{uri}/recommendations?n=N&novel=1&theta=0.4
+//	GET /v1/products/{id}                  catalog entry
+//	GET /v1/topics/{path}                  products in a taxonomy branch
+//
+// Agent URIs and product IDs arrive URL-escaped in the path. Errors are
+// JSON objects {"error": "..."} with conventional status codes.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"swrec/internal/core"
+	"swrec/internal/index"
+	"swrec/internal/model"
+	"swrec/internal/profile"
+	"swrec/internal/taxonomy"
+)
+
+// Server wraps one community and one recommender configuration.
+type Server struct {
+	comm *model.Community
+	opt  core.Options
+	mux  *http.ServeMux
+}
+
+// New creates the API server. The options are validated eagerly by
+// building one recommender.
+func New(comm *model.Community, opt core.Options) (*Server, error) {
+	if _, err := core.New(comm, opt); err != nil {
+		return nil, err
+	}
+	s := &Server{comm: comm, opt: opt, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/agents", s.handleAgents)
+	s.mux.HandleFunc("/v1/agents/", s.handleAgentSubtree)
+	s.mux.HandleFunc("/v1/products/", s.handleProduct)
+	s.mux.HandleFunc("/v1/topics/", s.handleTopic)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "read-only API")
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// recommender builds a fresh pipeline; profile caches live per request,
+// which keeps results consistent with concurrent community updates by a
+// background crawler.
+func (s *Server) recommender() *core.Recommender {
+	rec, err := core.New(s.comm, s.opt)
+	if err != nil {
+		// Options were validated in New; a failure here means the
+		// community changed incompatibly, which has no recovery.
+		panic(err)
+	}
+	return rec
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// intParam reads a positive integer query parameter with a default.
+func intParam(r *http.Request, name string, def int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return def
+	}
+	return n
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	type stats struct {
+		Community model.Stats     `json:"community"`
+		Taxonomy  *taxonomy.Stats `json:"taxonomy,omitempty"`
+	}
+	out := stats{Community: s.comm.ComputeStats()}
+	if tax := s.comm.Taxonomy(); tax != nil {
+		ts := tax.ComputeStats()
+		out.Taxonomy = &ts
+	}
+	writeJSON(w, out)
+}
+
+// agentSummary is the list view of one agent.
+type agentSummary struct {
+	ID       model.AgentID `json:"id"`
+	Name     string        `json:"name,omitempty"`
+	TrustOut int           `json:"trustOut"`
+	Ratings  int           `json:"ratings"`
+}
+
+func (s *Server) handleAgents(w http.ResponseWriter, r *http.Request) {
+	limit := intParam(r, "limit", 25)
+	out := make([]agentSummary, 0, s.comm.NumAgents())
+	for _, id := range s.comm.Agents() {
+		a := s.comm.Agent(id)
+		out = append(out, agentSummary{ID: id, Name: a.Name,
+			TrustOut: len(a.Trust), Ratings: len(a.Ratings)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TrustOut != out[j].TrustOut {
+			return out[i].TrustOut > out[j].TrustOut
+		}
+		return out[i].ID < out[j].ID
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	writeJSON(w, out)
+}
+
+// handleAgentSubtree routes /v1/agents/{uri}[/neighbors|/profile|/recommendations].
+func (s *Server) handleAgentSubtree(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/agents/")
+	var action string
+	for _, suffix := range []string{"/neighbors", "/profile", "/recommendations"} {
+		if strings.HasSuffix(rest, suffix) {
+			action = suffix[1:]
+			rest = strings.TrimSuffix(rest, suffix)
+			break
+		}
+	}
+	uri, err := url.PathUnescape(rest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "malformed agent URI")
+		return
+	}
+	id := model.AgentID(uri)
+	a := s.comm.Agent(id)
+	if a == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown agent %s", uri))
+		return
+	}
+	switch action {
+	case "neighbors":
+		s.serveNeighbors(w, r, id)
+	case "profile":
+		s.serveProfile(w, r, a)
+	case "recommendations":
+		s.serveRecommendations(w, r, id)
+	default:
+		type agentDetail struct {
+			agentSummary
+			Trust   []model.TrustStatement  `json:"trust"`
+			Ratings []model.RatingStatement `json:"ratingStatements"`
+		}
+		writeJSON(w, agentDetail{
+			agentSummary: agentSummary{ID: id, Name: a.Name,
+				TrustOut: len(a.Trust), Ratings: len(a.Ratings)},
+			Trust:   a.TrustedPeers(),
+			Ratings: a.RatedProducts(),
+		})
+	}
+}
+
+func (s *Server) serveNeighbors(w http.ResponseWriter, r *http.Request, id model.AgentID) {
+	peers, err := s.recommender().RankedPeers(id)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrUnknownAgent) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	if n := intParam(r, "n", 25); n > 0 && len(peers) > n {
+		peers = peers[:n]
+	}
+	writeJSON(w, peers)
+}
+
+func (s *Server) serveProfile(w http.ResponseWriter, r *http.Request, a *model.Agent) {
+	tax := s.comm.Taxonomy()
+	if tax == nil {
+		writeError(w, http.StatusConflict, "community has no taxonomy")
+		return
+	}
+	g := profile.New(tax)
+	prof := g.Profile(a, s.comm)
+	type topicScore struct {
+		Topic string  `json:"topic"`
+		Score float64 `json:"score"`
+	}
+	var out []topicScore
+	for _, e := range prof.TopK(intParam(r, "n", 15)) {
+		out = append(out, topicScore{
+			Topic: tax.QualifiedName(taxonomy.Topic(e.Key)),
+			Score: e.Value,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) serveRecommendations(w http.ResponseWriter, r *http.Request, id model.AgentID) {
+	opt := s.opt
+	if r.URL.Query().Get("novel") == "1" {
+		opt.Content = core.NovelCategories
+	}
+	rec, err := core.New(s.comm, opt)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	n := intParam(r, "n", 10)
+	theta := 0.0
+	if v := r.URL.Query().Get("theta"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f > 1 {
+			writeError(w, http.StatusBadRequest, "theta must be in [0,1]")
+			return
+		}
+		theta = f
+	}
+	// With diversification, rank a deeper candidate pool first.
+	fetchN := n
+	if theta > 0 && n > 0 {
+		fetchN = n * 5
+	}
+	recs, err := rec.Recommend(id, fetchN)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrUnknownAgent) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	if theta > 0 {
+		recs = rec.Diversify(recs, n, theta)
+	}
+	type recOut struct {
+		core.Recommendation
+		Title string `json:"title,omitempty"`
+	}
+	out := make([]recOut, 0, len(recs))
+	for _, rc := range recs {
+		ro := recOut{Recommendation: rc}
+		if p := s.comm.Product(rc.Product); p != nil {
+			ro.Title = p.Title
+		}
+		out = append(out, ro)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleProduct(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/products/")
+	idRaw, err := url.PathUnescape(rest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "malformed product ID")
+		return
+	}
+	p := s.comm.Product(model.ProductID(idRaw))
+	if p == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown product %s", idRaw))
+		return
+	}
+	type productOut struct {
+		ID     model.ProductID `json:"id"`
+		Title  string          `json:"title,omitempty"`
+		ISBN   string          `json:"isbn,omitempty"`
+		Topics []string        `json:"topics,omitempty"`
+	}
+	out := productOut{ID: p.ID, Title: p.Title, ISBN: p.ISBN}
+	if tax := s.comm.Taxonomy(); tax != nil {
+		for _, d := range p.Topics {
+			out.Topics = append(out.Topics, tax.QualifiedName(d))
+		}
+	}
+	writeJSON(w, out)
+}
+
+// handleTopic browses a taxonomy branch: products whose descriptors fall
+// into the topic (by qualified path, root name included) or below it.
+func (s *Server) handleTopic(w http.ResponseWriter, r *http.Request) {
+	tax := s.comm.Taxonomy()
+	if tax == nil {
+		writeError(w, http.StatusConflict, "community has no taxonomy")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/topics/")
+	path, err := url.PathUnescape(rest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "malformed topic path")
+		return
+	}
+	d, ok := tax.Lookup(path)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown topic %s", path))
+		return
+	}
+	ix := index.Build(s.comm)
+	pids := ix.Subtree(d)
+	if n := intParam(r, "n", 50); n > 0 && len(pids) > n {
+		pids = pids[:n]
+	}
+	type entry struct {
+		ID    model.ProductID `json:"id"`
+		Title string          `json:"title,omitempty"`
+	}
+	type topicOut struct {
+		Topic    string  `json:"topic"`
+		Subtree  int     `json:"subtreeProducts"`
+		Products []entry `json:"products"`
+	}
+	out := topicOut{Topic: tax.QualifiedName(d), Subtree: ix.Count(d)}
+	for _, pid := range pids {
+		e := entry{ID: pid}
+		if p := s.comm.Product(pid); p != nil {
+			e.Title = p.Title
+		}
+		out.Products = append(out.Products, e)
+	}
+	writeJSON(w, out)
+}

@@ -1,0 +1,289 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"swrec/internal/cf"
+	"swrec/internal/core"
+	"swrec/internal/datagen"
+	"swrec/internal/model"
+)
+
+func newTestServer(t *testing.T) (*Server, *model.Community) {
+	t.Helper()
+	cfg := datagen.SmallScale()
+	cfg.Agents = 60
+	cfg.Products = 80
+	comm, _ := datagen.Generate(cfg)
+	s, err := New(comm, core.Options{
+		CF: cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, comm
+}
+
+// get performs a request and decodes the JSON body into out.
+func get(t *testing.T, s *Server, path string, out interface{}) int {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("bad JSON from %s: %v\n%s", path, err, rec.Body.String())
+		}
+	}
+	return rec.Code
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, comm := newTestServer(t)
+	var out struct {
+		Community model.Stats `json:"community"`
+		Taxonomy  *struct {
+			Topics int `json:"Topics"`
+		} `json:"taxonomy"`
+	}
+	if code := get(t, s, "/v1/stats", &out); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if out.Community.Agents != comm.NumAgents() {
+		t.Fatalf("agents = %d, want %d", out.Community.Agents, comm.NumAgents())
+	}
+	if out.Taxonomy == nil || out.Taxonomy.Topics != comm.Taxonomy().Len() {
+		t.Fatalf("taxonomy stats missing: %+v", out.Taxonomy)
+	}
+}
+
+func TestAgentsListSortedAndLimited(t *testing.T) {
+	s, _ := newTestServer(t)
+	var out []struct {
+		ID       string `json:"id"`
+		TrustOut int    `json:"trustOut"`
+	}
+	if code := get(t, s, "/v1/agents?limit=5", &out); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(out) != 5 {
+		t.Fatalf("limit ignored: %d entries", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].TrustOut < out[i].TrustOut {
+			t.Fatal("agents not sorted by trust out-degree")
+		}
+	}
+}
+
+func TestAgentDetailAndSubResources(t *testing.T) {
+	s, comm := newTestServer(t)
+	id := comm.Agents()[0]
+	esc := url.PathEscape(string(id))
+
+	var detail struct {
+		ID    string `json:"id"`
+		Trust []struct {
+			Dst   string  `json:"Dst"`
+			Value float64 `json:"Value"`
+		} `json:"trust"`
+	}
+	if code := get(t, s, "/v1/agents/"+esc, &detail); code != 200 {
+		t.Fatalf("detail status = %d", code)
+	}
+	if detail.ID != string(id) {
+		t.Fatalf("detail ID = %s", detail.ID)
+	}
+	if len(detail.Trust) != len(comm.Agent(id).Trust) {
+		t.Fatalf("trust statements = %d, want %d", len(detail.Trust), len(comm.Agent(id).Trust))
+	}
+
+	var neighbors []struct {
+		Agent  string  `json:"Agent"`
+		Weight float64 `json:"Weight"`
+	}
+	if code := get(t, s, "/v1/agents/"+esc+"/neighbors?n=10", &neighbors); code != 200 {
+		t.Fatalf("neighbors status = %d", code)
+	}
+	if len(neighbors) > 10 {
+		t.Fatalf("n ignored: %d", len(neighbors))
+	}
+
+	var prof []struct {
+		Topic string  `json:"topic"`
+		Score float64 `json:"score"`
+	}
+	if code := get(t, s, "/v1/agents/"+esc+"/profile?n=5", &prof); code != 200 {
+		t.Fatalf("profile status = %d", code)
+	}
+	if len(prof) > 5 {
+		t.Fatalf("profile n ignored: %d", len(prof))
+	}
+	for _, ts := range prof {
+		if !strings.HasPrefix(ts.Topic, "Books") || ts.Score <= 0 {
+			t.Fatalf("bad profile entry %+v", ts)
+		}
+	}
+
+	var recs []struct {
+		Product string  `json:"Product"`
+		Score   float64 `json:"Score"`
+		Title   string  `json:"title"`
+	}
+	if code := get(t, s, "/v1/agents/"+esc+"/recommendations?n=5", &recs); code != 200 {
+		t.Fatalf("recommendations status = %d", code)
+	}
+	if len(recs) > 5 {
+		t.Fatalf("rec n ignored: %d", len(recs))
+	}
+	for _, r := range recs {
+		if _, rated := comm.Agent(id).Ratings[model.ProductID(r.Product)]; rated {
+			t.Fatalf("recommended already-rated %s", r.Product)
+		}
+	}
+}
+
+func TestNovelFlag(t *testing.T) {
+	s, comm := newTestServer(t)
+	id := comm.Agents()[0]
+	esc := url.PathEscape(string(id))
+	var std, novel []struct {
+		Product string `json:"Product"`
+	}
+	get(t, s, "/v1/agents/"+esc+"/recommendations?n=0", &std)
+	get(t, s, "/v1/agents/"+esc+"/recommendations?n=0&novel=1", &novel)
+	// Novel results are a (possibly strict) subset of the standard ones.
+	set := map[string]bool{}
+	for _, r := range std {
+		set[r.Product] = true
+	}
+	for _, r := range novel {
+		if !set[r.Product] {
+			t.Fatalf("novel rec %s not in standard set", r.Product)
+		}
+	}
+}
+
+func TestThetaDiversification(t *testing.T) {
+	s, comm := newTestServer(t)
+	id := comm.Agents()[0]
+	esc := url.PathEscape(string(id))
+	var plain, div []struct {
+		Product string `json:"Product"`
+	}
+	if code := get(t, s, "/v1/agents/"+esc+"/recommendations?n=10", &plain); code != 200 {
+		t.Fatalf("plain status = %d", code)
+	}
+	if code := get(t, s, "/v1/agents/"+esc+"/recommendations?n=10&theta=0.8", &div); code != 200 {
+		t.Fatalf("theta status = %d", code)
+	}
+	if len(div) == 0 || len(div) > 10 {
+		t.Fatalf("diversified length = %d", len(div))
+	}
+	if len(plain) > 0 && len(div) > 0 && plain[0].Product != div[0].Product {
+		t.Fatal("diversification must keep the top candidate")
+	}
+	if code := get(t, s, "/v1/agents/"+esc+"/recommendations?theta=7", nil); code != 400 {
+		t.Fatalf("bad theta status = %d", code)
+	}
+}
+
+func TestTopicEndpoint(t *testing.T) {
+	s, comm := newTestServer(t)
+	// Pick a real leaf topic from a product's descriptors.
+	p := comm.Product(comm.Products()[0])
+	topicPath := comm.Taxonomy().QualifiedName(p.Topics[0])
+
+	var out struct {
+		Topic    string `json:"topic"`
+		Subtree  int    `json:"subtreeProducts"`
+		Products []struct {
+			ID string `json:"id"`
+		} `json:"products"`
+	}
+	if code := get(t, s, "/v1/topics/"+url.PathEscape(topicPath), &out); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if out.Topic != topicPath || out.Subtree == 0 || len(out.Products) == 0 {
+		t.Fatalf("topic browse = %+v", out)
+	}
+	found := false
+	for _, e := range out.Products {
+		if e.ID == string(p.ID) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("product %s missing from its own topic", p.ID)
+	}
+	// Root browse covers the whole catalog.
+	root := comm.Taxonomy().Name(0)
+	var rootOut struct {
+		Subtree int `json:"subtreeProducts"`
+	}
+	if code := get(t, s, "/v1/topics/"+url.PathEscape(root)+"?n=1", &rootOut); code != 200 {
+		t.Fatal("root browse failed")
+	}
+	if rootOut.Subtree != comm.NumProducts() {
+		t.Fatalf("root subtree = %d, want %d", rootOut.Subtree, comm.NumProducts())
+	}
+	if code := get(t, s, "/v1/topics/No/Such/Topic", nil); code != 404 {
+		t.Fatalf("unknown topic status = %d", code)
+	}
+}
+
+func TestProductEndpoint(t *testing.T) {
+	s, comm := newTestServer(t)
+	pid := comm.Products()[0]
+	var out struct {
+		ID     string   `json:"id"`
+		Topics []string `json:"topics"`
+	}
+	if code := get(t, s, "/v1/products/"+url.PathEscape(string(pid)), &out); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if out.ID != string(pid) || len(out.Topics) == 0 {
+		t.Fatalf("product = %+v", out)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	s, _ := newTestServer(t)
+	if code := get(t, s, "/v1/agents/"+url.PathEscape("http://nope/x"), nil); code != 404 {
+		t.Fatalf("unknown agent status = %d", code)
+	}
+	if code := get(t, s, "/v1/products/nope", nil); code != 404 {
+		t.Fatalf("unknown product status = %d", code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/stats", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d", rec.Code)
+	}
+	// Validation at construction.
+	comm := model.NewCommunity(nil)
+	if _, err := New(comm, core.Options{Alpha: 5}); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+func TestProfileWithoutTaxonomy(t *testing.T) {
+	comm := model.NewCommunity(nil)
+	comm.AddAgent("http://x/a")
+	s, err := New(comm, core.Options{CF: cf.Options{Representation: cf.Product}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := get(t, s, "/v1/agents/"+url.PathEscape("http://x/a")+"/profile", nil); code != http.StatusConflict {
+		t.Fatalf("status = %d, want 409", code)
+	}
+}

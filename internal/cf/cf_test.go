@@ -1,0 +1,247 @@
+package cf
+
+import (
+	"math"
+	"testing"
+
+	"swrec/internal/model"
+	"swrec/internal/taxonomy"
+)
+
+// twinCommunity builds a community where alice and bob share taste
+// (identical rating histories), carol diverges, and dave rates nothing in
+// common with anyone but reads a sibling category of alice's.
+func twinCommunity(t *testing.T) *model.Community {
+	t.Helper()
+	tax := taxonomy.Fig1()
+	c := model.NewCommunity(tax)
+	alg, _ := tax.Lookup("Books/Science/Mathematics/Pure/Algebra")
+	calc, _ := tax.Lookup("Books/Science/Mathematics/Pure/Calculus")
+	fic, _ := tax.Lookup("Books/Fiction")
+	phy, _ := tax.Lookup("Books/Science/Physics")
+
+	c.AddProduct(model.Product{ID: "b-alg1", Topics: []taxonomy.Topic{alg}})
+	c.AddProduct(model.Product{ID: "b-alg2", Topics: []taxonomy.Topic{alg}})
+	c.AddProduct(model.Product{ID: "b-calc", Topics: []taxonomy.Topic{calc}})
+	c.AddProduct(model.Product{ID: "b-fic1", Topics: []taxonomy.Topic{fic}})
+	c.AddProduct(model.Product{ID: "b-fic2", Topics: []taxonomy.Topic{fic}})
+	c.AddProduct(model.Product{ID: "b-phy", Topics: []taxonomy.Topic{phy}})
+
+	set := func(a model.AgentID, ratings map[model.ProductID]float64) {
+		for p, v := range ratings {
+			if err := c.SetRating(a, p, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	set("alice", map[model.ProductID]float64{"b-alg1": 1, "b-alg2": 0.8, "b-fic1": 0.2})
+	set("bob", map[model.ProductID]float64{"b-alg1": 0.9, "b-alg2": 0.9, "b-fic1": 0.1})
+	set("carol", map[model.ProductID]float64{"b-fic1": 1, "b-fic2": 1, "b-alg1": -0.8})
+	set("dave", map[model.ProductID]float64{"b-calc": 1})
+	return c
+}
+
+func TestTaxonomyRequiredForNonProductRepr(t *testing.T) {
+	c := model.NewCommunity(nil)
+	if _, err := New(c, Options{Representation: Taxonomy}); err == nil {
+		t.Fatal("taxonomy representation without taxonomy accepted")
+	}
+	if _, err := New(c, Options{Representation: FlatCategory}); err == nil {
+		t.Fatal("flat representation without taxonomy accepted")
+	}
+	if _, err := New(c, Options{Representation: Product}); err != nil {
+		t.Fatalf("product representation must not need a taxonomy: %v", err)
+	}
+}
+
+func TestSimilarTasteRanksFirst(t *testing.T) {
+	c := twinCommunity(t)
+	for _, m := range []Measure{Pearson, Cosine} {
+		f, err := New(c, Options{Measure: m, Representation: Taxonomy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nn := f.NearestNeighbors("alice", c.Agents(), 0)
+		if len(nn) == 0 {
+			t.Fatalf("[%v] no neighbors", m)
+		}
+		if nn[0].Agent != "bob" {
+			t.Fatalf("[%v] nearest neighbor = %s (%v), want bob", m, nn[0].Agent, nn[0].Sim)
+		}
+		for _, n := range nn {
+			if n.Agent == "alice" {
+				t.Fatalf("[%v] active agent ranked as own neighbor", m)
+			}
+		}
+	}
+}
+
+func TestProductVsTaxonomyOverlap(t *testing.T) {
+	c := twinCommunity(t)
+	// dave shares no product with alice: product-representation Pearson is
+	// undefined, taxonomy cosine is defined and positive (sibling leaves
+	// share Pure/Mathematics/... mass).
+	prod, err := New(c, Options{Measure: Pearson, Representation: Product})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := prod.Similarity("alice", "dave"); ok {
+		t.Fatal("product Pearson must be undefined with zero co-rated products")
+	}
+	taxf, err := New(c, Options{Measure: Cosine, Representation: Taxonomy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := taxf.Similarity("alice", "dave"); !ok || s <= 0 {
+		t.Fatalf("taxonomy similarity alice/dave = %v,%v, want positive", s, ok)
+	}
+}
+
+func TestDefinedPairFraction(t *testing.T) {
+	c := twinCommunity(t)
+	ids := c.Agents()
+	prod, err := New(c, Options{Measure: Pearson, Representation: Product})
+	if err != nil {
+		t.Fatal(err)
+	}
+	taxf, err := New(c, Options{Measure: Cosine, Representation: Taxonomy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := prod.DefinedPairFraction(ids)
+	ft := taxf.DefinedPairFraction(ids)
+	if ft <= fp {
+		t.Fatalf("taxonomy overlap %v must beat product overlap %v", ft, fp)
+	}
+	if ft != 1 {
+		t.Fatalf("taxonomy cosine should be defined for all pairs here, got %v", ft)
+	}
+	if got := prod.DefinedPairFraction(nil); got != 0 {
+		t.Fatalf("degenerate input fraction = %v, want 0", got)
+	}
+}
+
+func TestFlatCategoryLosesCrossTopicSignal(t *testing.T) {
+	c := twinCommunity(t)
+	flat, err := New(c, Options{Measure: Cosine, Representation: FlatCategory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice rates Algebra+Fiction leaves, dave rates only Calculus: flat
+	// vectors are orthogonal.
+	if s, ok := flat.Similarity("alice", "dave"); ok && s != 0 {
+		t.Fatalf("flat similarity = %v, want 0", s)
+	}
+}
+
+func TestCachingAndInvalidate(t *testing.T) {
+	c := twinCommunity(t)
+	f, err := New(c, Options{Measure: Cosine, Representation: Taxonomy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := f.ProfileOf("alice")
+	p2 := f.ProfileOf("alice")
+	if &p1 == nil || len(p1) != len(p2) {
+		t.Fatal("cache broke profile")
+	}
+	before, _ := f.Similarity("alice", "dave")
+	// alice starts liking calculus; without invalidation the cache hides
+	// it.
+	if err := c.SetRating("alice", "b-calc", 1); err != nil {
+		t.Fatal(err)
+	}
+	stale, _ := f.Similarity("alice", "dave")
+	if stale != before {
+		t.Fatal("expected stale cached profile before Invalidate")
+	}
+	f.Invalidate("alice")
+	after, _ := f.Similarity("alice", "dave")
+	if after <= before {
+		t.Fatalf("similarity after shared rating = %v, want > %v", after, before)
+	}
+}
+
+func TestUnknownAgentEmptyProfile(t *testing.T) {
+	c := twinCommunity(t)
+	f, err := New(c, Options{Representation: Taxonomy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.ProfileOf("ghost"); len(got) != 0 {
+		t.Fatalf("unknown agent profile = %v, want empty", got)
+	}
+	if _, ok := f.Similarity("ghost", "alice"); ok {
+		t.Fatal("similarity with ghost must be undefined")
+	}
+}
+
+func TestNearestNeighborsK(t *testing.T) {
+	c := twinCommunity(t)
+	f, err := New(c, Options{Measure: Cosine, Representation: Taxonomy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := f.NearestNeighbors("alice", c.Agents(), 2)
+	if len(nn) != 2 {
+		t.Fatalf("k=2 returned %d", len(nn))
+	}
+	for i := 1; i < len(nn); i++ {
+		if nn[i-1].Sim < nn[i].Sim {
+			t.Fatal("neighbors not sorted descending")
+		}
+	}
+}
+
+func TestMeasureAndReprStrings(t *testing.T) {
+	if Pearson.String() != "pearson" || Cosine.String() != "cosine" {
+		t.Fatal("Measure.String broken")
+	}
+	if Taxonomy.String() != "taxonomy" || FlatCategory.String() != "flat-category" || Product.String() != "product" {
+		t.Fatal("Representation.String broken")
+	}
+	if Measure(9).String() == "" || Representation(9).String() == "" {
+		t.Fatal("unknown enum must still stringify")
+	}
+}
+
+func TestOptionPassThrough(t *testing.T) {
+	c := twinCommunity(t)
+	f, err := New(c, Options{ProfileScore: 42, WeightByRating: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Options(); got.ProfileScore != 42 || !got.WeightByRating {
+		t.Fatalf("Options = %+v", got)
+	}
+	// The profile honors the custom score constant.
+	p := f.ProfileOf("alice")
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum < 41.99 || sum > 42.01 {
+		t.Fatalf("profile total = %v, want 42", sum)
+	}
+}
+
+func TestProductRepresentationSimilarity(t *testing.T) {
+	c := twinCommunity(t)
+	f, err := New(c, Options{Measure: Pearson, Representation: Product})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice and bob co-rated 3 products with aligned preferences.
+	s, ok := f.Similarity("alice", "bob")
+	if !ok || s <= 0.5 {
+		t.Fatalf("alice/bob product Pearson = %v,%v, want strongly positive", s, ok)
+	}
+	// carol's co-rated pattern anti-correlates with alice's.
+	s2, ok2 := f.Similarity("alice", "carol")
+	if !ok2 || s2 >= 0 {
+		t.Fatalf("alice/carol product Pearson = %v,%v, want negative", s2, ok2)
+	}
+	if math.Abs(s) > 1 || math.Abs(s2) > 1 {
+		t.Fatal("similarity out of bounds")
+	}
+}

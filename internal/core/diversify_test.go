@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"swrec/internal/cf"
+	"swrec/internal/datagen"
+)
+
+func TestProductSimilarity(t *testing.T) {
+	c := scenario(t)
+	r, err := New(c, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same product → 1.
+	if s, ok := r.ProductSimilarity("alg1", "alg1"); !ok || s < 0.999999 {
+		t.Fatalf("self similarity = %v,%v", s, ok)
+	}
+	// Same leaf descriptor → 1; sibling leaves high; cross-branch ≈ low.
+	sSame, _ := r.ProductSimilarity("alg1", "alg2")
+	sSib, _ := r.ProductSimilarity("alg1", "calc1")
+	sCross, _ := r.ProductSimilarity("alg1", "fic1")
+	if sSame < 0.999999 {
+		t.Fatalf("same-descriptor similarity = %v, want 1", sSame)
+	}
+	if !(sSame >= sSib && sSib > sCross) {
+		t.Fatalf("similarity ordering violated: same=%v sib=%v cross=%v", sSame, sSib, sCross)
+	}
+	// Unknown product → not ok.
+	if _, ok := r.ProductSimilarity("alg1", "nope"); ok {
+		t.Fatal("unknown product similarity defined")
+	}
+}
+
+func TestIntraListSimilarity(t *testing.T) {
+	c := scenario(t)
+	r, err := New(c, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered := []Recommendation{{Product: "alg1"}, {Product: "alg2"}, {Product: "calc1"}}
+	mixed := []Recommendation{{Product: "alg1"}, {Product: "fic1"}, {Product: "phy1"}}
+	ilsC := r.IntraListSimilarity(clustered)
+	ilsM := r.IntraListSimilarity(mixed)
+	if ilsC <= ilsM {
+		t.Fatalf("clustered list must be more self-similar: %v vs %v", ilsC, ilsM)
+	}
+	if got := r.IntraListSimilarity(nil); got != 0 {
+		t.Fatalf("empty list ILS = %v", got)
+	}
+	if got := r.IntraListSimilarity(clustered[:1]); got != 0 {
+		t.Fatalf("singleton ILS = %v", got)
+	}
+}
+
+func TestDiversifyThetaZeroIsIdentity(t *testing.T) {
+	c := scenario(t)
+	r, err := New(c, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.Recommend("alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 {
+		t.Skip("scenario too small")
+	}
+	div := r.Diversify(recs, len(recs), 0)
+	for i := range recs {
+		if div[i] != recs[i] {
+			t.Fatalf("θ=0 changed position %d", i)
+		}
+	}
+	// Input list must not be mutated by higher θ either.
+	snapshot := append([]Recommendation(nil), recs...)
+	r.Diversify(recs, len(recs), 0.9)
+	for i := range recs {
+		if recs[i] != snapshot[i] {
+			t.Fatal("Diversify mutated its input")
+		}
+	}
+}
+
+func TestDiversifyReducesILS(t *testing.T) {
+	// On a clustered community, the accuracy-ordered top-10 concentrates
+	// in the active agent's favorite branch; diversification must reduce
+	// intra-list similarity while keeping the top candidate.
+	cfg := datagen.SmallScale()
+	cfg.Seed = 5
+	cfg.ClusterFidelity = 0.95
+	comm, _ := datagen.Generate(cfg)
+	r, err := New(comm, Options{CF: cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick the best-connected rated agent.
+	active := comm.Agents()[0]
+	best := -1
+	for _, id := range comm.Agents() {
+		a := comm.Agent(id)
+		if d := len(a.Trust) + len(a.Ratings); d > best {
+			best = d
+			active = id
+		}
+	}
+	recs, err := r.Recommend(active, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 15 {
+		t.Skip("not enough candidates")
+	}
+	top := r.Diversify(recs, 10, 0)
+	div := r.Diversify(recs, 10, 0.9)
+	if div[0] != recs[0] {
+		t.Fatal("diversification must keep the top candidate first")
+	}
+	if len(div) != 10 {
+		t.Fatalf("diversified length = %d", len(div))
+	}
+	ilsTop, ilsDiv := r.IntraListSimilarity(top), r.IntraListSimilarity(div)
+	if ilsDiv >= ilsTop {
+		t.Fatalf("θ=0.9 did not reduce ILS: %v vs %v", ilsDiv, ilsTop)
+	}
+	// No duplicates, all drawn from the candidate set.
+	seen := map[Recommendation]bool{}
+	cand := map[Recommendation]bool{}
+	for _, rc := range recs {
+		cand[rc] = true
+	}
+	for _, rc := range div {
+		if seen[rc] || !cand[rc] {
+			t.Fatalf("bad diversified entry %+v", rc)
+		}
+		seen[rc] = true
+	}
+}
+
+func TestDiversifyBounds(t *testing.T) {
+	c := scenario(t)
+	r, err := New(c, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Diversify(nil, 5, 0.5); len(got) != 0 {
+		t.Fatalf("empty input gave %v", got)
+	}
+	recs, err := r.Recommend("alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Diversify(recs, 1000, 0.5); len(got) != len(recs) {
+		t.Fatalf("n beyond len = %d, want %d", len(got), len(recs))
+	}
+	if got := r.Diversify(recs, 0, 2.5); len(got) != len(recs) {
+		t.Fatalf("θ clamp broke length: %d", len(got))
+	}
+}

@@ -1,0 +1,507 @@
+// Package core implements the paper's primary contribution: a decentralized
+// recommender that integrates the two pillars — trust neighborhood
+// formation (§3.2) and taxonomy-driven similarity filtering (§3.3) — and
+// performs the rank synthesization and recommendation generation of §3.4.
+//
+// The pipeline for an active agent a_i, computed entirely locally on the
+// materialized community view:
+//
+//  1. Trust neighborhood. A local group trust metric (Appleseed by
+//     default) ranks the peers within a_i's trust computation range. This
+//     step provides security (only opinions from trustworthy peers count)
+//     and scalability (it pre-filters the candidate set, §2).
+//  2. Similarity-based filtering. Collaborative filtering runs "over all
+//     peers whose trustworthiness lies above some given threshold",
+//     ranking them by taxonomy-profile similarity.
+//  3. Rank synthesization. Trust rank and similarity rank merge into one
+//     rank weight per peer. The paper leaves the merge open ("we have not
+//     attacked latter issue yet"); we implement the natural convex blend
+//     w(a_j) = α·trustNorm(a_j) + (1-α)·simNorm(a_j), with α sweepable in
+//     experiment E7, plus the pure strategies as baselines.
+//  4. Recommendation. "Every a_j votes for all its appreciated products
+//     b_k ∈ r_j with its own rank weight", so products mentioned
+//     positively in several high-weight histories rise to the top. The
+//     content-driven alternative — proposing products from categories a_i
+//     "has left untouched until now" — is available as NovelCategories.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"swrec/internal/cf"
+	"swrec/internal/model"
+	"swrec/internal/profile"
+	"swrec/internal/sparse"
+	"swrec/internal/taxonomy"
+	"swrec/internal/trust"
+)
+
+// Metric selects the trust metric of stage 1.
+type Metric int
+
+const (
+	// Appleseed is the paper's spreading-activation group trust metric
+	// (default).
+	Appleseed Metric = iota
+	// Advogato is the boolean max-flow baseline.
+	Advogato
+	// PathTrust is the scalar path-multiplication baseline.
+	PathTrust
+	// NoTrust disables stage 1: every known agent is a candidate. This is
+	// the pure centralized-CF baseline the paper argues cannot scale or
+	// resist manipulation.
+	NoTrust
+)
+
+// String names the metric for experiment output.
+func (m Metric) String() string {
+	switch m {
+	case Appleseed:
+		return "appleseed"
+	case Advogato:
+		return "advogato"
+	case PathTrust:
+		return "pathtrust"
+	case NoTrust:
+		return "none"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// MergeMode selects how trust rank and similarity rank synthesize into
+// one rank weight — §3.4 leaves the merge open and "numerous alternatives
+// are possible"; experiment E7 compares these two.
+type MergeMode int
+
+const (
+	// ScoreBlend (default) blends the normalized *values*:
+	// w = α·trustNorm + (1-α)·max(sim, 0).
+	ScoreBlend MergeMode = iota
+	// BordaCount blends the *positions*: each peer scores (n-rank)/n in
+	// the trust ordering and in the similarity ordering, and the two
+	// Borda scores blend with α. Positions are robust to the wildly
+	// different scales of trust metrics (Appleseed rank mass vs
+	// Advogato's booleans) at the cost of discarding magnitudes.
+	BordaCount
+)
+
+// String names the merge mode for experiment output.
+func (m MergeMode) String() string {
+	switch m {
+	case ScoreBlend:
+		return "score-blend"
+	case BordaCount:
+		return "borda"
+	default:
+		return fmt.Sprintf("MergeMode(%d)", int(m))
+	}
+}
+
+// ContentMode selects the recommendation scheme of §3.4.
+type ContentMode int
+
+const (
+	// Standard votes over all unseen products.
+	Standard ContentMode = iota
+	// NovelCategories restricts recommendations to products whose
+	// descriptors all lie in branches the active profile has left
+	// untouched, creating the "incentive for trying new product groups".
+	NovelCategories
+)
+
+// Options configure a Recommender. The zero value gives the paper's
+// default pipeline: Appleseed + taxonomy-Pearson CF + α = 0.5 blend.
+type Options struct {
+	Metric    Metric
+	Appleseed trust.AppleseedOptions
+	Advogato  trust.AdvogatoOptions
+	PathTrust trust.PathTrustOptions
+	CF        cf.Options
+	// TrustThreshold drops peers whose normalized trust rank (relative to
+	// the neighborhood's best) falls below it — "peers whose
+	// trustworthiness lies above some given threshold" (§3.3). In [0,1).
+	TrustThreshold float64
+	// MaxNeighbors caps the peers that proceed to stages 2-4 (0 = all in
+	// range).
+	MaxNeighbors int
+	// Candidates, when non-nil, replaces stage 1 entirely: the returned
+	// peers (each accorded trust rank 1) form the neighborhood. Custom
+	// pre-filters — e.g. stereotype membership (package stereotype, the
+	// §6 "efficient behavior modelling" direction) — plug in here.
+	Candidates func(active model.AgentID) []model.AgentID
+	// Alpha is the rank synthesization blend: 1 = pure trust, 0 = pure
+	// similarity. Negative values are invalid; the default (zero value)
+	// is interpreted as 0.5 unless AlphaSet marks an explicit zero.
+	Alpha float64
+	// AlphaSet marks Alpha as deliberately chosen (needed to express an
+	// explicit α = 0, the pure-CF blend).
+	AlphaSet bool
+	// Merge selects the rank synthesization scheme (§3.4 alternatives).
+	Merge MergeMode
+	// Content selects the §3.4 recommendation scheme.
+	Content ContentMode
+	// ContentBoost β ≥ 0 blends content-based filtering into the vote
+	// (the hybrid framing of §5 / Fab [17]): a product's vote score is
+	// multiplied by (1 + β·match), where match ∈ [0,1] is the cosine
+	// affinity between the active agent's taxonomy profile and the
+	// product's propagated descriptor vector. 0 (default) disables it.
+	ContentBoost float64
+}
+
+// alpha returns the effective blend factor.
+func (o Options) alpha() float64 {
+	if !o.AlphaSet && o.Alpha == 0 {
+		return 0.5
+	}
+	return o.Alpha
+}
+
+func (o Options) validate() error {
+	if a := o.alpha(); a < 0 || a > 1 {
+		return fmt.Errorf("core: alpha must be in [0,1], got %v", a)
+	}
+	if o.TrustThreshold < 0 || o.TrustThreshold >= 1 {
+		return fmt.Errorf("core: trust threshold must be in [0,1), got %v", o.TrustThreshold)
+	}
+	if o.ContentBoost < 0 {
+		return fmt.Errorf("core: content boost must be >= 0, got %v", o.ContentBoost)
+	}
+	return nil
+}
+
+// ErrUnknownAgent is returned when the active agent is not materialized.
+var ErrUnknownAgent = errors.New("core: unknown active agent")
+
+// PeerRank is one peer after rank synthesization: its trust rank,
+// similarity, and merged overall rank weight.
+type PeerRank struct {
+	Agent  model.AgentID
+	Trust  float64 // normalized trust rank in [0,1]
+	Sim    float64 // raw similarity in [-1,1]; 0 if undefined
+	SimOK  bool    // whether similarity was defined
+	Weight float64 // merged rank weight in [0,1]
+}
+
+// Recommendation is one recommended product with its vote score and the
+// number of neighborhood peers that supported it.
+type Recommendation struct {
+	Product    model.ProductID
+	Score      float64
+	Supporters int
+}
+
+// Recommender ties the pipeline together over one community view.
+type Recommender struct {
+	comm   *model.Community
+	opt    Options
+	filter *cf.Filter
+	gen    *profile.Generator // content-boost affinity; nil without taxonomy
+}
+
+// New creates a recommender. Taxonomy-based CF representations and
+// ContentBoost require the community to carry a taxonomy.
+func New(comm *model.Community, opt Options) (*Recommender, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	f, err := cf.New(comm, opt.CF)
+	if err != nil {
+		return nil, err
+	}
+	r := &Recommender{comm: comm, opt: opt, filter: f}
+	if comm.Taxonomy() != nil {
+		r.gen = profile.New(comm.Taxonomy())
+	} else if opt.ContentBoost > 0 {
+		return nil, fmt.Errorf("core: content boost requires a taxonomy")
+	}
+	return r, nil
+}
+
+// Community returns the underlying community view.
+func (r *Recommender) Community() *model.Community { return r.comm }
+
+// Filter returns the similarity filter (useful for evaluation harnesses).
+func (r *Recommender) Filter() *cf.Filter { return r.filter }
+
+// Neighborhood runs stage 1 for the active agent.
+func (r *Recommender) Neighborhood(active model.AgentID) (*trust.Neighborhood, error) {
+	if r.opt.Candidates != nil {
+		nb := &trust.Neighborhood{Source: active}
+		for _, id := range r.opt.Candidates(active) {
+			if id != active && r.comm.HasAgent(id) {
+				nb.Ranks = append(nb.Ranks, trust.Rank{Agent: id, Trust: 1})
+			}
+		}
+		return nb, nil
+	}
+	net := trust.FromCommunity(r.comm)
+	switch r.opt.Metric {
+	case Advogato:
+		return trust.Advogato(net, active, r.opt.Advogato)
+	case PathTrust:
+		return trust.PathTrust(net, active, r.opt.PathTrust)
+	case NoTrust:
+		nb := &trust.Neighborhood{Source: active}
+		for _, id := range r.comm.Agents() {
+			if id != active {
+				nb.Ranks = append(nb.Ranks, trust.Rank{Agent: id, Trust: 1})
+			}
+		}
+		return nb, nil
+	default:
+		return trust.Appleseed(net, active, r.opt.Appleseed)
+	}
+}
+
+// RankedPeers runs stages 1-3: trust neighborhood, similarity filtering
+// and rank synthesization. The result is sorted by descending weight (ties
+// by agent ID).
+func (r *Recommender) RankedPeers(active model.AgentID) ([]PeerRank, error) {
+	if !r.comm.HasAgent(active) {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownAgent, active)
+	}
+	nb, err := r.Neighborhood(active)
+	if err != nil {
+		return nil, err
+	}
+	if len(nb.Ranks) == 0 {
+		return nil, nil
+	}
+	maxTrust := nb.Ranks[0].Trust
+	for _, rk := range nb.Ranks {
+		if rk.Trust > maxTrust {
+			maxTrust = rk.Trust
+		}
+	}
+	alpha := r.opt.alpha()
+	peers := make([]PeerRank, 0, len(nb.Ranks))
+	for _, rk := range nb.Ranks {
+		tn := 0.0
+		if maxTrust > 0 {
+			tn = rk.Trust / maxTrust
+		}
+		if tn < r.opt.TrustThreshold {
+			continue
+		}
+		p := PeerRank{Agent: rk.Agent, Trust: tn}
+		if s, ok := r.filter.Similarity(active, rk.Agent); ok {
+			p.Sim, p.SimOK = s, true
+		}
+		peers = append(peers, p)
+	}
+
+	switch r.opt.Merge {
+	case BordaCount:
+		bordaMerge(peers, alpha)
+	default:
+		for i := range peers {
+			// Negative correlation indicates diverging interests (§3.3):
+			// such peers contribute no similarity weight.
+			simNorm := peers[i].Sim
+			if simNorm < 0 {
+				simNorm = 0
+			}
+			peers[i].Weight = alpha*peers[i].Trust + (1-alpha)*simNorm
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool {
+		if peers[i].Weight != peers[j].Weight {
+			return peers[i].Weight > peers[j].Weight
+		}
+		return peers[i].Agent < peers[j].Agent
+	})
+	if r.opt.MaxNeighbors > 0 && len(peers) > r.opt.MaxNeighbors {
+		peers = peers[:r.opt.MaxNeighbors]
+	}
+	return peers, nil
+}
+
+// Recommend runs the full pipeline and returns the top-n recommendations
+// for the active agent (all scored products if n <= 0). Products the
+// active agent has already rated never appear.
+func (r *Recommender) Recommend(active model.AgentID, n int) ([]Recommendation, error) {
+	peers, err := r.RankedPeers(active)
+	if err != nil {
+		return nil, err
+	}
+	act := r.comm.Agent(active)
+
+	var touched map[taxonomy.Topic]bool
+	if r.opt.Content == NovelCategories {
+		touched = r.touchedTopics(act)
+	}
+
+	type acc struct {
+		score      float64
+		supporters int
+	}
+	votes := make(map[model.ProductID]*acc)
+	for _, p := range peers {
+		if p.Weight <= 0 {
+			continue
+		}
+		peer := r.comm.Agent(p.Agent)
+		if peer == nil {
+			continue
+		}
+		for prod, v := range peer.Ratings {
+			if v <= 0 {
+				continue // peers vote for "appreciated products" only
+			}
+			if _, seen := act.Ratings[prod]; seen {
+				continue
+			}
+			if touched != nil && !r.isNovel(prod, touched) {
+				continue
+			}
+			a := votes[prod]
+			if a == nil {
+				a = &acc{}
+				votes[prod] = a
+			}
+			a.score += p.Weight * v
+			a.supporters++
+		}
+	}
+
+	// Content boost: scale each candidate's vote score by its affinity
+	// to the active agent's own taxonomy profile (hybrid filtering, §5).
+	var activeProfile sparse.Vector
+	if r.opt.ContentBoost > 0 {
+		activeProfile = r.gen.Profile(act, r.comm)
+	}
+
+	out := make([]Recommendation, 0, len(votes))
+	for prod, a := range votes {
+		score := a.score
+		if r.opt.ContentBoost > 0 {
+			score *= 1 + r.opt.ContentBoost*r.contentMatch(activeProfile, prod)
+		}
+		out = append(out, Recommendation{Product: prod, Score: score, Supporters: a.supporters})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Product < out[j].Product
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// bordaMerge assigns Borda-position weights in place: peers get
+// (n-rank)/n under the trust ordering and under the similarity ordering
+// (undefined or negative similarities rank last with score 0), blended
+// with α.
+func bordaMerge(peers []PeerRank, alpha float64) {
+	n := len(peers)
+	if n == 0 {
+		return
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	score := func(rank int) float64 { return float64(n-rank) / float64(n) }
+
+	// Trust ordering (ties by agent ID for determinism).
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := peers[idx[a]], peers[idx[b]]
+		if pa.Trust != pb.Trust {
+			return pa.Trust > pb.Trust
+		}
+		return pa.Agent < pb.Agent
+	})
+	trustScore := make([]float64, n)
+	for rank, i := range idx {
+		trustScore[i] = score(rank)
+	}
+
+	// Similarity ordering: defined non-negative similarities first.
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := peers[idx[a]], peers[idx[b]]
+		ea, eb := pa.SimOK && pa.Sim >= 0, pb.SimOK && pb.Sim >= 0
+		if ea != eb {
+			return ea
+		}
+		if pa.Sim != pb.Sim {
+			return pa.Sim > pb.Sim
+		}
+		return pa.Agent < pb.Agent
+	})
+	simScore := make([]float64, n)
+	for rank, i := range idx {
+		if p := peers[i]; p.SimOK && p.Sim >= 0 {
+			simScore[i] = score(rank)
+		}
+	}
+
+	for i := range peers {
+		peers[i].Weight = alpha*trustScore[i] + (1-alpha)*simScore[i]
+	}
+}
+
+// contentMatch returns the cosine affinity in [0,1] between the active
+// profile and the product's propagated descriptor vector.
+func (r *Recommender) contentMatch(activeProfile sparse.Vector, prod model.ProductID) float64 {
+	p := r.comm.Product(prod)
+	if p == nil || len(p.Topics) == 0 || len(activeProfile) == 0 {
+		return 0
+	}
+	pv := sparse.New(len(p.Topics) * 8)
+	share := 1.0 / float64(len(p.Topics))
+	for _, d := range p.Topics {
+		r.gen.PropagateLeaf(pv, d, share)
+	}
+	m, ok := sparse.Cosine(activeProfile, pv)
+	if !ok || m < 0 {
+		return 0
+	}
+	return m
+}
+
+// touchedTopics collects every topic (with ancestors) the active agent's
+// positive ratings reach — the categories NOT "left untouched until now".
+func (r *Recommender) touchedTopics(act *model.Agent) map[taxonomy.Topic]bool {
+	touched := make(map[taxonomy.Topic]bool)
+	if r.comm.Taxonomy() == nil {
+		return touched
+	}
+	for prod, v := range act.Ratings {
+		if v <= 0 {
+			continue
+		}
+		p := r.comm.Product(prod)
+		if p == nil {
+			continue
+		}
+		for _, d := range p.Topics {
+			touched[d] = true
+			for _, anc := range r.comm.Taxonomy().Ancestors(d) {
+				touched[anc] = true
+			}
+		}
+	}
+	delete(touched, taxonomy.Root) // the top element covers everything
+	return touched
+}
+
+// isNovel reports whether every descriptor of prod lies outside the
+// touched set (ignoring the root, which every path shares).
+func (r *Recommender) isNovel(prod model.ProductID, touched map[taxonomy.Topic]bool) bool {
+	p := r.comm.Product(prod)
+	if p == nil || len(p.Topics) == 0 {
+		return false
+	}
+	for _, d := range p.Topics {
+		if touched[d] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,140 @@
+package crawler
+
+// Minimal robots exclusion protocol (the 1994 REP, which the paper-era
+// crawlers honored): the crawler fetches /robots.txt once per host and
+// skips homepages under any Disallow prefix of the "*" user-agent group.
+// Missing or unreadable robots.txt means everything is allowed, per the
+// protocol.
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+)
+
+// robotsRules holds the Disallow prefixes applying to us on one host.
+type robotsRules struct {
+	disallow []string
+}
+
+// allows reports whether path may be fetched.
+func (r *robotsRules) allows(path string) bool {
+	if r == nil {
+		return true
+	}
+	for _, p := range r.disallow {
+		if p != "" && strings.HasPrefix(path, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// parseRobots extracts the Disallow prefixes of groups naming the "*" or
+// "swrec" user agents. Groups are runs of User-agent lines followed by
+// directives; a User-agent line after directives starts a new group.
+// Unknown directives are ignored, as the protocol requires.
+func parseRobots(doc string) *robotsRules {
+	rules := &robotsRules{}
+	var groupAgents []string
+	inDirectives := false
+	matches := func() bool {
+		for _, a := range groupAgents {
+			if a == "*" || a == "swrec" {
+				return true
+			}
+		}
+		return false
+	}
+	sc := bufio.NewScanner(strings.NewReader(doc))
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		key, value, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		value = strings.TrimSpace(value)
+		switch key {
+		case "user-agent":
+			if inDirectives {
+				groupAgents = nil
+				inDirectives = false
+			}
+			groupAgents = append(groupAgents, strings.ToLower(value))
+		case "disallow":
+			inDirectives = true
+			if value != "" && matches() {
+				rules.disallow = append(rules.disallow, value)
+			}
+		default:
+			inDirectives = true
+		}
+	}
+	return rules
+}
+
+// robotsCache lazily fetches and parses robots.txt per host for one
+// crawl. Safe for concurrent use.
+type robotsCache struct {
+	client *http.Client
+	mu     sync.Mutex
+	rules  map[string]*robotsRules
+}
+
+func newRobotsCache(client *http.Client) *robotsCache {
+	return &robotsCache{client: client, rules: map[string]*robotsRules{}}
+}
+
+// allowed reports whether rawURL may be crawled under its host's rules.
+func (rc *robotsCache) allowed(ctx context.Context, rawURL string) bool {
+	u, err := url.Parse(rawURL)
+	if err != nil || u.Host == "" {
+		return true // unparsable URLs fail later, at fetch
+	}
+	rc.mu.Lock()
+	rules, ok := rc.rules[u.Host]
+	rc.mu.Unlock()
+	if !ok {
+		rules = rc.fetch(ctx, u.Scheme, u.Host)
+		rc.mu.Lock()
+		rc.rules[u.Host] = rules
+		rc.mu.Unlock()
+	}
+	return rules.allows(u.Path)
+}
+
+// fetch retrieves one host's robots.txt; any failure means "allow all".
+func (rc *robotsCache) fetch(ctx context.Context, scheme, host string) *robotsRules {
+	if scheme == "" {
+		scheme = "http"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, scheme+"://"+host+"/robots.txt", nil)
+	if err != nil {
+		return nil
+	}
+	client := rc.client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil
+	}
+	return parseRobots(string(body))
+}

@@ -1,0 +1,377 @@
+// Package eval is the quantitative harness behind the experiments of
+// DESIGN.md: trust↔similarity correlation measurement (E2), leave-one-out
+// recommendation accuracy (E7), attack exposure (E4), profile-overlap
+// statistics (E5), and the rank-correlation coefficients used to compare
+// trust and similarity orderings. The paper announces exactly this kind of
+// framework in §3.4 ("matching these approaches against each other within
+// an experimental framework allowing for some quantitative analysis").
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"swrec/internal/cf"
+	"swrec/internal/core"
+	"swrec/internal/model"
+	"swrec/internal/trust"
+)
+
+// SimilarityGap contrasts the mean profile similarity of trusted pairs
+// against random pairs — the measurable form of the §3.2 claim that
+// "trust and interest profiles tend to correlate" [5].
+type SimilarityGap struct {
+	TrustedMean  float64 // mean similarity over sampled direct-trust pairs
+	RandomMean   float64 // mean similarity over random agent pairs
+	TrustedPairs int     // pairs with defined similarity
+	RandomPairs  int
+}
+
+// Gap returns TrustedMean - RandomMean.
+func (g SimilarityGap) Gap() float64 { return g.TrustedMean - g.RandomMean }
+
+// TrustVsRandomSimilarity samples up to maxPairs directly-trusting pairs
+// (positive statements only) and as many random pairs, and reports the
+// mean similarity of each population under the given filter.
+func TrustVsRandomSimilarity(comm *model.Community, f *cf.Filter, maxPairs int, rng *rand.Rand) SimilarityGap {
+	edges := comm.TrustEdges()
+	var positive []model.TrustStatement
+	for _, e := range edges {
+		if e.Value > 0 {
+			positive = append(positive, e)
+		}
+	}
+	rng.Shuffle(len(positive), func(i, j int) { positive[i], positive[j] = positive[j], positive[i] })
+	if maxPairs > 0 && len(positive) > maxPairs {
+		positive = positive[:maxPairs]
+	}
+
+	var g SimilarityGap
+	var sumT float64
+	for _, e := range positive {
+		if s, ok := f.Similarity(e.Src, e.Dst); ok {
+			sumT += s
+			g.TrustedPairs++
+		}
+	}
+	agents := comm.Agents()
+	var sumR float64
+	for i := 0; i < len(positive); i++ {
+		a := agents[rng.Intn(len(agents))]
+		b := agents[rng.Intn(len(agents))]
+		if a == b {
+			continue
+		}
+		if s, ok := f.Similarity(a, b); ok {
+			sumR += s
+			g.RandomPairs++
+		}
+	}
+	if g.TrustedPairs > 0 {
+		g.TrustedMean = sumT / float64(g.TrustedPairs)
+	}
+	if g.RandomPairs > 0 {
+		g.RandomMean = sumR / float64(g.RandomPairs)
+	}
+	return g
+}
+
+// LOOResult summarizes a leave-one-out run.
+type LOOResult struct {
+	Trials  int     // agents evaluated
+	Hits    int     // held-out item returned within top-N
+	HitRate float64 // Hits / Trials
+	// MeanRank is the mean 1-based rank of the held-out item when hit.
+	MeanRank float64
+	// Empty counts trials where the recommender returned nothing.
+	Empty int
+}
+
+// RecommenderFactory builds a recommender over the (mutated) community for
+// each trial. Factories must not cache profiles across calls — leave-one-
+// out mutates rating histories between trials.
+type RecommenderFactory func(comm *model.Community) (*core.Recommender, error)
+
+// ErrNoTrials is returned when no agent qualifies for leave-one-out.
+var ErrNoTrials = errors.New("eval: no agent has enough positive ratings for leave-one-out")
+
+// LeaveOneOut measures top-N hit rate: for up to maxTrials sampled agents
+// with at least two positive ratings, one positive rating is withheld, the
+// recommender runs, and a hit is scored when the withheld product appears
+// in the top N. The community is restored after every trial.
+func LeaveOneOut(comm *model.Community, factory RecommenderFactory, topN, maxTrials int, rng *rand.Rand) (LOOResult, error) {
+	var res LOOResult
+	agents := append([]model.AgentID(nil), comm.Agents()...)
+	rng.Shuffle(len(agents), func(i, j int) { agents[i], agents[j] = agents[j], agents[i] })
+
+	var rankSum int
+	for _, id := range agents {
+		if maxTrials > 0 && res.Trials >= maxTrials {
+			break
+		}
+		a := comm.Agent(id)
+		var liked []model.ProductID
+		for p, v := range a.Ratings {
+			if v > 0 {
+				liked = append(liked, p)
+			}
+		}
+		if len(liked) < 2 {
+			continue
+		}
+		sort.Slice(liked, func(i, j int) bool { return liked[i] < liked[j] })
+		held := liked[rng.Intn(len(liked))]
+		heldVal := a.Ratings[held]
+		delete(a.Ratings, held)
+
+		rec, err := factory(comm)
+		if err != nil {
+			a.Ratings[held] = heldVal
+			return res, fmt.Errorf("eval: factory: %w", err)
+		}
+		recs, err := rec.Recommend(id, topN)
+		a.Ratings[held] = heldVal // restore before error handling
+		if err != nil {
+			return res, fmt.Errorf("eval: recommend for %s: %w", id, err)
+		}
+		res.Trials++
+		if len(recs) == 0 {
+			res.Empty++
+			continue
+		}
+		for rank, r := range recs {
+			if r.Product == held {
+				res.Hits++
+				rankSum += rank + 1
+				break
+			}
+		}
+	}
+	if res.Trials == 0 {
+		return res, ErrNoTrials
+	}
+	res.HitRate = float64(res.Hits) / float64(res.Trials)
+	if res.Hits > 0 {
+		res.MeanRank = float64(rankSum) / float64(res.Hits)
+	}
+	return res, nil
+}
+
+// AttackExposure describes how far an injected product penetrated a
+// recommendation list.
+type AttackExposure struct {
+	Recommended bool
+	Rank        int     // 1-based; 0 when not recommended
+	Score       float64 // its vote score, 0 when absent
+}
+
+// Exposure locates the pushed product in a recommendation list.
+func Exposure(recs []core.Recommendation, pushed model.ProductID) AttackExposure {
+	for i, r := range recs {
+		if r.Product == pushed {
+			return AttackExposure{Recommended: true, Rank: i + 1, Score: r.Score}
+		}
+	}
+	return AttackExposure{}
+}
+
+// KendallTau computes Kendall's τ-a between two orderings of the same set
+// of agents. It returns an error when the rankings do not cover the same
+// set. τ = 1 means identical order, -1 reversed.
+func KendallTau(a, b []model.AgentID) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("eval: rankings differ in length: %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, fmt.Errorf("eval: need at least 2 elements, got %d", n)
+	}
+	pos := make(map[model.AgentID]int, n)
+	for i, id := range b {
+		pos[id] = i
+	}
+	if len(pos) != n {
+		return 0, fmt.Errorf("eval: rankings contain duplicates")
+	}
+	perm := make([]int, n)
+	used := make([]bool, n)
+	for i, id := range a {
+		p, ok := pos[id]
+		if !ok {
+			return 0, fmt.Errorf("eval: %s missing from second ranking", id)
+		}
+		if used[p] {
+			return 0, fmt.Errorf("eval: rankings contain duplicates")
+		}
+		used[p] = true
+		perm[i] = p
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if perm[i] < perm[j] {
+				concordant++
+			} else {
+				discordant++
+			}
+		}
+	}
+	total := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(total), nil
+}
+
+// Spearman computes Spearman's ρ between two orderings of the same agent
+// set (rank correlation over positions).
+func Spearman(a, b []model.AgentID) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("eval: rankings differ in length: %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, fmt.Errorf("eval: need at least 2 elements, got %d", n)
+	}
+	pos := make(map[model.AgentID]int, n)
+	for i, id := range b {
+		pos[id] = i
+	}
+	var d2 float64
+	for i, id := range a {
+		p, ok := pos[id]
+		if !ok {
+			return 0, fmt.Errorf("eval: %s missing from second ranking", id)
+		}
+		diff := float64(i - p)
+		d2 += diff * diff
+	}
+	nn := float64(n)
+	return 1 - 6*d2/(nn*(nn*nn-1)), nil
+}
+
+// RankAgents extracts the agent ordering from a trust neighborhood.
+func RankAgents(nb *trust.Neighborhood) []model.AgentID {
+	out := make([]model.AgentID, len(nb.Ranks))
+	for i, r := range nb.Ranks {
+		out[i] = r.Agent
+	}
+	return out
+}
+
+// RankPeers extracts the agent ordering from synthesized peer ranks.
+func RankPeers(peers []core.PeerRank) []model.AgentID {
+	out := make([]model.AgentID, len(peers))
+	for i, p := range peers {
+		out[i] = p.Agent
+	}
+	return out
+}
+
+// PRPoint is one precision/recall measurement at a list length N.
+type PRPoint struct {
+	N         int
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// PrecisionRecall measures precision/recall/F1 at several list lengths by
+// withholding a *set* of positive ratings per sampled agent (half of the
+// liked products, at least one) and checking how many return in the
+// top-N. Ns must be ascending.
+func PrecisionRecall(comm *model.Community, factory RecommenderFactory, ns []int, maxTrials int, rng *rand.Rand) ([]PRPoint, error) {
+	if len(ns) == 0 {
+		return nil, errors.New("eval: no list lengths given")
+	}
+	maxN := ns[len(ns)-1]
+	agents := append([]model.AgentID(nil), comm.Agents()...)
+	rng.Shuffle(len(agents), func(i, j int) { agents[i], agents[j] = agents[j], agents[i] })
+
+	hits := make([]float64, len(ns)) // Σ per-trial hit counts at each N
+	recalls := make([]float64, len(ns))
+	trials := 0
+	for _, id := range agents {
+		if maxTrials > 0 && trials >= maxTrials {
+			break
+		}
+		a := comm.Agent(id)
+		var liked []model.ProductID
+		for p, v := range a.Ratings {
+			if v > 0 {
+				liked = append(liked, p)
+			}
+		}
+		if len(liked) < 4 {
+			continue
+		}
+		sort.Slice(liked, func(i, j int) bool { return liked[i] < liked[j] })
+		rng.Shuffle(len(liked), func(i, j int) { liked[i], liked[j] = liked[j], liked[i] })
+		held := liked[:len(liked)/2]
+		saved := make(map[model.ProductID]float64, len(held))
+		for _, p := range held {
+			saved[p] = a.Ratings[p]
+			delete(a.Ratings, p)
+		}
+		restore := func() {
+			for p, v := range saved {
+				a.Ratings[p] = v
+			}
+		}
+
+		rec, err := factory(comm)
+		if err != nil {
+			restore()
+			return nil, fmt.Errorf("eval: factory: %w", err)
+		}
+		recs, err := rec.Recommend(id, maxN)
+		restore()
+		if err != nil {
+			return nil, fmt.Errorf("eval: recommend for %s: %w", id, err)
+		}
+		trials++
+		heldSet := make(map[model.ProductID]bool, len(held))
+		for _, p := range held {
+			heldSet[p] = true
+		}
+		for ni, n := range ns {
+			h := 0
+			for i := 0; i < n && i < len(recs); i++ {
+				if heldSet[recs[i].Product] {
+					h++
+				}
+			}
+			hits[ni] += float64(h) / float64(n)
+			recalls[ni] += float64(h) / float64(len(held))
+		}
+	}
+	if trials == 0 {
+		return nil, ErrNoTrials
+	}
+	out := make([]PRPoint, len(ns))
+	for i, n := range ns {
+		p := hits[i] / float64(trials)
+		r := recalls[i] / float64(trials)
+		f1 := 0.0
+		if p+r > 0 {
+			f1 = 2 * p * r / (p + r)
+		}
+		out[i] = PRPoint{N: n, Precision: p, Recall: r, F1: f1}
+	}
+	return out, nil
+}
+
+// MeanStd returns the mean and (population) standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}

@@ -1,0 +1,175 @@
+package foaf
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"swrec/internal/model"
+	"swrec/internal/rdf"
+	"swrec/internal/taxonomy"
+)
+
+// Catalog and taxonomy documents: the globally accessible part of the
+// information model (§3.1 — "taxonomy C, set B of products and descriptor
+// assignment function f must hold globally and therefore offer public
+// accessibility"; §4 — Amazon's book taxonomy and subject descriptors).
+//
+// Topics are referenced by their qualified path below the root, carried as
+// literals: taxonomies of 20,000+ topics serialize compactly and rebuild
+// deterministically. Secondary (DAG) parent edges are carried explicitly.
+const (
+	DCTitle = "http://purl.org/dc/elements/1.1/title"
+
+	SWCNS          = "http://swrec.org/ont/catalog#"
+	SWCProduct     = SWCNS + "Product"
+	SWCISBN        = SWCNS + "isbn"
+	SWCTopic       = SWCNS + "topic" // qualified path below root
+	SWCTaxonomy    = SWCNS + "Taxonomy"
+	SWCRootName    = SWCNS + "rootName"
+	SWCTopicPath   = SWCNS + "topicPath"
+	SWCExtraParent = SWCNS + "extraParent"
+	// SWCTaxonomyIRI is the subject the taxonomy document hangs off.
+	SWCTaxonomyIRI = "http://swrec.org/catalog/taxonomy"
+)
+
+// MarshalTaxonomy renders the full taxonomy as one RDF document: the root
+// name, one swc:topicPath literal per non-root topic (depth-first order,
+// so parents precede children), and swc:extraParent statements for
+// secondary DAG edges.
+func MarshalTaxonomy(tax *taxonomy.Taxonomy) *rdf.Graph {
+	g := rdf.NewGraph()
+	doc := rdf.NewIRI(SWCTaxonomyIRI)
+	g.Add(rdf.Triple{Subject: doc, Predicate: rdf.NewIRI(RDFType), Object: rdf.NewIRI(SWCTaxonomy)})
+	g.Add(rdf.Triple{Subject: doc, Predicate: rdf.NewIRI(SWCRootName), Object: rdf.NewLiteral(tax.Name(taxonomy.Root))})
+	rootPrefix := tax.Name(taxonomy.Root) + "/"
+	tax.Walk(func(d taxonomy.Topic, _ int) bool {
+		if d == taxonomy.Root {
+			return true
+		}
+		path := strings.TrimPrefix(tax.QualifiedName(d), rootPrefix)
+		g.Add(rdf.Triple{Subject: doc, Predicate: rdf.NewIRI(SWCTopicPath), Object: rdf.NewLiteral(path)})
+		parents := tax.Parents(d)
+		for _, p := range parents[1:] { // secondary edges only
+			pp := strings.TrimPrefix(tax.QualifiedName(p), rootPrefix)
+			if p == taxonomy.Root {
+				pp = ""
+			}
+			g.Add(rdf.Triple{
+				Subject:   doc,
+				Predicate: rdf.NewIRI(SWCExtraParent),
+				Object:    rdf.NewLiteral(pp + "->" + path),
+			})
+		}
+		return true
+	})
+	return g
+}
+
+// UnmarshalTaxonomy rebuilds a taxonomy from its RDF document.
+func UnmarshalTaxonomy(g *rdf.Graph) (*taxonomy.Taxonomy, error) {
+	roots := g.Objects(SWCTaxonomyIRI, SWCRootName)
+	if len(roots) != 1 {
+		return nil, fmt.Errorf("%w: need exactly one root name, got %d", ErrMalformed, len(roots))
+	}
+	tax := taxonomy.New(roots[0].Value)
+	for _, o := range g.Objects(SWCTaxonomyIRI, SWCTopicPath) {
+		if _, err := tax.AddPath(o.Value); err != nil {
+			return nil, fmt.Errorf("%w: topic path %q: %v", ErrMalformed, o.Value, err)
+		}
+	}
+	for _, o := range g.Objects(SWCTaxonomyIRI, SWCExtraParent) {
+		parentPath, childPath, ok := strings.Cut(o.Value, "->")
+		if !ok {
+			return nil, fmt.Errorf("%w: extra parent %q", ErrMalformed, o.Value)
+		}
+		parent := taxonomy.Root
+		if parentPath != "" {
+			p, ok := tax.Lookup(roots[0].Value + "/" + parentPath)
+			if !ok {
+				return nil, fmt.Errorf("%w: unknown extra parent %q", ErrMalformed, parentPath)
+			}
+			parent = p
+		}
+		child, ok := tax.Lookup(roots[0].Value + "/" + childPath)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown extra-parent child %q", ErrMalformed, childPath)
+		}
+		if err := tax.AddEdge(parent, child); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+	}
+	return tax, nil
+}
+
+// MarshalCatalog renders the product catalog against its taxonomy.
+// Descriptors are emitted as qualified topic paths below the root.
+func MarshalCatalog(c *model.Community) *rdf.Graph {
+	g := rdf.NewGraph()
+	tax := c.Taxonomy()
+	rootPrefix := ""
+	if tax != nil {
+		rootPrefix = tax.Name(taxonomy.Root) + "/"
+	}
+	ids := append([]model.ProductID(nil), c.Products()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := c.Product(id)
+		subj := rdf.NewIRI(string(p.ID))
+		g.Add(rdf.Triple{Subject: subj, Predicate: rdf.NewIRI(RDFType), Object: rdf.NewIRI(SWCProduct)})
+		if p.Title != "" {
+			g.Add(rdf.Triple{Subject: subj, Predicate: rdf.NewIRI(DCTitle), Object: rdf.NewLiteral(p.Title)})
+		}
+		if p.ISBN != "" {
+			g.Add(rdf.Triple{Subject: subj, Predicate: rdf.NewIRI(SWCISBN), Object: rdf.NewLiteral(p.ISBN)})
+		}
+		if tax != nil {
+			for _, d := range p.Topics {
+				path := strings.TrimPrefix(tax.QualifiedName(d), rootPrefix)
+				g.Add(rdf.Triple{Subject: subj, Predicate: rdf.NewIRI(SWCTopic), Object: rdf.NewLiteral(path)})
+			}
+		}
+	}
+	return g
+}
+
+// UnmarshalCatalog loads product entries from an RDF catalog document
+// into the community, resolving descriptor paths against the community's
+// taxonomy. Unknown topic paths are an error: catalog and taxonomy are
+// published together and must agree.
+func UnmarshalCatalog(g *rdf.Graph, c *model.Community) error {
+	typ, prodType := rdf.NewIRI(RDFType), rdf.NewIRI(SWCProduct)
+	tax := c.Taxonomy()
+	rootName := ""
+	if tax != nil {
+		rootName = tax.Name(taxonomy.Root)
+	}
+	for _, tr := range g.Match(nil, &typ, &prodType) {
+		if tr.Subject.Kind != rdf.IRI {
+			return fmt.Errorf("%w: product subject must be an IRI, got %s", ErrMalformed, tr.Subject)
+		}
+		p := model.Product{ID: model.ProductID(tr.Subject.Value)}
+		if titles := g.Objects(tr.Subject.Value, DCTitle); len(titles) > 0 {
+			p.Title = titles[0].Value
+		}
+		if isbns := g.Objects(tr.Subject.Value, SWCISBN); len(isbns) > 0 {
+			p.ISBN = isbns[0].Value
+		}
+		for _, o := range g.Objects(tr.Subject.Value, SWCTopic) {
+			if tax == nil {
+				return fmt.Errorf("%w: catalog carries topics but community has no taxonomy", ErrMalformed)
+			}
+			d, ok := tax.Lookup(rootName + "/" + o.Value)
+			if !ok {
+				return fmt.Errorf("%w: product %s references unknown topic %q", ErrMalformed, p.ID, o.Value)
+			}
+			p.Topics = append(p.Topics, d)
+		}
+		c.AddProduct(p)
+	}
+	return nil
+}
+
+// formatValue mirrors decimal() for tests needing the lexical form.
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }

@@ -1,0 +1,131 @@
+package graph
+
+// Dinic's max-flow over integer capacities. The Advogato trust metric
+// (Levien & Aiken 1998) reduces group trust to a single-source max-flow on
+// a transformed trust graph, so the solver only needs integer capacities
+// and moderate sizes (a few hundred thousand arcs).
+
+// flowEdge is one directed edge of the residual network. Edges are stored
+// in one flat arena; e and e^1 are mutual residuals.
+type flowEdge struct {
+	to  int
+	cap int
+}
+
+// FlowNetwork is a residual network under construction. Node indices are
+// dense ints managed by the caller.
+type FlowNetwork struct {
+	edges []flowEdge
+	head  [][]int // per node: indices into edges
+}
+
+// NewFlowNetwork creates a network with capacity for n nodes; it grows on
+// demand.
+func NewFlowNetwork(n int) *FlowNetwork {
+	return &FlowNetwork{head: make([][]int, n)}
+}
+
+// ensure grows the head table to cover node v.
+func (f *FlowNetwork) ensure(v int) {
+	for len(f.head) <= v {
+		f.head = append(f.head, nil)
+	}
+}
+
+// NumNodes returns the node index space size.
+func (f *FlowNetwork) NumNodes() int { return len(f.head) }
+
+// AddArc inserts a directed arc with the given capacity (and an implicit
+// zero-capacity residual). Negative capacities are clamped to zero.
+func (f *FlowNetwork) AddArc(from, to, capacity int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	f.ensure(from)
+	f.ensure(to)
+	f.head[from] = append(f.head[from], len(f.edges))
+	f.edges = append(f.edges, flowEdge{to: to, cap: capacity})
+	f.head[to] = append(f.head[to], len(f.edges))
+	f.edges = append(f.edges, flowEdge{to: from, cap: 0})
+}
+
+// MaxFlow runs Dinic's algorithm from src to dst and returns the max-flow
+// value. The residual state is left in place so callers can inspect which
+// arcs carried flow via Flow.
+func (f *FlowNetwork) MaxFlow(src, dst int) int {
+	if src < 0 || dst < 0 || src >= len(f.head) || dst >= len(f.head) || src == dst {
+		return 0
+	}
+	total := 0
+	level := make([]int, len(f.head))
+	iter := make([]int, len(f.head))
+	for f.bfsLevel(src, dst, level) {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := f.dfsAugment(src, dst, int(^uint(0)>>1), level, iter)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+// bfsLevel builds the level graph; returns false when dst is unreachable.
+func (f *FlowNetwork) bfsLevel(src, dst int, level []int) bool {
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ei := range f.head[v] {
+			e := f.edges[ei]
+			if e.cap > 0 && level[e.to] < 0 {
+				level[e.to] = level[v] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return level[dst] >= 0
+}
+
+// dfsAugment pushes one blocking-flow augmenting path.
+func (f *FlowNetwork) dfsAugment(v, dst, limit int, level, iter []int) int {
+	if v == dst {
+		return limit
+	}
+	for ; iter[v] < len(f.head[v]); iter[v]++ {
+		ei := f.head[v][iter[v]]
+		e := &f.edges[ei]
+		if e.cap <= 0 || level[e.to] != level[v]+1 {
+			continue
+		}
+		d := limit
+		if e.cap < d {
+			d = e.cap
+		}
+		pushed := f.dfsAugment(e.to, dst, d, level, iter)
+		if pushed > 0 {
+			e.cap -= pushed
+			f.edges[ei^1].cap += pushed
+			return pushed
+		}
+	}
+	return 0
+}
+
+// Flow returns the units of flow that crossed the k-th inserted arc
+// (0-based insertion order), after MaxFlow has run.
+func (f *FlowNetwork) Flow(arc int) int {
+	ri := 2*arc + 1
+	if ri < 0 || ri >= len(f.edges) {
+		return 0
+	}
+	return f.edges[ri].cap // residual capacity of the reverse edge == flow
+}

@@ -1,0 +1,91 @@
+// Package index provides the catalog-side lookup structure the
+// information model implies but never names: the inverse of the
+// descriptor assignment f: B → 2^D. Given a topic, it answers "which
+// products fall into this category or any of its subtopics?" — the
+// browse-by-branch operation behind catalog UIs, the NovelCategories
+// recommendation scheme, and the API's /v1/topics endpoint.
+//
+// The index stores direct postings per topic; subtree queries walk the
+// taxonomy's primary-child structure and merge postings, so building is
+// O(Σ|f(b)|) and a query touches only the requested branch.
+package index
+
+import (
+	"sort"
+
+	"swrec/internal/model"
+	"swrec/internal/taxonomy"
+)
+
+// TopicIndex maps taxonomy topics to the products carrying them as
+// descriptors. Build once; concurrent reads are safe.
+type TopicIndex struct {
+	tax      *taxonomy.Taxonomy
+	postings map[taxonomy.Topic][]model.ProductID
+}
+
+// Build scans the community's catalog into a fresh index. Products are
+// posted once per distinct descriptor; postings keep catalog insertion
+// order.
+func Build(comm *model.Community) *TopicIndex {
+	ix := &TopicIndex{
+		tax:      comm.Taxonomy(),
+		postings: make(map[taxonomy.Topic][]model.ProductID),
+	}
+	for _, pid := range comm.Products() {
+		p := comm.Product(pid)
+		for _, d := range p.Topics {
+			ix.postings[d] = append(ix.postings[d], pid)
+		}
+	}
+	return ix
+}
+
+// Direct returns the products carrying d itself as a descriptor. The
+// slice must not be modified.
+func (ix *TopicIndex) Direct(d taxonomy.Topic) []model.ProductID {
+	return ix.postings[d]
+}
+
+// Subtree returns all products whose descriptors fall into d or any
+// descendant of d (by primary-child edges), deduplicated and sorted.
+func (ix *TopicIndex) Subtree(d taxonomy.Topic) []model.ProductID {
+	if ix.tax == nil {
+		return ix.Direct(d)
+	}
+	seen := map[model.ProductID]bool{}
+	var out []model.ProductID
+	var walk func(t taxonomy.Topic)
+	walk = func(t taxonomy.Topic) {
+		for _, pid := range ix.postings[t] {
+			if !seen[pid] {
+				seen[pid] = true
+				out = append(out, pid)
+			}
+		}
+		for _, c := range ix.tax.Children(t) {
+			if ix.tax.Parent(c) == t { // primary edges only, no revisits
+				walk(c)
+			}
+		}
+	}
+	walk(d)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Count returns the subtree posting count without materializing the list.
+func (ix *TopicIndex) Count(d taxonomy.Topic) int {
+	return len(ix.Subtree(d))
+}
+
+// TopicsOf returns the topics that actually carry postings, sorted — the
+// populated part of the taxonomy.
+func (ix *TopicIndex) TopicsOf() []taxonomy.Topic {
+	out := make([]taxonomy.Topic, 0, len(ix.postings))
+	for d := range ix.postings {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,114 @@
+package index
+
+import (
+	"testing"
+
+	"swrec/internal/datagen"
+	"swrec/internal/model"
+	"swrec/internal/taxonomy"
+)
+
+func fig1Community(t *testing.T) (*model.Community, map[string]taxonomy.Topic) {
+	t.Helper()
+	tax := taxonomy.Fig1()
+	c := model.NewCommunity(tax)
+	topics := map[string]taxonomy.Topic{}
+	for _, q := range []string{
+		"Books/Science/Mathematics/Pure/Algebra",
+		"Books/Science/Mathematics/Pure/Calculus",
+		"Books/Science/Mathematics/Applied",
+		"Books/Science/Physics",
+		"Books/Fiction",
+	} {
+		d, ok := tax.Lookup(q)
+		if !ok {
+			t.Fatalf("missing %s", q)
+		}
+		topics[q[len("Books/"):]] = d
+	}
+	c.AddProduct(model.Product{ID: "alg1", Topics: []taxonomy.Topic{topics["Science/Mathematics/Pure/Algebra"]}})
+	c.AddProduct(model.Product{ID: "alg2", Topics: []taxonomy.Topic{topics["Science/Mathematics/Pure/Algebra"], topics["Fiction"]}})
+	c.AddProduct(model.Product{ID: "calc", Topics: []taxonomy.Topic{topics["Science/Mathematics/Pure/Calculus"]}})
+	c.AddProduct(model.Product{ID: "app", Topics: []taxonomy.Topic{topics["Science/Mathematics/Applied"]}})
+	c.AddProduct(model.Product{ID: "phy", Topics: []taxonomy.Topic{topics["Science/Physics"]}})
+	return c, topics
+}
+
+func TestDirectPostings(t *testing.T) {
+	c, topics := fig1Community(t)
+	ix := Build(c)
+	alg := ix.Direct(topics["Science/Mathematics/Pure/Algebra"])
+	if len(alg) != 2 || alg[0] != "alg1" || alg[1] != "alg2" {
+		t.Fatalf("Direct(Algebra) = %v", alg)
+	}
+	if got := ix.Direct(topics["Science/Physics"]); len(got) != 1 || got[0] != "phy" {
+		t.Fatalf("Direct(Physics) = %v", got)
+	}
+	// Inner topic with no direct postings.
+	math, _ := c.Taxonomy().Lookup("Books/Science/Mathematics")
+	if got := ix.Direct(math); got != nil {
+		t.Fatalf("Direct(Mathematics) = %v, want none", got)
+	}
+}
+
+func TestSubtreeMergesAndDedupes(t *testing.T) {
+	c, _ := fig1Community(t)
+	ix := Build(c)
+	math, _ := c.Taxonomy().Lookup("Books/Science/Mathematics")
+	got := ix.Subtree(math)
+	want := []model.ProductID{"alg1", "alg2", "app", "calc"}
+	if len(got) != len(want) {
+		t.Fatalf("Subtree(Mathematics) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Subtree order: %v, want %v", got, want)
+		}
+	}
+	// Root subtree covers the whole posted catalog exactly once (alg2 has
+	// two descriptors but appears once).
+	if got := ix.Subtree(taxonomy.Root); len(got) != 5 {
+		t.Fatalf("Subtree(root) = %v", got)
+	}
+	if ix.Count(math) != 4 {
+		t.Fatalf("Count = %d", ix.Count(math))
+	}
+}
+
+func TestTopicsOf(t *testing.T) {
+	c, _ := fig1Community(t)
+	ix := Build(c)
+	ts := ix.TopicsOf()
+	if len(ts) != 5 {
+		t.Fatalf("TopicsOf = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1] >= ts[i] {
+			t.Fatal("TopicsOf not sorted")
+		}
+	}
+}
+
+func TestSubtreeConsistentWithGeneratedCatalog(t *testing.T) {
+	cfg := datagen.SmallScale()
+	cfg.Products = 150
+	comm, _ := datagen.Generate(cfg)
+	ix := Build(comm)
+	// Every product must be reachable from the root subtree.
+	all := ix.Subtree(taxonomy.Root)
+	if len(all) != comm.NumProducts() {
+		t.Fatalf("root subtree = %d products, want %d", len(all), comm.NumProducts())
+	}
+	// Per-topic counts sum over direct postings equals Σ|f(b)|.
+	direct := 0
+	for _, d := range ix.TopicsOf() {
+		direct += len(ix.Direct(d))
+	}
+	wantPostings := 0
+	for _, pid := range comm.Products() {
+		wantPostings += len(comm.Product(pid).Topics)
+	}
+	if direct != wantPostings {
+		t.Fatalf("posting count %d, want %d", direct, wantPostings)
+	}
+}

@@ -1,0 +1,154 @@
+// Package isbn implements International Standard Book Numbers, the
+// globally accepted product identifiers the paper relies on for books
+// (§3.1, §4): validation, check-digit computation, ISBN-10 ↔ ISBN-13
+// conversion, URN formatting, and deterministic generation for synthetic
+// catalogs.
+package isbn
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var (
+	// ErrInvalid is returned for malformed or checksum-failing ISBNs.
+	ErrInvalid = errors.New("isbn: invalid ISBN")
+)
+
+// clean strips the separators allowed in printed ISBNs.
+func clean(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if r == '-' || r == ' ' {
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// CheckDigit10 computes the ISBN-10 check character ('0'-'9' or 'X') for
+// the first nine digits.
+func CheckDigit10(first9 string) (byte, error) {
+	if len(first9) != 9 {
+		return 0, fmt.Errorf("%w: need 9 digits, got %d", ErrInvalid, len(first9))
+	}
+	sum := 0
+	for i := 0; i < 9; i++ {
+		d := first9[i]
+		if d < '0' || d > '9' {
+			return 0, fmt.Errorf("%w: non-digit %q", ErrInvalid, d)
+		}
+		sum += (10 - i) * int(d-'0')
+	}
+	r := (11 - sum%11) % 11
+	if r == 10 {
+		return 'X', nil
+	}
+	return byte('0' + r), nil
+}
+
+// CheckDigit13 computes the ISBN-13 (EAN-13) check digit for the first
+// twelve digits.
+func CheckDigit13(first12 string) (byte, error) {
+	if len(first12) != 12 {
+		return 0, fmt.Errorf("%w: need 12 digits, got %d", ErrInvalid, len(first12))
+	}
+	sum := 0
+	for i := 0; i < 12; i++ {
+		d := first12[i]
+		if d < '0' || d > '9' {
+			return 0, fmt.Errorf("%w: non-digit %q", ErrInvalid, d)
+		}
+		w := 1
+		if i%2 == 1 {
+			w = 3
+		}
+		sum += w * int(d-'0')
+	}
+	return byte('0' + (10-sum%10)%10), nil
+}
+
+// Valid reports whether s is a well-formed ISBN-10 or ISBN-13 (separators
+// allowed).
+func Valid(s string) bool {
+	s = clean(s)
+	switch len(s) {
+	case 10:
+		cd, err := CheckDigit10(s[:9])
+		if err != nil {
+			return false
+		}
+		last := s[9]
+		if last == 'x' {
+			last = 'X'
+		}
+		return last == cd
+	case 13:
+		cd, err := CheckDigit13(s[:12])
+		return err == nil && s[12] == cd
+	default:
+		return false
+	}
+}
+
+// To13 converts an ISBN-10 to its ISBN-13 form (978 prefix). The input is
+// validated.
+func To13(isbn10 string) (string, error) {
+	s := clean(isbn10)
+	if len(s) != 10 || !Valid(s) {
+		return "", fmt.Errorf("%w: %q is not a valid ISBN-10", ErrInvalid, isbn10)
+	}
+	first12 := "978" + s[:9]
+	cd, err := CheckDigit13(first12)
+	if err != nil {
+		return "", err
+	}
+	return first12 + string(cd), nil
+}
+
+// To10 converts a 978-prefixed ISBN-13 back to ISBN-10. 979-prefixed
+// ISBNs have no ISBN-10 form and are rejected.
+func To10(isbn13 string) (string, error) {
+	s := clean(isbn13)
+	if len(s) != 13 || !Valid(s) {
+		return "", fmt.Errorf("%w: %q is not a valid ISBN-13", ErrInvalid, isbn13)
+	}
+	if !strings.HasPrefix(s, "978") {
+		return "", fmt.Errorf("%w: %q has no ISBN-10 form (prefix %s)", ErrInvalid, isbn13, s[:3])
+	}
+	first9 := s[3:12]
+	cd, err := CheckDigit10(first9)
+	if err != nil {
+		return "", err
+	}
+	return first9 + string(cd), nil
+}
+
+// URN formats an ISBN as the "urn:isbn:..." identifier used for product
+// IDs in the information model.
+func URN(isbn string) string { return "urn:isbn:" + clean(isbn) }
+
+// FromURN extracts the bare ISBN from a urn:isbn: identifier.
+func FromURN(urn string) (string, bool) {
+	s, ok := strings.CutPrefix(urn, "urn:isbn:")
+	return s, ok
+}
+
+// Synthesize deterministically derives a valid ISBN-13 from a sequence
+// number, for synthetic catalogs (uses the 978-2000xxxxx range; the group
+// is fictional but check-digit valid).
+func Synthesize(seq int) string {
+	if seq < 0 {
+		seq = -seq
+	}
+	first12 := fmt.Sprintf("9782%08d", seq%100000000)
+	cd, err := CheckDigit13(first12)
+	if err != nil {
+		// Unreachable: first12 is always 12 digits by construction.
+		panic(err)
+	}
+	return first12 + string(cd)
+}

@@ -1,0 +1,121 @@
+package isbn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidKnownISBNs(t *testing.T) {
+	// Real-world ISBNs of the four books from Example 1 (§3.3).
+	valid := []string{
+		"0-521-38632-2",     // Horn & Johnson, Matrix Analysis (ISBN-10)
+		"0-8027-1331-9",     // Singh, Fermat's Enigma
+		"0-553-38095-8",     // Stephenson, Snow Crash
+		"0-441-56956-0",     // Gibson, Neuromancer
+		"978-0-521-38632-6", // Matrix Analysis (ISBN-13)
+		"097522980X",        // X check digit
+		"097522980x",        // lowercase x accepted
+	}
+	for _, s := range valid {
+		if !Valid(s) {
+			t.Errorf("Valid(%q) = false, want true", s)
+		}
+	}
+	invalid := []string{
+		"",
+		"0-521-38632-3",     // wrong check digit
+		"978-0-521-38632-7", // wrong check digit
+		"12345",             // wrong length
+		"0521A86322",        // non-digit
+		"05213863220000",    // 14 chars
+	}
+	for _, s := range invalid {
+		if Valid(s) {
+			t.Errorf("Valid(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestCheckDigits(t *testing.T) {
+	if cd, err := CheckDigit10("052138632"); err != nil || cd != '2' {
+		t.Fatalf("CheckDigit10 = %c,%v, want 2", cd, err)
+	}
+	if cd, err := CheckDigit13("978052138632"); err != nil || cd != '6' {
+		t.Fatalf("CheckDigit13 = %c,%v, want 6", cd, err)
+	}
+	if _, err := CheckDigit10("12345678"); err == nil {
+		t.Fatal("short input accepted")
+	}
+	if _, err := CheckDigit13("12345678901a"); err == nil {
+		t.Fatal("non-digit accepted")
+	}
+}
+
+func TestConversionRoundTrip(t *testing.T) {
+	got13, err := To13("0521386322")
+	if err != nil || got13 != "9780521386326" {
+		t.Fatalf("To13 = %q,%v", got13, err)
+	}
+	got10, err := To10("978-0-521-38632-6")
+	if err != nil || got10 != "0521386322" {
+		t.Fatalf("To10 = %q,%v", got10, err)
+	}
+	if _, err := To10("9791234567896"); err == nil {
+		t.Fatal("979 prefix must be rejected for To10")
+	}
+	if _, err := To13("badisbn"); err == nil {
+		t.Fatal("invalid input accepted by To13")
+	}
+	if _, err := To10("badisbn"); err == nil {
+		t.Fatal("invalid input accepted by To10")
+	}
+}
+
+func TestURN(t *testing.T) {
+	if got := URN("978-0-521-38632-6"); got != "urn:isbn:9780521386326" {
+		t.Fatalf("URN = %q", got)
+	}
+	s, ok := FromURN("urn:isbn:9780521386326")
+	if !ok || s != "9780521386326" {
+		t.Fatalf("FromURN = %q,%v", s, ok)
+	}
+	if _, ok := FromURN("urn:issn:123"); ok {
+		t.Fatal("FromURN accepted wrong scheme")
+	}
+}
+
+// Property: every synthesized ISBN is valid and distinct per sequence
+// number within the range.
+func TestSynthesizeProperty(t *testing.T) {
+	f := func(seq int) bool {
+		s := Synthesize(seq)
+		return len(s) == 13 && Valid(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		s := Synthesize(i)
+		if seen[s] {
+			t.Fatalf("duplicate synthesized ISBN at %d: %s", i, s)
+		}
+		seen[s] = true
+	}
+}
+
+// Property: To13 ∘ To10 is the identity on valid 978 ISBN-13s.
+func TestConversionInverseProperty(t *testing.T) {
+	f := func(seq int) bool {
+		s13 := Synthesize(seq)
+		s10, err := To10(s13)
+		if err != nil {
+			return false
+		}
+		back, err := To13(s10)
+		return err == nil && back == s13
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,359 @@
+// Package model implements the paper's information model (§3.1):
+//
+//   - a set of agents A = {a1..an}, identified by globally unique URIs,
+//   - a set of products B = {b1..bm}, identified by catalog identifiers
+//     such as ISBNs,
+//   - partial trust functions T = {t1..tn}, ti: A → [-1,+1]⊥,
+//   - partial rating functions R = {r1..rn}, ri: B → [-1,+1]⊥,
+//   - a descriptor assignment function f: B → 2^D into a taxonomy C
+//     (package taxonomy).
+//
+// Partiality is modeled by map absence: a missing key is ⊥. Trust values
+// around zero indicate *absence* of trust, which the paper is careful to
+// distinguish from explicit distrust (negative values, Marsh [8]).
+//
+// Agent and rating data is conceptually distributed across machine-readable
+// homepages on the Semantic Web; Community is the local, materialized view
+// an agent assembles (e.g. by crawling, package crawler) before it runs all
+// recommendation computations locally (§2). The taxonomy and the product
+// catalog are the globally accessible part of the model.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"swrec/internal/taxonomy"
+)
+
+// AgentID is the globally unique identifier of an agent, usually the URI of
+// its machine-readable homepage (e.g. "http://example.org/people/alice").
+type AgentID string
+
+// ProductID is the globally unique identifier of a product. For books the
+// paper uses ISBNs (e.g. "urn:isbn:0521386322"); identifiers from a catalog
+// agreed upon, such as Amazon ASINs, work equally.
+type ProductID string
+
+// Rating bounds: both trust and product ratings live in [-1, +1] (§3.1).
+const (
+	MinValue = -1.0
+	MaxValue = +1.0
+)
+
+var (
+	// ErrValueRange is returned when a trust or rating value lies outside
+	// [-1, +1].
+	ErrValueRange = errors.New("model: value outside [-1,+1]")
+	// ErrUnknownAgent is returned when an agent is not part of the
+	// community view.
+	ErrUnknownAgent = errors.New("model: unknown agent")
+	// ErrUnknownProduct is returned when a product is not in the catalog.
+	ErrUnknownProduct = errors.New("model: unknown product")
+	// ErrSelfTrust is returned when an agent states trust in itself.
+	ErrSelfTrust = errors.New("model: agent cannot trust itself")
+)
+
+// TrustStatement is one edge of the trust network: src accords value to dst.
+type TrustStatement struct {
+	Src, Dst AgentID
+	Value    float64
+}
+
+// RatingStatement is one product rating: agent rated product with value.
+type RatingStatement struct {
+	Agent   AgentID
+	Product ProductID
+	Value   float64
+}
+
+// Product is one catalog entry of set B with its topic descriptors f(b).
+type Product struct {
+	ID     ProductID
+	Title  string
+	ISBN   string // optional; set for books
+	Topics []taxonomy.Topic
+}
+
+// Agent is the materialized state of one agent: its partial trust function
+// t_i (map absence = ⊥) and its partial rating function r_i.
+type Agent struct {
+	ID      AgentID
+	Name    string // optional display name (foaf:name)
+	Trust   map[AgentID]float64
+	Ratings map[ProductID]float64
+}
+
+// newAgent allocates an empty agent record.
+func newAgent(id AgentID) *Agent {
+	return &Agent{
+		ID:      id,
+		Trust:   make(map[AgentID]float64),
+		Ratings: make(map[ProductID]float64),
+	}
+}
+
+// TrustedPeers returns the peers a directly trusts or distrusts, sorted by
+// descending value (ties broken by ID for determinism).
+func (a *Agent) TrustedPeers() []TrustStatement {
+	out := make([]TrustStatement, 0, len(a.Trust))
+	for dst, v := range a.Trust {
+		out = append(out, TrustStatement{Src: a.ID, Dst: dst, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// RatedProducts returns the agent's ratings sorted by descending value
+// (ties broken by product ID).
+func (a *Agent) RatedProducts() []RatingStatement {
+	out := make([]RatingStatement, 0, len(a.Ratings))
+	for p, v := range a.Ratings {
+		out = append(out, RatingStatement{Agent: a.ID, Product: p, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].Product < out[j].Product
+	})
+	return out
+}
+
+// Community is a local, materialized view of the distributed model: the
+// agents known so far, the global product catalog, and the shared taxonomy.
+// It is the substrate all recommendation computation operates on.
+//
+// A Community is not safe for concurrent mutation. Reads may proceed
+// concurrently once loading is finished.
+type Community struct {
+	agents   map[AgentID]*Agent
+	agentIDs []AgentID // insertion order, for deterministic iteration
+	products map[ProductID]*Product
+	prodIDs  []ProductID
+	tax      *taxonomy.Taxonomy
+}
+
+// NewCommunity creates an empty community over the given taxonomy. The
+// taxonomy may be nil for pure trust-network use; profile generation
+// requires one.
+func NewCommunity(tax *taxonomy.Taxonomy) *Community {
+	return &Community{
+		agents:   make(map[AgentID]*Agent),
+		products: make(map[ProductID]*Product),
+		tax:      tax,
+	}
+}
+
+// Taxonomy returns the community's shared taxonomy C (may be nil).
+func (c *Community) Taxonomy() *taxonomy.Taxonomy { return c.tax }
+
+// NumAgents returns |A| as materialized locally.
+func (c *Community) NumAgents() int { return len(c.agents) }
+
+// NumProducts returns |B|.
+func (c *Community) NumProducts() int { return len(c.products) }
+
+// AddAgent registers an agent if not yet present and returns its record.
+func (c *Community) AddAgent(id AgentID) *Agent {
+	if a, ok := c.agents[id]; ok {
+		return a
+	}
+	a := newAgent(id)
+	c.agents[id] = a
+	c.agentIDs = append(c.agentIDs, id)
+	return a
+}
+
+// Agent returns the record of id, or nil if unknown.
+func (c *Community) Agent(id AgentID) *Agent { return c.agents[id] }
+
+// HasAgent reports whether id has been materialized.
+func (c *Community) HasAgent(id AgentID) bool { _, ok := c.agents[id]; return ok }
+
+// Agents returns all agent IDs in insertion order. The slice must not be
+// modified.
+func (c *Community) Agents() []AgentID { return c.agentIDs }
+
+// AddProduct registers a catalog entry. Re-adding an existing ID replaces
+// its metadata (catalogs get refreshed by crawls).
+func (c *Community) AddProduct(p Product) *Product {
+	if old, ok := c.products[p.ID]; ok {
+		*old = p
+		return old
+	}
+	cp := p
+	c.products[p.ID] = &cp
+	c.prodIDs = append(c.prodIDs, p.ID)
+	return &cp
+}
+
+// Product returns the catalog entry for id, or nil if unknown.
+func (c *Community) Product(id ProductID) *Product { return c.products[id] }
+
+// Products returns all product IDs in insertion order. The slice must not
+// be modified.
+func (c *Community) Products() []ProductID { return c.prodIDs }
+
+// SetTrust records t_src(dst) = v. Both endpoints are materialized if
+// needed (the Semantic Web has no referential integrity: statements about
+// yet-unseen agents are normal).
+func (c *Community) SetTrust(src, dst AgentID, v float64) error {
+	if src == dst {
+		return fmt.Errorf("%w: %s", ErrSelfTrust, src)
+	}
+	if v < MinValue || v > MaxValue {
+		return fmt.Errorf("%w: trust(%s,%s) = %v", ErrValueRange, src, dst, v)
+	}
+	c.AddAgent(dst)
+	c.AddAgent(src).Trust[dst] = v
+	return nil
+}
+
+// Trust returns t_src(dst); ok is false when the value is ⊥ (absent).
+func (c *Community) Trust(src, dst AgentID) (v float64, ok bool) {
+	a := c.agents[src]
+	if a == nil {
+		return 0, false
+	}
+	v, ok = a.Trust[dst]
+	return v, ok
+}
+
+// SetRating records r_agent(product) = v. The product must already be in
+// the catalog: ratings refer to globally known identifiers (§3.1).
+func (c *Community) SetRating(agent AgentID, product ProductID, v float64) error {
+	if v < MinValue || v > MaxValue {
+		return fmt.Errorf("%w: rating(%s,%s) = %v", ErrValueRange, agent, product, v)
+	}
+	if _, ok := c.products[product]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownProduct, product)
+	}
+	c.AddAgent(agent).Ratings[product] = v
+	return nil
+}
+
+// Rating returns r_agent(product); ok is false when the value is ⊥.
+func (c *Community) Rating(agent AgentID, product ProductID) (v float64, ok bool) {
+	a := c.agents[agent]
+	if a == nil {
+		return 0, false
+	}
+	v, ok = a.Ratings[product]
+	return v, ok
+}
+
+// TrustEdges returns the full trust network as a flat statement list, in
+// deterministic order (by source insertion order, then by the per-agent
+// order of TrustedPeers).
+func (c *Community) TrustEdges() []TrustStatement {
+	var out []TrustStatement
+	for _, id := range c.agentIDs {
+		out = append(out, c.agents[id].TrustedPeers()...)
+	}
+	return out
+}
+
+// Stats summarizes the community, mirroring the §4.1 infrastructure report
+// (≈9,100 users, 9,953 books, their trust relationships and ratings).
+type Stats struct {
+	Agents        int
+	Products      int
+	TrustEdges    int
+	Ratings       int
+	MeanTrustDeg  float64 // mean outdegree of the trust graph
+	MeanRatings   float64 // mean ratings per agent
+	DistrustEdges int     // edges with negative value
+}
+
+// ComputeStats scans the community and returns aggregate statistics.
+func (c *Community) ComputeStats() Stats {
+	s := Stats{Agents: len(c.agents), Products: len(c.products)}
+	for _, a := range c.agents {
+		s.TrustEdges += len(a.Trust)
+		s.Ratings += len(a.Ratings)
+		for _, v := range a.Trust {
+			if v < 0 {
+				s.DistrustEdges++
+			}
+		}
+	}
+	if s.Agents > 0 {
+		s.MeanTrustDeg = float64(s.TrustEdges) / float64(s.Agents)
+		s.MeanRatings = float64(s.Ratings) / float64(s.Agents)
+	}
+	return s
+}
+
+// Validate checks the §3.1 model invariants over the whole view: trust
+// and rating values in [-1,+1], no self-trust, every rating referencing a
+// catalog entry, and every product descriptor resolving in the taxonomy.
+// It returns the first violation found, or nil. Crawled and imported
+// views are checked before recommendation computation trusts them.
+func (c *Community) Validate() error {
+	for _, id := range c.agentIDs {
+		a := c.agents[id]
+		for peer, v := range a.Trust {
+			if peer == id {
+				return fmt.Errorf("%w: %s", ErrSelfTrust, id)
+			}
+			if v < MinValue || v > MaxValue {
+				return fmt.Errorf("%w: trust(%s,%s) = %v", ErrValueRange, id, peer, v)
+			}
+		}
+		for p, v := range a.Ratings {
+			if v < MinValue || v > MaxValue {
+				return fmt.Errorf("%w: rating(%s,%s) = %v", ErrValueRange, id, p, v)
+			}
+			if _, ok := c.products[p]; !ok {
+				return fmt.Errorf("%w: rating of %s by %s", ErrUnknownProduct, p, id)
+			}
+		}
+	}
+	if c.tax != nil {
+		limit := taxonomy.Topic(c.tax.Len())
+		for _, pid := range c.prodIDs {
+			for _, d := range c.products[pid].Topics {
+				if d < 0 || d >= limit {
+					return fmt.Errorf("model: product %s references topic %d outside the taxonomy", pid, d)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Merge folds the contents of other into c: union of agents, trust and
+// rating statements (other wins on conflicts, it is assumed fresher), and
+// union of catalogs. Taxonomies are not merged; c keeps its own. Merge is
+// how a crawler incrementally extends its materialized view.
+func (c *Community) Merge(other *Community) {
+	for _, pid := range other.prodIDs {
+		c.AddProduct(*other.products[pid])
+	}
+	for _, id := range other.agentIDs {
+		src := other.agents[id]
+		dst := c.AddAgent(id)
+		if src.Name != "" {
+			dst.Name = src.Name
+		}
+		for peer, v := range src.Trust {
+			c.AddAgent(peer)
+			dst.Trust[peer] = v
+		}
+		for p, v := range src.Ratings {
+			if _, ok := c.products[p]; !ok {
+				// Statement about a product the catalog does not know yet;
+				// register a bare entry so the rating is not lost.
+				c.AddProduct(Product{ID: p})
+			}
+			dst.Ratings[p] = v
+		}
+	}
+}

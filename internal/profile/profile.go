@@ -1,0 +1,202 @@
+// Package profile implements taxonomy-based interest profile generation,
+// the second pillar of the paper's approach (§3.3): instead of sparse
+// product-rating vectors, every agent gets a score vector over the topics
+// of taxonomy C, so that "one may establish high user similarity for users
+// which have not even rated one single product in common".
+//
+// Score assignment follows the paper exactly:
+//
+//   - the overall profile score of an agent is a fixed constant s
+//     (normalization: agents with short rating histories thus weigh each
+//     rating more heavily);
+//
+//   - s is divided evenly among the products contributing to the profile;
+//
+//   - a product's share is divided evenly among its topic descriptors
+//     f(b);
+//
+//   - each descriptor's share is distributed over the descriptor and its
+//     super-topics along the primary path to the top element ⊤ by Eq. 3:
+//
+//     sco(p_m) = sco(p_{m+1}) / (sib(p_{m+1}) + 1)
+//
+//     i.e. remote super-topics receive less score, attenuated by how many
+//     siblings compete at each level, with the path total equal to the
+//     descriptor's share.
+//
+// Example 1 of the paper (4 books, 5 descriptors, s = 1000, leaf Algebra)
+// is reproduced verbatim by TestExample1 and experiment E1.
+package profile
+
+import (
+	"fmt"
+
+	"swrec/internal/model"
+	"swrec/internal/sparse"
+	"swrec/internal/taxonomy"
+)
+
+// DefaultScore is the overall profile score s used when none is given;
+// Example 1 uses 1000.
+const DefaultScore = 1000.0
+
+// Mode selects how a descriptor's score spreads over the taxonomy.
+type Mode int
+
+const (
+	// Eq3 is the paper's sibling-attenuated propagation (default).
+	Eq3 Mode = iota
+	// Uniform splits a descriptor's share evenly over all path nodes —
+	// the ablation of Eq. 3's sibling term (DESIGN.md §5).
+	Uniform
+	// Flat assigns the entire share to the descriptor topic itself with
+	// no super-topic inference. This reproduces plain category-based
+	// filtering (Sollenborn & Funk [14]), the baseline whose lost
+	// "relationships and mutual impact between categories" the paper
+	// criticizes.
+	Flat
+)
+
+// String names the mode for experiment output.
+func (m Mode) String() string {
+	switch m {
+	case Eq3:
+		return "eq3"
+	case Uniform:
+		return "uniform"
+	case Flat:
+		return "flat"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Catalog resolves product metadata; *model.Community satisfies it.
+type Catalog interface {
+	Product(model.ProductID) *model.Product
+}
+
+// Generator builds taxonomy profiles. The zero value is unusable; use New.
+type Generator struct {
+	tax *taxonomy.Taxonomy
+	// Score is the normalization constant s. Default DefaultScore.
+	Score float64
+	// Mode selects the propagation scheme. Default Eq3.
+	Mode Mode
+	// WeightByRating, when set, splits s over contributing products
+	// proportionally to their rating value instead of evenly. Example 1
+	// splits evenly ("mentioned" books are implicit unit votes), so the
+	// default is false; explicit-rating communities may prefer true.
+	WeightByRating bool
+	// divisor caches, per topic, the Eq. 3 normalization term
+	// Σ_m Π_{j>m} 1/(sib(p_j)+1) for the topic's primary path.
+	divisor map[taxonomy.Topic]float64
+}
+
+// New creates a generator over the given taxonomy.
+func New(tax *taxonomy.Taxonomy) *Generator {
+	return &Generator{tax: tax, Score: DefaultScore, divisor: make(map[taxonomy.Topic]float64)}
+}
+
+// Taxonomy returns the taxonomy the generator propagates over.
+func (g *Generator) Taxonomy() *taxonomy.Taxonomy { return g.tax }
+
+// PropagateLeaf distributes share score units over topic d and its
+// super-topics according to the generator's mode, accumulating into out.
+// This is the inner step of profile generation, exported for E1 and for
+// the incremental updates §4's crawlers perform.
+func (g *Generator) PropagateLeaf(out sparse.Vector, d taxonomy.Topic, share float64) {
+	path := g.tax.PrimaryPath(d)
+	switch g.Mode {
+	case Flat:
+		out.Add(int32(d), share)
+	case Uniform:
+		per := share / float64(len(path))
+		for _, p := range path {
+			out.Add(int32(p), per)
+		}
+	default: // Eq3
+		leaf := share / g.pathDivisor(d, path)
+		// Walk from the leaf upward: each super-topic gets its child's
+		// score divided by (sib(child)+1).
+		sco := leaf
+		out.Add(int32(d), sco)
+		for i := len(path) - 1; i > 0; i-- {
+			sco /= float64(g.tax.Siblings(path[i]) + 1)
+			out.Add(int32(path[i-1]), sco)
+		}
+	}
+}
+
+// pathDivisor returns the Eq. 3 normalization 1 + 1/(sib(p_q)+1) +
+// 1/((sib(p_q)+1)(sib(p_{q-1})+1)) + ... so that the path total equals the
+// descriptor share. Cached per topic.
+func (g *Generator) pathDivisor(d taxonomy.Topic, path []taxonomy.Topic) float64 {
+	if v, ok := g.divisor[d]; ok {
+		return v
+	}
+	total, factor := 1.0, 1.0
+	for i := len(path) - 1; i > 0; i-- {
+		factor /= float64(g.tax.Siblings(path[i]) + 1)
+		total += factor
+	}
+	g.divisor[d] = total
+	return total
+}
+
+// Profile builds the taxonomy score vector of agent a against the catalog.
+// Only positively rated products contribute: "each item the user likes
+// infers some interest score" (§3.3). Products missing from the catalog or
+// carrying no descriptors are skipped. The returned vector's entries sum
+// to (at most) Score; exactly Score when every liked product resolved.
+func (g *Generator) Profile(a *model.Agent, cat Catalog) sparse.Vector {
+	type contrib struct {
+		topics []taxonomy.Topic
+		weight float64
+	}
+	var contribs []contrib
+	var totalWeight float64
+	for _, rs := range a.RatedProducts() {
+		if rs.Value <= 0 {
+			continue
+		}
+		p := cat.Product(rs.Product)
+		if p == nil || len(p.Topics) == 0 {
+			continue
+		}
+		w := 1.0
+		if g.WeightByRating {
+			w = rs.Value
+		}
+		contribs = append(contribs, contrib{topics: p.Topics, weight: w})
+		totalWeight += w
+	}
+	out := sparse.New(len(contribs) * 8)
+	if totalWeight == 0 {
+		return out
+	}
+	score := g.Score
+	if score == 0 {
+		score = DefaultScore
+	}
+	for _, c := range contribs {
+		productShare := score * c.weight / totalWeight
+		descriptorShare := productShare / float64(len(c.topics))
+		for _, d := range c.topics {
+			g.PropagateLeaf(out, d, descriptorShare)
+		}
+	}
+	return out
+}
+
+// ProductVector returns the agent's plain product-rating vector over the
+// dimensions assigned by intern — the representation whose "low profile
+// overlap" (§2) taxonomy profiles fix. All ratings appear, including
+// negative ones, as common collaborative filtering uses the full history.
+func ProductVector(a *model.Agent, intern func(model.ProductID) int32) sparse.Vector {
+	out := sparse.New(len(a.Ratings))
+	for p, v := range a.Ratings {
+		out[intern(p)] = v
+	}
+	return out
+}

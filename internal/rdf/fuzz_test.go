@@ -1,0 +1,78 @@
+package rdf
+
+// Fuzz targets for the three parsers. The Semantic Web serves arbitrary
+// bytes (§2: no superordinate authority controls content); the crawler's
+// safety rests on these parsers never panicking and on valid documents
+// round-tripping. Run with e.g.
+//
+//	go test -fuzz FuzzParseNTriples ./internal/rdf
+//
+// In normal test runs only the seed corpus executes.
+
+import (
+	"testing"
+)
+
+func FuzzParseNTriples(f *testing.F) {
+	f.Add("<http://x/a> <http://x/p> <http://x/b> .\n")
+	f.Add(`<http://x/a> <http://x/p> "lit"@en .` + "\n")
+	f.Add(`_:b <http://x/p> "0.5"^^<http://www.w3.org/2001/XMLSchema#decimal> .` + "\n")
+	f.Add("# comment\n\n")
+	f.Add(`<http://x/a> <http://x/p> "esc\n\"\\" .` + "\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		g, err := ParseString(doc)
+		if err != nil {
+			return
+		}
+		// Valid documents must re-serialize and re-parse losslessly.
+		back, err := ParseString(g.Marshal())
+		if err != nil {
+			t.Fatalf("re-parse of marshaled output failed: %v", err)
+		}
+		if back.Len() != g.Len() {
+			t.Fatalf("round trip changed triple count: %d -> %d", g.Len(), back.Len())
+		}
+	})
+}
+
+func FuzzParseTurtle(f *testing.F) {
+	f.Add("@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n<http://x/a> a foaf:Person ; foaf:name \"A\" .\n")
+	f.Add("<http://x/a> <http://x/p> <http://x/b>, <http://x/c> .\n")
+	f.Add("_:n <http://x/p> \"v\"@de .\n")
+	f.Add("# just a comment")
+	f.Fuzz(func(t *testing.T, doc string) {
+		g, err := ParseTurtle(doc)
+		if err != nil {
+			return
+		}
+		back, err := ParseTurtle(g.MarshalTurtle())
+		if err != nil {
+			t.Fatalf("re-parse of marshaled turtle failed: %v", err)
+		}
+		if back.Len() != g.Len() {
+			t.Fatalf("turtle round trip changed triple count: %d -> %d", g.Len(), back.Len())
+		}
+	})
+}
+
+func FuzzParseRDFXML(f *testing.F) {
+	f.Add(`<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:foaf="http://xmlns.com/foaf/0.1/">
+<rdf:Description rdf:about="http://x/a"><foaf:name>A</foaf:name></rdf:Description>
+</rdf:RDF>`)
+	f.Add(`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"></rdf:RDF>`)
+	f.Add("<not-xml")
+	f.Fuzz(func(t *testing.T, doc string) {
+		// Must never panic; errors are fine.
+		_, _ = ParseRDFXML(doc)
+	})
+}
+
+func FuzzParseDocument(f *testing.F) {
+	f.Add("<http://x/a> <http://x/p> <http://x/b> .\n")
+	f.Add("@prefix x: <http://x/> .\nx:a x:p x:b .\n")
+	f.Add(`<?xml version="1.0"?><rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"/>`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		_, _ = ParseDocument(doc)
+	})
+}

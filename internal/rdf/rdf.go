@@ -1,0 +1,415 @@
+// Package rdf implements the metadata substrate of the Semantic Web
+// deployment (§2, §4): an RDF term and triple model with an N-Triples
+// parser and serializer, plus a small in-memory graph with pattern
+// matching. Agent homepages, trust statements, and product ratings are
+// "documents encoded in RDF" (§2), and message exchange happens by
+// publishing or updating such documents — this package is how the crawler
+// and the publisher read and write them.
+//
+// The dialect implemented is N-Triples (one triple per line, absolute
+// IRIs, plain/typed/language-tagged literals, blank nodes), which every
+// RDF toolchain of the paper's era could produce and consume.
+package rdf
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TermKind discriminates RDF term types.
+type TermKind int
+
+const (
+	// IRI is an absolute IRI reference, e.g. <http://xmlns.com/foaf/0.1/knows>.
+	IRI TermKind = iota
+	// Literal is a (possibly typed or language-tagged) literal value.
+	Literal
+	// Blank is a blank node, e.g. _:b1.
+	Blank
+)
+
+// Term is one RDF term. Value holds the IRI, the literal lexical form, or
+// the blank node label. Datatype and Lang qualify literals only.
+type Term struct {
+	Kind     TermKind
+	Value    string
+	Datatype string // IRI of the literal datatype, if any
+	Lang     string // language tag, if any
+}
+
+// NewIRI builds an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewLiteral builds a plain literal term.
+func NewLiteral(value string) Term { return Term{Kind: Literal, Value: value} }
+
+// NewTypedLiteral builds a literal with a datatype IRI.
+func NewTypedLiteral(value, datatype string) Term {
+	return Term{Kind: Literal, Value: value, Datatype: datatype}
+}
+
+// NewLangLiteral builds a language-tagged literal.
+func NewLangLiteral(value, lang string) Term {
+	return Term{Kind: Literal, Value: value, Lang: lang}
+}
+
+// NewBlank builds a blank node with the given label (no "_:" prefix).
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	default:
+		s := `"` + escapeLiteral(t.Value) + `"`
+		if t.Lang != "" {
+			return s + "@" + t.Lang
+		}
+		if t.Datatype != "" {
+			return s + "^^<" + t.Datatype + ">"
+		}
+		return s
+	}
+}
+
+// Triple is one RDF statement.
+type Triple struct {
+	Subject, Predicate, Object Term
+}
+
+// String renders the triple as one N-Triples line (without newline).
+func (tr Triple) String() string {
+	return tr.Subject.String() + " " + tr.Predicate.String() + " " + tr.Object.String() + " ."
+}
+
+// Common XSD datatype IRIs.
+const (
+	XSDDecimal = "http://www.w3.org/2001/XMLSchema#decimal"
+	XSDInteger = "http://www.w3.org/2001/XMLSchema#integer"
+)
+
+// ErrSyntax is wrapped by all parse errors.
+var ErrSyntax = errors.New("rdf: syntax error")
+
+// Graph is an in-memory triple container preserving insertion order and
+// deduplicating exact statement repeats.
+type Graph struct {
+	triples []Triple
+	seen    map[Triple]bool
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{seen: make(map[Triple]bool)}
+}
+
+// Add inserts a triple unless an identical statement is already present.
+func (g *Graph) Add(tr Triple) {
+	if g.seen[tr] {
+		return
+	}
+	g.seen[tr] = true
+	g.triples = append(g.triples, tr)
+}
+
+// AddIRI is shorthand for adding an all-IRI triple.
+func (g *Graph) AddIRI(s, p, o string) {
+	g.Add(Triple{NewIRI(s), NewIRI(p), NewIRI(o)})
+}
+
+// Len returns the number of distinct triples.
+func (g *Graph) Len() int { return len(g.triples) }
+
+// Triples returns all triples in insertion order. The slice must not be
+// modified.
+func (g *Graph) Triples() []Triple { return g.triples }
+
+// Match returns the triples matching the given pattern; nil components
+// are wildcards. Order follows insertion.
+func (g *Graph) Match(s, p, o *Term) []Triple {
+	var out []Triple
+	for _, tr := range g.triples {
+		if s != nil && tr.Subject != *s {
+			continue
+		}
+		if p != nil && tr.Predicate != *p {
+			continue
+		}
+		if o != nil && tr.Object != *o {
+			continue
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// Objects returns the object terms of all (subject, predicate, *) triples.
+func (g *Graph) Objects(subject, predicate string) []Term {
+	s, p := NewIRI(subject), NewIRI(predicate)
+	var out []Term
+	for _, tr := range g.Match(&s, &p, nil) {
+		out = append(out, tr.Object)
+	}
+	return out
+}
+
+// Subjects returns the distinct subject terms appearing in the graph,
+// sorted for determinism.
+func (g *Graph) Subjects() []Term {
+	set := map[Term]bool{}
+	for _, tr := range g.triples {
+		set[tr.Subject] = true
+	}
+	out := make([]Term, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// WriteTo serializes the graph as N-Triples.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	bw := bufio.NewWriter(w)
+	for _, tr := range g.triples {
+		k, err := bw.WriteString(tr.String() + "\n")
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Marshal renders the graph as an N-Triples string.
+func (g *Graph) Marshal() string {
+	var b strings.Builder
+	for _, tr := range g.triples {
+		b.WriteString(tr.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Parse reads an N-Triples document into a new graph. Lines that are
+// empty or start with '#' are skipped. Errors carry the line number.
+func Parse(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tr, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		g.Add(tr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: read: %w", err)
+	}
+	return g, nil
+}
+
+// ParseString parses an N-Triples document held in a string.
+func ParseString(s string) (*Graph, error) { return Parse(strings.NewReader(s)) }
+
+// parseLine parses one "S P O ." statement.
+func parseLine(line string) (Triple, error) {
+	p := &lineParser{s: line}
+	subj, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	if subj.Kind == Literal {
+		return Triple{}, fmt.Errorf("%w: literal subject", ErrSyntax)
+	}
+	pred, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	if pred.Kind != IRI {
+		return Triple{}, fmt.Errorf("%w: predicate must be an IRI", ErrSyntax)
+	}
+	obj, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.skipSpace()
+	if !p.eat('.') {
+		return Triple{}, fmt.Errorf("%w: missing terminating '.'", ErrSyntax)
+	}
+	p.skipSpace()
+	if !p.done() {
+		return Triple{}, fmt.Errorf("%w: trailing content %q", ErrSyntax, p.rest())
+	}
+	return Triple{subj, pred, obj}, nil
+}
+
+// lineParser is a single-line N-Triples tokenizer.
+type lineParser struct {
+	s string
+	i int
+}
+
+func (p *lineParser) done() bool   { return p.i >= len(p.s) }
+func (p *lineParser) rest() string { return p.s[p.i:] }
+
+func (p *lineParser) peek() byte {
+	if p.done() {
+		return 0
+	}
+	return p.s[p.i]
+}
+
+func (p *lineParser) eat(c byte) bool {
+	if p.peek() == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *lineParser) skipSpace() {
+	for !p.done() && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+// term parses the next IRI, blank node, or literal.
+func (p *lineParser) term() (Term, error) {
+	p.skipSpace()
+	switch {
+	case p.eat('<'):
+		start := p.i
+		for !p.done() && p.s[p.i] != '>' {
+			p.i++
+		}
+		if p.done() {
+			return Term{}, fmt.Errorf("%w: unterminated IRI", ErrSyntax)
+		}
+		iri := p.s[start:p.i]
+		p.i++ // '>'
+		if iri == "" {
+			return Term{}, fmt.Errorf("%w: empty IRI", ErrSyntax)
+		}
+		return NewIRI(iri), nil
+
+	case strings.HasPrefix(p.rest(), "_:"):
+		p.i += 2
+		start := p.i
+		for !p.done() && p.s[p.i] != ' ' && p.s[p.i] != '\t' {
+			p.i++
+		}
+		label := p.s[start:p.i]
+		if label == "" {
+			return Term{}, fmt.Errorf("%w: empty blank node label", ErrSyntax)
+		}
+		return NewBlank(label), nil
+
+	case p.eat('"'):
+		var b strings.Builder
+		for {
+			if p.done() {
+				return Term{}, fmt.Errorf("%w: unterminated literal", ErrSyntax)
+			}
+			c := p.s[p.i]
+			p.i++
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if p.done() {
+					return Term{}, fmt.Errorf("%w: dangling escape", ErrSyntax)
+				}
+				e := p.s[p.i]
+				p.i++
+				switch e {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case 'r':
+					b.WriteByte('\r')
+				case '"', '\\':
+					b.WriteByte(e)
+				default:
+					return Term{}, fmt.Errorf("%w: bad escape \\%c", ErrSyntax, e)
+				}
+				continue
+			}
+			b.WriteByte(c)
+		}
+		t := NewLiteral(b.String())
+		switch {
+		case p.eat('@'):
+			start := p.i
+			for !p.done() && p.s[p.i] != ' ' && p.s[p.i] != '\t' {
+				p.i++
+			}
+			t.Lang = p.s[start:p.i]
+			if t.Lang == "" {
+				return Term{}, fmt.Errorf("%w: empty language tag", ErrSyntax)
+			}
+		case strings.HasPrefix(p.rest(), "^^"):
+			p.i += 2
+			if !p.eat('<') {
+				return Term{}, fmt.Errorf("%w: datatype must be an IRI", ErrSyntax)
+			}
+			start := p.i
+			for !p.done() && p.s[p.i] != '>' {
+				p.i++
+			}
+			if p.done() {
+				return Term{}, fmt.Errorf("%w: unterminated datatype IRI", ErrSyntax)
+			}
+			t.Datatype = p.s[start:p.i]
+			p.i++
+		}
+		return t, nil
+
+	default:
+		return Term{}, fmt.Errorf("%w: unexpected %q", ErrSyntax, p.rest())
+	}
+}
+
+// escapeLiteral escapes a literal's lexical form for N-Triples output.
+func escapeLiteral(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

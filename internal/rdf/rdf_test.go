@@ -1,0 +1,206 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://x/a"), "<http://x/a>"},
+		{NewBlank("b1"), "_:b1"},
+		{NewLiteral("hello"), `"hello"`},
+		{NewLangLiteral("hallo", "de"), `"hallo"@de`},
+		{NewTypedLiteral("0.75", XSDDecimal), `"0.75"^^<` + XSDDecimal + `>`},
+		{NewLiteral("a\"b\\c\nd"), `"a\"b\\c\nd"`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String() = %s, want %s", got, c.want)
+		}
+	}
+}
+
+func TestParseBasic(t *testing.T) {
+	doc := `
+# agent homepage
+<http://x/alice> <http://xmlns.com/foaf/0.1/name> "Alice" .
+<http://x/alice> <http://xmlns.com/foaf/0.1/knows> <http://x/bob> .
+_:r1 <http://x/ns#value> "0.9"^^<` + XSDDecimal + `> .
+<http://x/alice> <http://x/ns#motto> "tout va bien"@fr .
+`
+	g, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", g.Len())
+	}
+	names := g.Objects("http://x/alice", "http://xmlns.com/foaf/0.1/name")
+	if len(names) != 1 || names[0].Value != "Alice" {
+		t.Fatalf("names = %v", names)
+	}
+	motto := g.Objects("http://x/alice", "http://x/ns#motto")
+	if len(motto) != 1 || motto[0].Lang != "fr" {
+		t.Fatalf("motto = %v", motto)
+	}
+	// Blank subject parsed.
+	b := NewBlank("r1")
+	if got := g.Match(&b, nil, nil); len(got) != 1 || got[0].Object.Datatype != XSDDecimal {
+		t.Fatalf("blank subject match = %v", got)
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	doc := `<http://x/a> <http://x/p> "line1\nline2\t\"quoted\" back\\slash" .` + "\n"
+	g, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := g.Triples()[0].Object
+	want := "line1\nline2\t\"quoted\" back\\slash"
+	if obj.Value != want {
+		t.Fatalf("unescaped = %q, want %q", obj.Value, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<http://x/a> <http://x/p> "unterminated .`,
+		`<http://x/a> <http://x/p> <http://x/o>`,     // missing dot
+		`"literal" <http://x/p> <http://x/o> .`,      // literal subject
+		`<http://x/a> "literal" <http://x/o> .`,      // literal predicate
+		`<http://x/a> _:b <http://x/o> .`,            // blank predicate
+		`<http://x/a> <http://x/p> "v"^^bad .`,       // datatype not IRI
+		`<http://x/a> <http://x/p> "v"@ .`,           // empty language
+		`<http://x/a> <http://x/p> <http://x/o> . x`, // trailing garbage
+		`<> <http://x/p> <http://x/o> .`,             // empty IRI
+		`<http://x/a <http://x/p> <http://x/o> .`,    // unterminated IRI
+		`<http://x/a> <http://x/p> "bad\q escape" .`, // bad escape
+		`<http://x/a> <http://x/p> _: .`,             // empty blank label
+		`<http://x/a> <http://x/p> "v"^^<unclosed .`, // unterminated datatype
+		`junk`, // no term at all
+	}
+	for _, doc := range bad {
+		if _, err := ParseString(doc + "\n"); err == nil {
+			t.Errorf("accepted malformed line: %s", doc)
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndBlank(t *testing.T) {
+	g, err := ParseString("# only a comment\n\n   \n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", g.Len())
+	}
+}
+
+func TestGraphDeduplicates(t *testing.T) {
+	g := NewGraph()
+	tr := Triple{NewIRI("http://x/a"), NewIRI("http://x/p"), NewLiteral("v")}
+	g.Add(tr)
+	g.Add(tr)
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after duplicate add", g.Len())
+	}
+}
+
+func TestMatchWildcards(t *testing.T) {
+	g := NewGraph()
+	g.AddIRI("http://x/a", "http://x/p", "http://x/b")
+	g.AddIRI("http://x/a", "http://x/q", "http://x/c")
+	g.AddIRI("http://x/d", "http://x/p", "http://x/b")
+
+	s := NewIRI("http://x/a")
+	if got := g.Match(&s, nil, nil); len(got) != 2 {
+		t.Fatalf("subject match = %d, want 2", len(got))
+	}
+	p := NewIRI("http://x/p")
+	if got := g.Match(nil, &p, nil); len(got) != 2 {
+		t.Fatalf("predicate match = %d, want 2", len(got))
+	}
+	o := NewIRI("http://x/b")
+	if got := g.Match(&s, &p, &o); len(got) != 1 {
+		t.Fatalf("exact match = %d, want 1", len(got))
+	}
+	if got := g.Match(nil, nil, nil); len(got) != 3 {
+		t.Fatalf("wildcard match = %d, want 3", len(got))
+	}
+}
+
+func TestSubjectsSortedDistinct(t *testing.T) {
+	g := NewGraph()
+	g.AddIRI("http://x/b", "http://x/p", "http://x/o")
+	g.AddIRI("http://x/a", "http://x/p", "http://x/o")
+	g.AddIRI("http://x/a", "http://x/q", "http://x/o")
+	subs := g.Subjects()
+	if len(subs) != 2 || subs[0].Value != "http://x/a" || subs[1].Value != "http://x/b" {
+		t.Fatalf("Subjects = %v", subs)
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.Add(Triple{NewIRI("http://x/alice"), NewIRI("http://x/name"), NewLiteral(`weird "value"` + "\nwith newline")})
+	g.Add(Triple{NewIRI("http://x/alice"), NewIRI("http://x/trust"), NewTypedLiteral("-0.5", XSDDecimal)})
+	g.Add(Triple{NewBlank("n0"), NewIRI("http://x/p"), NewLangLiteral("ciao", "it")})
+
+	back, err := ParseString(g.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != g.Len() {
+		t.Fatalf("round trip Len = %d, want %d", back.Len(), g.Len())
+	}
+	for i, tr := range g.Triples() {
+		if back.Triples()[i] != tr {
+			t.Fatalf("triple %d: %v != %v", i, back.Triples()[i], tr)
+		}
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	g := NewGraph()
+	g.AddIRI("http://x/a", "http://x/p", "http://x/b")
+	var sb strings.Builder
+	n, err := g.WriteTo(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != len(sb.String()) {
+		t.Fatalf("WriteTo count = %d, len = %d", n, len(sb.String()))
+	}
+	if !strings.HasSuffix(sb.String(), " .\n") {
+		t.Fatalf("bad serialization: %q", sb.String())
+	}
+}
+
+// Property: any literal value round-trips through escape → parse.
+func TestLiteralRoundTripProperty(t *testing.T) {
+	f := func(value string) bool {
+		// N-Triples as implemented is byte-oriented; skip non-UTF8 noise
+		// control chars other than the escaped set.
+		for _, r := range value {
+			if r < 0x20 && r != '\n' && r != '\t' && r != '\r' {
+				return true
+			}
+		}
+		g := NewGraph()
+		g.Add(Triple{NewIRI("http://x/s"), NewIRI("http://x/p"), NewLiteral(value)})
+		back, err := ParseString(g.Marshal())
+		if err != nil {
+			return false
+		}
+		return back.Len() == 1 && back.Triples()[0].Object.Value == value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,300 @@
+package rdf
+
+// RDF/XML subset support. FOAF documents of the paper's era (§4: "FOAF
+// defines machine-readable homepages based upon RDF") were published in
+// RDF/XML; this file implements the subset those documents need:
+//
+//   - an <rdf:RDF> root with <rdf:Description rdf:about="..."> nodes
+//     (typed node elements like <foaf:Person rdf:about="..."> are
+//     understood on input and expand to an rdf:type triple),
+//   - property elements with rdf:resource (IRI objects), rdf:nodeID
+//     (blank objects), rdf:datatype, xml:lang, or text content,
+//   - rdf:nodeID on subjects for labeled blank nodes.
+//
+// Not supported (rejected): rdf:parseType, nested (anonymous) node
+// elements, containers (rdf:Seq etc.), reification attributes, xml:base
+// and relative IRIs.
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+const (
+	rdfNS       = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	xmlLangAttr = "lang"
+)
+
+// MarshalRDFXML renders the graph as RDF/XML. Every predicate IRI must
+// split into a namespace and a valid XML local name (true for all
+// vocabularies this system emits); otherwise an error is returned.
+func (g *Graph) MarshalRDFXML() (string, error) {
+	// Assign a prefix to every predicate namespace (and rdf:).
+	nsPrefix := map[string]string{rdfNS: "rdf"}
+	prefixUsed := map[string]bool{"rdf": true}
+	nextAuto := 1
+	assign := func(ns string) string {
+		if p, ok := nsPrefix[ns]; ok {
+			return p
+		}
+		for p, known := range CommonPrefixes {
+			if known == ns && !prefixUsed[p] {
+				nsPrefix[ns] = p
+				prefixUsed[p] = true
+				return p
+			}
+		}
+		p := fmt.Sprintf("ns%d", nextAuto)
+		nextAuto++
+		nsPrefix[ns] = p
+		prefixUsed[p] = true
+		return p
+	}
+
+	type propLine struct{ qname, body string }
+	type subjBlock struct {
+		attr  string // rdf:about or rdf:nodeID attribute
+		props []propLine
+	}
+	var order []Term
+	blocks := map[Term]*subjBlock{}
+
+	for _, tr := range g.triples {
+		ns, local, err := splitIRI(tr.Predicate.Value)
+		if err != nil {
+			return "", err
+		}
+		qname := assign(ns) + ":" + local
+
+		blk, ok := blocks[tr.Subject]
+		if !ok {
+			var attr string
+			switch tr.Subject.Kind {
+			case IRI:
+				attr = fmt.Sprintf("rdf:about=%q", tr.Subject.Value)
+			case Blank:
+				attr = fmt.Sprintf("rdf:nodeID=%q", tr.Subject.Value)
+			default:
+				return "", fmt.Errorf("rdf: literal subject cannot serialize")
+			}
+			blk = &subjBlock{attr: attr}
+			blocks[tr.Subject] = blk
+			order = append(order, tr.Subject)
+		}
+
+		var body string
+		switch tr.Object.Kind {
+		case IRI:
+			body = fmt.Sprintf("<%s rdf:resource=%q/>", qname, tr.Object.Value)
+		case Blank:
+			body = fmt.Sprintf("<%s rdf:nodeID=%q/>", qname, tr.Object.Value)
+		default:
+			attrs := ""
+			if tr.Object.Lang != "" {
+				attrs = fmt.Sprintf(" xml:lang=%q", tr.Object.Lang)
+			} else if tr.Object.Datatype != "" {
+				attrs = fmt.Sprintf(" rdf:datatype=%q", tr.Object.Datatype)
+			}
+			body = fmt.Sprintf("<%s%s>%s</%s>", qname, attrs, xmlEscape(tr.Object.Value), qname)
+		}
+		blk.props = append(blk.props, propLine{qname: qname, body: body})
+	}
+
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	b.WriteString("<rdf:RDF")
+	nss := make([]string, 0, len(nsPrefix))
+	for ns := range nsPrefix {
+		nss = append(nss, ns)
+	}
+	sort.Slice(nss, func(i, j int) bool { return nsPrefix[nss[i]] < nsPrefix[nss[j]] })
+	for _, ns := range nss {
+		fmt.Fprintf(&b, "\n  xmlns:%s=%q", nsPrefix[ns], ns)
+	}
+	b.WriteString(">\n")
+	for _, s := range order {
+		blk := blocks[s]
+		fmt.Fprintf(&b, "  <rdf:Description %s>\n", blk.attr)
+		for _, p := range blk.props {
+			b.WriteString("    ")
+			b.WriteString(p.body)
+			b.WriteByte('\n')
+		}
+		b.WriteString("  </rdf:Description>\n")
+	}
+	b.WriteString("</rdf:RDF>\n")
+	return b.String(), nil
+}
+
+// splitIRI splits a predicate IRI into namespace + XML-safe local name at
+// the last '#' or '/'.
+func splitIRI(iri string) (ns, local string, err error) {
+	cut := strings.LastIndexAny(iri, "#/")
+	if cut < 0 || cut == len(iri)-1 {
+		return "", "", fmt.Errorf("rdf: predicate %q has no namespace/local split", iri)
+	}
+	ns, local = iri[:cut+1], iri[cut+1:]
+	for i := 0; i < len(local); i++ {
+		c := local[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			(i > 0 && (c >= '0' && c <= '9' || c == '-' || c == '.'))
+		if !ok {
+			return "", "", fmt.Errorf("rdf: predicate local name %q is not XML-safe", local)
+		}
+	}
+	return ns, local, nil
+}
+
+// xmlEscape escapes literal text content.
+func xmlEscape(s string) string {
+	var b strings.Builder
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		return s
+	}
+	return b.String()
+}
+
+// ParseRDFXML parses the RDF/XML subset into a new graph.
+func ParseRDFXML(doc string) (*Graph, error) {
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	g := NewGraph()
+
+	// Find the rdf:RDF root.
+	var root xml.StartElement
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("rdf: rdfxml: %w", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			root = se
+			break
+		}
+	}
+	if root.Name.Space != rdfNS || root.Name.Local != "RDF" {
+		return nil, fmt.Errorf("%w: root element is %s:%s, want rdf:RDF",
+			ErrSyntax, root.Name.Space, root.Name.Local)
+	}
+
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("rdf: rdfxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if err := parseNodeElement(dec, g, t); err != nil {
+				return nil, err
+			}
+		case xml.EndElement:
+			if t.Name == root.Name {
+				return g, nil
+			}
+		}
+	}
+}
+
+// rdfAttr finds an rdf:-namespace attribute.
+func rdfAttr(se xml.StartElement, local string) (string, bool) {
+	for _, a := range se.Attr {
+		if a.Name.Space == rdfNS && a.Name.Local == local {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// parseNodeElement handles one rdf:Description (or typed node element).
+func parseNodeElement(dec *xml.Decoder, g *Graph, se xml.StartElement) error {
+	var subject Term
+	if about, ok := rdfAttr(se, "about"); ok {
+		subject = NewIRI(about)
+	} else if nodeID, ok := rdfAttr(se, "nodeID"); ok {
+		subject = NewBlank(nodeID)
+	} else {
+		return fmt.Errorf("%w: node element without rdf:about or rdf:nodeID", ErrSyntax)
+	}
+	// Typed node element: <foaf:Person rdf:about="..."> asserts rdf:type.
+	if !(se.Name.Space == rdfNS && se.Name.Local == "Description") {
+		g.Add(Triple{subject, NewIRI(rdfNS + "type"), NewIRI(se.Name.Space + se.Name.Local)})
+	}
+
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("rdf: rdfxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if err := parsePropertyElement(dec, g, subject, t); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			if t.Name == se.Name {
+				return nil
+			}
+		}
+	}
+}
+
+// parsePropertyElement handles one predicate inside a node element.
+func parsePropertyElement(dec *xml.Decoder, g *Graph, subject Term, se xml.StartElement) error {
+	predicate := NewIRI(se.Name.Space + se.Name.Local)
+	if se.Name.Space == "" {
+		return fmt.Errorf("%w: property element %q without namespace", ErrSyntax, se.Name.Local)
+	}
+	if _, ok := rdfAttr(se, "parseType"); ok {
+		return fmt.Errorf("%w: rdf:parseType is not supported", ErrSyntax)
+	}
+
+	var object Term
+	haveObject := false
+	if res, ok := rdfAttr(se, "resource"); ok {
+		object = NewIRI(res)
+		haveObject = true
+	} else if nodeID, ok := rdfAttr(se, "nodeID"); ok {
+		object = NewBlank(nodeID)
+		haveObject = true
+	}
+
+	var datatype, lang string
+	if dt, ok := rdfAttr(se, "datatype"); ok {
+		datatype = dt
+	}
+	for _, a := range se.Attr {
+		// encoding/xml reports the xml: prefix either literally or as the
+		// canonical XML namespace, depending on declaration context.
+		if a.Name.Local == xmlLangAttr &&
+			(a.Name.Space == "xml" || a.Name.Space == "http://www.w3.org/XML/1998/namespace") {
+			lang = a.Value
+		}
+	}
+
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("rdf: rdfxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			text.Write(t)
+		case xml.StartElement:
+			return fmt.Errorf("%w: nested node elements are not supported (property %s)",
+				ErrSyntax, se.Name.Local)
+		case xml.EndElement:
+			if t.Name != se.Name {
+				return fmt.Errorf("%w: unbalanced element %s", ErrSyntax, t.Name.Local)
+			}
+			if !haveObject {
+				object = Term{Kind: Literal, Value: text.String(), Datatype: datatype, Lang: lang}
+			} else if strings.TrimSpace(text.String()) != "" {
+				return fmt.Errorf("%w: property with both resource and text content", ErrSyntax)
+			}
+			g.Add(Triple{subject, predicate, object})
+			return nil
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRDFXMLShape(t *testing.T) {
+	g := NewGraph()
+	g.AddIRI("http://x/alice", rdfTypeIRI, "http://xmlns.com/foaf/0.1/Person")
+	g.Add(Triple{NewIRI("http://x/alice"), NewIRI("http://xmlns.com/foaf/0.1/name"), NewLiteral("Alice <3")})
+	g.Add(Triple{NewIRI("http://x/alice"), NewIRI("http://swrec.org/ont/trust#trusts"), NewBlank("t0")})
+	g.Add(Triple{NewBlank("t0"), NewIRI("http://swrec.org/ont/trust#value"),
+		NewTypedLiteral("0.9", XSDDecimal)})
+
+	out, err := g.MarshalRDFXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`<rdf:RDF`,
+		`xmlns:foaf="http://xmlns.com/foaf/0.1/"`,
+		`rdf:about="http://x/alice"`,
+		`<foaf:name>Alice &lt;3</foaf:name>`,
+		`rdf:nodeID="t0"`,
+		`rdf:datatype="` + XSDDecimal + `"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRDFXMLRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.AddIRI("http://x/alice", rdfTypeIRI, "http://xmlns.com/foaf/0.1/Person")
+	g.Add(Triple{NewIRI("http://x/alice"), NewIRI("http://xmlns.com/foaf/0.1/name"),
+		NewLiteral("Alice & \"co\" <tag>")})
+	g.Add(Triple{NewIRI("http://x/alice"), NewIRI("http://xmlns.com/foaf/0.1/knows"), NewIRI("http://x/bob")})
+	g.Add(Triple{NewIRI("http://x/alice"), NewIRI("http://swrec.org/ont/trust#trusts"), NewBlank("t0")})
+	g.Add(Triple{NewBlank("t0"), NewIRI("http://swrec.org/ont/trust#value"),
+		NewTypedLiteral("-0.5", XSDDecimal)})
+	g.Add(Triple{NewIRI("http://x/alice"), NewIRI("http://x/ns#motto"), NewLangLiteral("ciao", "it")})
+
+	out, err := g.MarshalRDFXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseRDFXML(out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if back.Len() != g.Len() {
+		t.Fatalf("round trip Len = %d, want %d\n%s", back.Len(), g.Len(), out)
+	}
+	want := map[Triple]bool{}
+	for _, tr := range g.Triples() {
+		want[tr] = true
+	}
+	for _, tr := range back.Triples() {
+		if !want[tr] {
+			t.Fatalf("unexpected triple: %v", tr)
+		}
+	}
+}
+
+func TestParseRDFXMLTypedNodeElement(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:foaf="http://xmlns.com/foaf/0.1/">
+  <foaf:Person rdf:about="http://x/alice">
+    <foaf:name>Alice</foaf:name>
+  </foaf:Person>
+</rdf:RDF>`
+	g, err := ParseRDFXML(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := g.Objects("http://x/alice", rdfTypeIRI)
+	if len(types) != 1 || types[0].Value != "http://xmlns.com/foaf/0.1/Person" {
+		t.Fatalf("typed node element: %v", types)
+	}
+	if names := g.Objects("http://x/alice", "http://xmlns.com/foaf/0.1/name"); len(names) != 1 {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestParseRDFXMLErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<notrdf/>`,
+		`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+			<rdf:Description><x:p xmlns:x="http://x/">v</x:p></rdf:Description></rdf:RDF>`, // no about/nodeID
+		`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:x="http://x/">
+			<rdf:Description rdf:about="http://x/a">
+			<x:p rdf:parseType="Literal">v</x:p></rdf:Description></rdf:RDF>`, // parseType
+		`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:x="http://x/">
+			<rdf:Description rdf:about="http://x/a">
+			<x:p><x:nested rdf:about="http://x/b"/></x:p></rdf:Description></rdf:RDF>`, // nesting
+		`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:x="http://x/">
+			<rdf:Description rdf:about="http://x/a">
+			<x:p rdf:resource="http://x/b">text too</x:p></rdf:Description></rdf:RDF>`, // both
+		`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+			<rdf:Description rdf:about="http://x/a"><p>v</p></rdf:Description></rdf:RDF>`, // no ns
+	}
+	for i, doc := range bad {
+		if _, err := ParseRDFXML(doc); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMarshalRDFXMLRejectsUnsplittablePredicate(t *testing.T) {
+	g := NewGraph()
+	g.AddIRI("http://x/a", "predicate-without-separator", "http://x/b")
+	if _, err := g.MarshalRDFXML(); err == nil {
+		t.Fatal("unsplittable predicate accepted")
+	}
+	g2 := NewGraph()
+	g2.AddIRI("http://x/a", "http://x/ns#bad local", "http://x/b")
+	if _, err := g2.MarshalRDFXML(); err == nil {
+		t.Fatal("XML-unsafe local name accepted")
+	}
+}
+
+// xmlRepresentable reports whether every rune of s survives an XML 1.0
+// round trip: the XML Char production (minus '\r', which XML parsers
+// normalize to '\n' per the spec, and minus U+FFFD, which Go's escaper
+// also uses as the replacement for invalid characters).
+func xmlRepresentable(s string) bool {
+	for _, r := range s {
+		switch {
+		case r == '\t' || r == '\n':
+		case r >= 0x20 && r <= 0xD7FF:
+		case r >= 0xE000 && r < 0xFFFD:
+		case r >= 0x10000 && r <= 0x10FFFF:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Property: FOAF-shaped graphs with XML-representable literals survive
+// the RDF/XML round trip.
+func TestRDFXMLRoundTripProperty(t *testing.T) {
+	f := func(names []string) bool {
+		g := NewGraph()
+		for i, n := range names {
+			if !xmlRepresentable(n) {
+				continue
+			}
+			subj := NewIRI("http://x/s" + itoa(i))
+			g.Add(Triple{subj, NewIRI("http://xmlns.com/foaf/0.1/name"), NewLiteral(n)})
+			g.Add(Triple{subj, NewIRI("http://xmlns.com/foaf/0.1/knows"), NewIRI("http://x/s" + itoa(i+1))})
+		}
+		out, err := g.MarshalRDFXML()
+		if err != nil {
+			return g.Len() == 0
+		}
+		back, err := ParseRDFXML(out)
+		if err != nil || back.Len() != g.Len() {
+			return false
+		}
+		want := map[Triple]bool{}
+		for _, tr := range g.Triples() {
+			want[tr] = true
+		}
+		for _, tr := range back.Triples() {
+			if !want[tr] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

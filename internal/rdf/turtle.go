@@ -1,0 +1,481 @@
+package rdf
+
+// Turtle subset support. N-Triples is the wire baseline every §4-era
+// toolchain handles, but real FOAF homepages of the period were typically
+// published in the more compact Turtle/N3 family. This file implements
+// the subset needed for such documents:
+//
+//   - @prefix declarations and prefixed names (foaf:knows),
+//   - the 'a' keyword for rdf:type,
+//   - predicate lists (';') and object lists (','),
+//   - the same literal forms as the N-Triples code (plain, @lang, ^^type),
+//   - labeled blank nodes (_:b1) and comments.
+//
+// Not supported (rejected with ErrSyntax): anonymous blank nodes [...],
+// collections (...), @base/relative IRIs, and multiline (""") literals.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CommonPrefixes are the namespace abbreviations used when serializing
+// documents of this system; MarshalTurtle only emits the ones a document
+// actually uses.
+var CommonPrefixes = map[string]string{
+	"rdf":  "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+	"xsd":  "http://www.w3.org/2001/XMLSchema#",
+	"foaf": "http://xmlns.com/foaf/0.1/",
+	"dc":   "http://purl.org/dc/elements/1.1/",
+	"swt":  "http://swrec.org/ont/trust#",
+	"swc":  "http://swrec.org/ont/catalog#",
+}
+
+const rdfTypeIRI = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+// MarshalTurtle renders the graph as Turtle, grouping triples by subject
+// (first-appearance order) and abbreviating IRIs with CommonPrefixes.
+func (g *Graph) MarshalTurtle() string {
+	// Determine which prefixes the document uses.
+	used := map[string]bool{}
+	shorten := func(iri string) (string, bool) {
+		for p, ns := range CommonPrefixes {
+			if rest, ok := strings.CutPrefix(iri, ns); ok && isLocalName(rest) {
+				used[p] = true
+				return p + ":" + rest, true
+			}
+		}
+		return "", false
+	}
+	term := func(t Term, isPredicate bool) string {
+		switch t.Kind {
+		case IRI:
+			if isPredicate && t.Value == rdfTypeIRI {
+				return "a"
+			}
+			if s, ok := shorten(t.Value); ok {
+				return s
+			}
+			return "<" + t.Value + ">"
+		case Blank:
+			return "_:" + t.Value
+		default:
+			s := `"` + escapeLiteral(t.Value) + `"`
+			if t.Lang != "" {
+				return s + "@" + t.Lang
+			}
+			if t.Datatype != "" {
+				if short, ok := shorten(t.Datatype); ok {
+					return s + "^^" + short
+				}
+				return s + "^^<" + t.Datatype + ">"
+			}
+			return s
+		}
+	}
+
+	// Group by subject, preserving first-appearance order; within a
+	// subject, group by predicate preserving order.
+	type pred struct {
+		p       string
+		objects []string
+	}
+	type subj struct {
+		s     string
+		preds []pred
+		index map[string]int
+	}
+	var subjects []*subj
+	bySubj := map[Term]*subj{}
+	var body strings.Builder
+	for _, tr := range g.triples {
+		su, ok := bySubj[tr.Subject]
+		if !ok {
+			su = &subj{s: term(tr.Subject, false), index: map[string]int{}}
+			bySubj[tr.Subject] = su
+			subjects = append(subjects, su)
+		}
+		p := term(tr.Predicate, true)
+		i, ok := su.index[p]
+		if !ok {
+			i = len(su.preds)
+			su.index[p] = i
+			su.preds = append(su.preds, pred{p: p})
+		}
+		su.preds[i].objects = append(su.preds[i].objects, term(tr.Object, false))
+	}
+	for _, su := range subjects {
+		body.WriteString(su.s)
+		for i, pr := range su.preds {
+			if i > 0 {
+				body.WriteString(" ;\n   ")
+			}
+			body.WriteByte(' ')
+			body.WriteString(pr.p)
+			body.WriteByte(' ')
+			body.WriteString(strings.Join(pr.objects, ", "))
+		}
+		body.WriteString(" .\n")
+	}
+
+	var head strings.Builder
+	prefixes := make([]string, 0, len(used))
+	for p := range used {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	for _, p := range prefixes {
+		fmt.Fprintf(&head, "@prefix %s: <%s> .\n", p, CommonPrefixes[p])
+	}
+	if head.Len() > 0 {
+		head.WriteByte('\n')
+	}
+	return head.String() + body.String()
+}
+
+// isLocalName reports whether rest can stand after "prefix:" unescaped.
+func isLocalName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseDocument parses a document in any supported syntax: RDF/XML when
+// it looks like XML, otherwise N-Triples (the wire baseline) with a
+// Turtle fallback. Crawled Semantic Web documents do not reliably carry
+// correct media types, so detection is by content rather than by label.
+func ParseDocument(doc string) (*Graph, error) {
+	if looksLikeXML(doc) {
+		return ParseRDFXML(doc)
+	}
+	g, ntErr := ParseString(doc)
+	if ntErr == nil {
+		return g, nil
+	}
+	g, ttlErr := ParseTurtle(doc)
+	if ttlErr == nil {
+		return g, nil
+	}
+	return nil, fmt.Errorf("rdf: not N-Triples (%v) nor Turtle (%v)", ntErr, ttlErr)
+}
+
+// looksLikeXML reports whether the document opens with an XML
+// declaration or an rdf:RDF-ish root.
+func looksLikeXML(doc string) bool {
+	s := strings.TrimLeft(doc, " \t\r\n")
+	return strings.HasPrefix(s, "<?xml") || strings.HasPrefix(s, "<rdf:RDF")
+}
+
+// ParseTurtle parses a Turtle-subset document into a new graph.
+func ParseTurtle(doc string) (*Graph, error) {
+	p := &turtleParser{s: doc, line: 1, prefixes: map[string]string{}}
+	g := NewGraph()
+	for {
+		p.skipWS()
+		if p.done() {
+			return g, nil
+		}
+		if p.hasKeyword("@prefix") {
+			if err := p.prefixDecl(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := p.triples(g); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// turtleParser is a recursive-descent parser over the whole document.
+type turtleParser struct {
+	s        string
+	i        int
+	line     int
+	prefixes map[string]string
+}
+
+func (p *turtleParser) done() bool { return p.i >= len(p.s) }
+
+func (p *turtleParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("turtle line %d: %w: %s", p.line, ErrSyntax, fmt.Sprintf(format, args...))
+}
+
+// skipWS consumes whitespace and comments, tracking line numbers.
+func (p *turtleParser) skipWS() {
+	for !p.done() {
+		c := p.s[p.i]
+		switch {
+		case c == '\n':
+			p.line++
+			p.i++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.i++
+		case c == '#':
+			for !p.done() && p.s[p.i] != '\n' {
+				p.i++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *turtleParser) peek() byte {
+	if p.done() {
+		return 0
+	}
+	return p.s[p.i]
+}
+
+func (p *turtleParser) eat(c byte) bool {
+	if p.peek() == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// hasKeyword checks (without consuming) for a keyword at the cursor.
+func (p *turtleParser) hasKeyword(kw string) bool {
+	return strings.HasPrefix(p.s[p.i:], kw)
+}
+
+// prefixDecl parses "@prefix name: <iri> ." (the cursor sits at '@').
+func (p *turtleParser) prefixDecl() error {
+	p.i += len("@prefix")
+	p.skipWS()
+	start := p.i
+	for !p.done() && p.s[p.i] != ':' {
+		p.i++
+	}
+	if p.done() {
+		return p.errf("unterminated @prefix name")
+	}
+	name := strings.TrimSpace(p.s[start:p.i])
+	p.i++ // ':'
+	p.skipWS()
+	if !p.eat('<') {
+		return p.errf("@prefix needs an IRI")
+	}
+	iriStart := p.i
+	for !p.done() && p.s[p.i] != '>' {
+		p.i++
+	}
+	if p.done() {
+		return p.errf("unterminated @prefix IRI")
+	}
+	iri := p.s[iriStart:p.i]
+	p.i++ // '>'
+	p.skipWS()
+	if !p.eat('.') {
+		return p.errf("@prefix must end with '.'")
+	}
+	p.prefixes[name] = iri
+	return nil
+}
+
+// triples parses one "subject predicateObjectList ." statement.
+func (p *turtleParser) triples(g *Graph) error {
+	subject, err := p.term(false)
+	if err != nil {
+		return err
+	}
+	if subject.Kind == Literal {
+		return p.errf("literal subject")
+	}
+	for {
+		p.skipWS()
+		predicate, err := p.predicate()
+		if err != nil {
+			return err
+		}
+		for {
+			p.skipWS()
+			object, err := p.term(false)
+			if err != nil {
+				return err
+			}
+			g.Add(Triple{subject, predicate, object})
+			p.skipWS()
+			if !p.eat(',') {
+				break
+			}
+		}
+		if p.eat(';') {
+			p.skipWS()
+			// Turtle allows a trailing ';' before '.'.
+			if p.peek() == '.' {
+				p.i++
+				return nil
+			}
+			continue
+		}
+		if p.eat('.') {
+			return nil
+		}
+		return p.errf("expected ';', ',' or '.', got %q", string(p.peek()))
+	}
+}
+
+// predicate parses a verb: 'a' or an IRI/prefixed name.
+func (p *turtleParser) predicate() (Term, error) {
+	if p.hasKeyword("a") && p.i+1 < len(p.s) && isWS(p.s[p.i+1]) {
+		p.i++
+		return NewIRI(rdfTypeIRI), nil
+	}
+	t, err := p.term(true)
+	if err != nil {
+		return Term{}, err
+	}
+	if t.Kind != IRI {
+		return Term{}, p.errf("predicate must be an IRI")
+	}
+	return t, nil
+}
+
+func isWS(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// term parses an IRI, prefixed name, blank node, or literal.
+func (p *turtleParser) term(asPredicate bool) (Term, error) {
+	p.skipWS()
+	switch {
+	case p.done():
+		return Term{}, p.errf("unexpected end of document")
+
+	case p.eat('<'):
+		start := p.i
+		for !p.done() && p.s[p.i] != '>' {
+			p.i++
+		}
+		if p.done() {
+			return Term{}, p.errf("unterminated IRI")
+		}
+		iri := p.s[start:p.i]
+		p.i++
+		if iri == "" {
+			return Term{}, p.errf("empty IRI")
+		}
+		return NewIRI(iri), nil
+
+	case strings.HasPrefix(p.s[p.i:], "_:"):
+		p.i += 2
+		start := p.i
+		for !p.done() && !isWS(p.s[p.i]) && !strings.ContainsRune(".,;", rune(p.s[p.i])) {
+			p.i++
+		}
+		label := p.s[start:p.i]
+		if label == "" {
+			return Term{}, p.errf("empty blank node label")
+		}
+		return NewBlank(label), nil
+
+	case p.peek() == '"':
+		return p.literal()
+
+	case p.peek() == '[' || p.peek() == '(':
+		return Term{}, p.errf("anonymous blank nodes and collections are not supported")
+
+	default:
+		// Prefixed name: prefix:local.
+		start := p.i
+		for !p.done() && p.s[p.i] != ':' && !isWS(p.s[p.i]) {
+			p.i++
+		}
+		if p.done() || p.s[p.i] != ':' {
+			return Term{}, p.errf("expected a term, got %q", p.s[start:p.i])
+		}
+		prefix := p.s[start:p.i]
+		p.i++ // ':'
+		localStart := p.i
+		for !p.done() && !isWS(p.s[p.i]) && !strings.ContainsRune(",;", rune(p.s[p.i])) {
+			// '.' ends a local name only when followed by whitespace/EOF
+			// (Turtle's statement terminator), since local names of this
+			// subset never contain dots anyway.
+			if p.s[p.i] == '.' {
+				break
+			}
+			p.i++
+		}
+		local := p.s[localStart:p.i]
+		ns, ok := p.prefixes[prefix]
+		if !ok {
+			return Term{}, p.errf("undeclared prefix %q", prefix)
+		}
+		return NewIRI(ns + local), nil
+	}
+}
+
+// literal parses "..." with optional @lang or ^^datatype.
+func (p *turtleParser) literal() (Term, error) {
+	p.i++ // opening quote
+	var b strings.Builder
+	for {
+		if p.done() {
+			return Term{}, p.errf("unterminated literal")
+		}
+		c := p.s[p.i]
+		p.i++
+		if c == '"' {
+			break
+		}
+		if c == '\n' {
+			return Term{}, p.errf("newline in single-quoted literal")
+		}
+		if c == '\\' {
+			if p.done() {
+				return Term{}, p.errf("dangling escape")
+			}
+			e := p.s[p.i]
+			p.i++
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"', '\\':
+				b.WriteByte(e)
+			default:
+				return Term{}, p.errf("bad escape \\%c", e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	t := NewLiteral(b.String())
+	switch {
+	case p.eat('@'):
+		start := p.i
+		for !p.done() && !isWS(p.s[p.i]) && !strings.ContainsRune(".,;", rune(p.s[p.i])) {
+			p.i++
+		}
+		t.Lang = p.s[start:p.i]
+		if t.Lang == "" {
+			return Term{}, p.errf("empty language tag")
+		}
+	case strings.HasPrefix(p.s[p.i:], "^^"):
+		p.i += 2
+		dt, err := p.term(false)
+		if err != nil {
+			return Term{}, err
+		}
+		if dt.Kind != IRI {
+			return Term{}, p.errf("datatype must be an IRI")
+		}
+		t.Datatype = dt.Value
+	}
+	return t, nil
+}

@@ -1,0 +1,189 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTurtleBasics(t *testing.T) {
+	doc := `
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix swt: <http://swrec.org/ont/trust#> .
+
+# Alice's homepage
+<http://x/alice> a foaf:Person ;
+   foaf:name "Alice" ;
+   foaf:knows <http://x/bob>, <http://x/carol> .
+_:t0 swt:value "0.9"^^<http://www.w3.org/2001/XMLSchema#decimal> .
+<http://x/bob> foaf:name "Bob"@en .
+`
+	g, err := ParseTurtle(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", g.Len())
+	}
+	// 'a' expands to rdf:type.
+	types := g.Objects("http://x/alice", rdfTypeIRI)
+	if len(types) != 1 || types[0].Value != "http://xmlns.com/foaf/0.1/Person" {
+		t.Fatalf("a-keyword expansion = %v", types)
+	}
+	// Object list split into two triples.
+	knows := g.Objects("http://x/alice", "http://xmlns.com/foaf/0.1/knows")
+	if len(knows) != 2 {
+		t.Fatalf("knows = %v", knows)
+	}
+	// Typed and lang literals.
+	vals := g.Objects("http://x/bob", "http://xmlns.com/foaf/0.1/name")
+	if len(vals) != 1 || vals[0].Lang != "en" {
+		t.Fatalf("lang literal = %v", vals)
+	}
+	b := NewBlank("t0")
+	if got := g.Match(&b, nil, nil); len(got) != 1 || got[0].Object.Datatype != XSDDecimal {
+		t.Fatalf("typed literal on bnode = %v", got)
+	}
+}
+
+func TestParseTurtleErrors(t *testing.T) {
+	bad := []string{
+		`foo:x foo:p foo:o .`,                            // undeclared prefix
+		`@prefix x: <http://x/> `,                        // missing dot
+		`@prefix x: nope .`,                              // prefix without IRI
+		`<http://x/a> <http://x/p> "unterminated .`,      // literal
+		`<http://x/a> <http://x/p> <http://x/o>`,         // missing dot
+		`"lit" <http://x/p> <http://x/o> .`,              // literal subject
+		`<http://x/a> "lit" <http://x/o> .`,              // literal predicate
+		`<http://x/a> <http://x/p> [ <http://x/q> 1 ] .`, // anon bnode
+		`<http://x/a> <http://x/p> "v"@ .`,               // empty lang
+		`<http://x/a> <http://x/p> "v"^^"notiri" .`,      // literal datatype
+		`<http://x/a> <http://x/p> "bad\q" .`,            // bad escape
+		`<http://x/a> <http://x/p> "two
+lines" .`, // newline in literal
+	}
+	for _, doc := range bad {
+		if _, err := ParseTurtle(doc); err == nil {
+			t.Errorf("accepted malformed turtle: %s", doc)
+		}
+	}
+}
+
+func TestParseTurtleErrorCarriesLine(t *testing.T) {
+	doc := "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n\n<http://x/a> foaf:name junkterm .\n"
+	_, err := ParseTurtle(doc)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error should carry line 3: %v", err)
+	}
+}
+
+func TestMarshalTurtleShape(t *testing.T) {
+	g := NewGraph()
+	g.AddIRI("http://x/alice", rdfTypeIRI, "http://xmlns.com/foaf/0.1/Person")
+	g.Add(Triple{NewIRI("http://x/alice"), NewIRI("http://xmlns.com/foaf/0.1/name"), NewLiteral("Alice")})
+	g.AddIRI("http://x/alice", "http://xmlns.com/foaf/0.1/knows", "http://x/bob")
+	g.AddIRI("http://x/alice", "http://xmlns.com/foaf/0.1/knows", "http://x/carol")
+
+	out := g.MarshalTurtle()
+	if !strings.Contains(out, "@prefix foaf: <http://xmlns.com/foaf/0.1/> .") {
+		t.Fatalf("missing foaf prefix:\n%s", out)
+	}
+	if strings.Contains(out, "@prefix swt:") {
+		t.Fatal("unused prefix emitted")
+	}
+	if !strings.Contains(out, " a foaf:Person") {
+		t.Fatalf("rdf:type not abbreviated to 'a':\n%s", out)
+	}
+	if !strings.Contains(out, "<http://x/bob>, <http://x/carol>") {
+		t.Fatalf("object list not comma-grouped:\n%s", out)
+	}
+	// One subject block, semicolon-joined.
+	if strings.Count(out, "<http://x/alice>") != 1 {
+		t.Fatalf("subject repeated:\n%s", out)
+	}
+}
+
+func TestTurtleRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.AddIRI("http://x/alice", rdfTypeIRI, "http://xmlns.com/foaf/0.1/Person")
+	g.Add(Triple{NewIRI("http://x/alice"), NewIRI("http://xmlns.com/foaf/0.1/name"),
+		NewLiteral(`weird "quoted" \ value` + "\twith\ttabs")})
+	g.Add(Triple{NewIRI("http://x/alice"), NewIRI("http://swrec.org/ont/trust#trusts"), NewBlank("t0")})
+	g.Add(Triple{NewBlank("t0"), NewIRI("http://swrec.org/ont/trust#value"),
+		NewTypedLiteral("-0.25", XSDDecimal)})
+	g.Add(Triple{NewIRI("http://x/alice"), NewIRI("http://x/motto"), NewLangLiteral("salut", "fr")})
+
+	back, err := ParseTurtle(g.MarshalTurtle())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, g.MarshalTurtle())
+	}
+	if back.Len() != g.Len() {
+		t.Fatalf("round trip Len = %d, want %d\n%s", back.Len(), g.Len(), g.MarshalTurtle())
+	}
+	want := map[Triple]bool{}
+	for _, tr := range g.Triples() {
+		want[tr] = true
+	}
+	for _, tr := range back.Triples() {
+		if !want[tr] {
+			t.Fatalf("unexpected triple after round trip: %v", tr)
+		}
+	}
+}
+
+// Property: Turtle round-trips arbitrary FOAF-shaped graphs (the triple
+// set is preserved; order within subject groups may change).
+func TestTurtleRoundTripProperty(t *testing.T) {
+	f := func(names []string, values []int8) bool {
+		g := NewGraph()
+		for i, n := range names {
+			if i >= len(values) {
+				break
+			}
+			// Subject IRIs are synthetic; only literals carry fuzz.
+			subj := NewIRI("http://x/s" + itoa(i))
+			g.Add(Triple{subj, NewIRI("http://xmlns.com/foaf/0.1/name"), NewLiteral(n)})
+			g.Add(Triple{subj, NewIRI("http://swrec.org/ont/trust#value"),
+				NewTypedLiteral(itoa(int(values[i])), XSDDecimal)})
+		}
+		back, err := ParseTurtle(g.MarshalTurtle())
+		if err != nil {
+			return false
+		}
+		if back.Len() != g.Len() {
+			return false
+		}
+		want := map[Triple]bool{}
+		for _, tr := range g.Triples() {
+			want[tr] = true
+		}
+		for _, tr := range back.Triples() {
+			if !want[tr] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}

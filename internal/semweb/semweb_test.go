@@ -1,0 +1,348 @@
+package semweb
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"swrec/internal/foaf"
+	"swrec/internal/model"
+	"swrec/internal/rdf"
+	"swrec/internal/taxonomy"
+)
+
+func testSite(t *testing.T) *Site {
+	t.Helper()
+	tax := taxonomy.Fig1()
+	c := model.NewCommunity(tax)
+	fic, _ := tax.Lookup("Books/Fiction")
+	c.AddProduct(model.Product{ID: "urn:isbn:9780553380958", Title: "Snow Crash",
+		Topics: []taxonomy.Topic{fic}})
+	s := NewSite("swrec.example", c)
+	alice, bob := s.AgentURL("alice"), s.AgentURL("bob")
+	if err := c.SetTrust(alice, bob, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRating(alice, "urn:isbn:9780553380958", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Agent(alice).Name = "Alice"
+	return s
+}
+
+func get(t *testing.T, client *http.Client, url string) (int, string) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestSiteServesHomepage(t *testing.T) {
+	s := testSite(t)
+	var in Internet
+	in.RegisterSite(s)
+	client := in.Client()
+
+	code, body := get(t, client, string(s.AgentURL("alice")))
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	g, err := rdf.ParseString(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := foaf.Unmarshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != "Alice" || len(h.Trust) != 1 || len(h.Ratings) != 1 {
+		t.Fatalf("homepage = %+v", h)
+	}
+	if h.Trust[0].Dst != s.AgentURL("bob") {
+		t.Fatalf("trust target = %s", h.Trust[0].Dst)
+	}
+}
+
+func TestSiteServesGlobals(t *testing.T) {
+	s := testSite(t)
+	var in Internet
+	in.RegisterSite(s)
+	client := in.Client()
+
+	code, body := get(t, client, s.TaxonomyURL())
+	if code != http.StatusOK {
+		t.Fatalf("taxonomy status = %d", code)
+	}
+	g, err := rdf.ParseString(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tax, err := foaf.UnmarshalTaxonomy(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tax.Len() != taxonomy.Fig1().Len() {
+		t.Fatalf("taxonomy Len = %d", tax.Len())
+	}
+
+	code, body = get(t, client, s.CatalogURL())
+	if code != http.StatusOK {
+		t.Fatalf("catalog status = %d", code)
+	}
+	if !strings.Contains(body, "Snow Crash") {
+		t.Fatal("catalog missing product")
+	}
+}
+
+func TestSiteNotFoundAndMethods(t *testing.T) {
+	s := testSite(t)
+	var in Internet
+	in.RegisterSite(s)
+	client := in.Client()
+
+	if code, _ := get(t, client, s.BaseURL()+"/people/ghost"); code != http.StatusNotFound {
+		t.Fatalf("unknown person status = %d", code)
+	}
+	if code, _ := get(t, client, s.BaseURL()+"/random"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d", code)
+	}
+	resp, err := client.Post(string(s.AgentURL("alice")), "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d", resp.StatusCode)
+	}
+}
+
+func TestSiteWithoutTaxonomy(t *testing.T) {
+	c := model.NewCommunity(nil)
+	s := NewSite("bare.example", c)
+	var in Internet
+	in.RegisterSite(s)
+	if code, _ := get(t, in.Client(), s.TaxonomyURL()); code != http.StatusNotFound {
+		t.Fatalf("taxonomy-less site status = %d", code)
+	}
+}
+
+func TestSiteTurtleNegotiation(t *testing.T) {
+	s := testSite(t)
+	var in Internet
+	in.RegisterSite(s)
+	client := in.Client()
+
+	req, err := http.NewRequest(http.MethodGet, string(s.AgentURL("alice")), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", ContentTypeTurtle)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Content-Type"); got != ContentTypeTurtle {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	if !strings.Contains(string(body), "@prefix foaf:") {
+		t.Fatalf("not Turtle: %q", body)
+	}
+	g, err := rdf.ParseTurtle(string(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := foaf.Unmarshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != "Alice" || len(h.Trust) != 1 {
+		t.Fatalf("turtle homepage = %+v", h)
+	}
+}
+
+func TestSiteRDFXMLNegotiation(t *testing.T) {
+	s := testSite(t)
+	var in Internet
+	in.RegisterSite(s)
+
+	req, err := http.NewRequest(http.MethodGet, string(s.AgentURL("alice")), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", ContentTypeRDFXML)
+	resp, err := in.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Content-Type"); got != ContentTypeRDFXML {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	g, err := rdf.ParseRDFXML(string(body))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, body)
+	}
+	h, err := foaf.Unmarshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != "Alice" || len(h.Trust) != 1 || len(h.Ratings) != 1 {
+		t.Fatalf("rdfxml homepage = %+v", h)
+	}
+	// ParseDocument auto-detects the XML form too (crawler path).
+	if _, err := rdf.ParseDocument(string(body)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSiteETagAndNotModified(t *testing.T) {
+	s := testSite(t)
+	var in Internet
+	in.RegisterSite(s)
+	client := in.Client()
+	url := string(s.AgentURL("alice"))
+
+	resp1, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp1.Body)
+	resp1.Body.Close()
+	etag := resp1.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag served")
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("status = %d, want 304", resp2.StatusCode)
+	}
+
+	// Mutating the community invalidates the ETag.
+	if err := s.Community().SetTrust(s.AgentURL("alice"), s.AgentURL("dora"), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	resp3, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("status after mutation = %d, want 200", resp3.StatusCode)
+	}
+	if resp3.Header.Get("ETag") == etag {
+		t.Fatal("ETag unchanged after mutation")
+	}
+}
+
+func TestInternetUnknownHost(t *testing.T) {
+	var in Internet
+	code, _ := get(t, in.Client(), "http://nowhere.example/x")
+	if code != http.StatusBadGateway {
+		t.Fatalf("unknown host status = %d, want 502", code)
+	}
+}
+
+func TestSiteHeadRequest(t *testing.T) {
+	s := testSite(t)
+	var in Internet
+	in.RegisterSite(s)
+	req, err := http.NewRequest(http.MethodHead, string(s.AgentURL("alice")), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := in.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("ETag") == "" {
+		t.Fatal("HEAD must carry the ETag")
+	}
+}
+
+func TestInternetRegisterReplaces(t *testing.T) {
+	var in Internet
+	in.Register("h.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("v1"))
+	}))
+	in.Register("h.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("v2"))
+	}))
+	if _, body := get(t, in.Client(), "http://h.example/"); body != "v2" {
+		t.Fatalf("body = %q, want v2", body)
+	}
+}
+
+func TestSiteURLHelpers(t *testing.T) {
+	s := NewSite("h.example", model.NewCommunity(nil))
+	if s.BaseURL() != "http://h.example" {
+		t.Fatalf("BaseURL = %q", s.BaseURL())
+	}
+	if s.TaxonomyURL() != "http://h.example/taxonomy.nt" ||
+		s.CatalogURL() != "http://h.example/catalog.nt" {
+		t.Fatal("global URLs broken")
+	}
+	if s.BlogURL("bob") != "http://h.example/blog/bob" {
+		t.Fatalf("BlogURL = %q", s.BlogURL("bob"))
+	}
+	if s.AgentURL("bob") != "http://h.example/people/bob" {
+		t.Fatalf("AgentURL = %q", s.AgentURL("bob"))
+	}
+	if s.Host() != "h.example" || s.Community() == nil {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestInternetMultipleHosts(t *testing.T) {
+	// A genuinely decentralized web: two communities on two hosts whose
+	// agents reference each other across hosts.
+	c1 := model.NewCommunity(nil)
+	c2 := model.NewCommunity(nil)
+	s1 := NewSite("one.example", c1)
+	s2 := NewSite("two.example", c2)
+	if err := c1.SetTrust(s1.AgentURL("a"), s2.AgentURL("b"), 0.8); err != nil {
+		t.Fatal(err)
+	}
+	c2.AddAgent(s2.AgentURL("b")).Name = "B"
+
+	var in Internet
+	in.RegisterSite(s1)
+	in.RegisterSite(s2)
+	client := in.Client()
+
+	code, body := get(t, client, string(s1.AgentURL("a")))
+	if code != 200 || !strings.Contains(body, "two.example/people/b") {
+		t.Fatalf("cross-host trust edge missing: %d %q", code, body)
+	}
+	code, body = get(t, client, string(s2.AgentURL("b")))
+	if code != 200 || !strings.Contains(body, `"B"`) {
+		t.Fatalf("second host broken: %d %q", code, body)
+	}
+}

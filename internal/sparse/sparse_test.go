@@ -1,0 +1,205 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBasicOps(t *testing.T) {
+	v := New(4)
+	v.Add(1, 2)
+	v.Add(1, 3)
+	v.Add(7, -1)
+	if !almost(v[1], 5) || !almost(v[7], -1) {
+		t.Fatalf("Add accumulation broken: %v", v)
+	}
+	if !almost(v.Sum(), 4) {
+		t.Fatalf("Sum = %v, want 4", v.Sum())
+	}
+	if !almost(v.Norm(), math.Sqrt(26)) {
+		t.Fatalf("Norm = %v", v.Norm())
+	}
+	c := v.Clone()
+	c.Scale(2)
+	if !almost(c[1], 10) || !almost(v[1], 5) {
+		t.Fatal("Clone/Scale aliasing or math broken")
+	}
+}
+
+func TestDotAndOverlap(t *testing.T) {
+	a := Vector{1: 1, 2: 2, 3: 3}
+	b := Vector{2: 4, 3: -1, 9: 100}
+	if got := Dot(a, b); !almost(got, 2*4+3*-1) {
+		t.Fatalf("Dot = %v, want 5", got)
+	}
+	if got := Dot(b, a); !almost(got, 5) {
+		t.Fatal("Dot must be symmetric")
+	}
+	if got := Overlap(a, b); got != 2 {
+		t.Fatalf("Overlap = %d, want 2", got)
+	}
+	if got := Dot(a, Vector{}); got != 0 {
+		t.Fatalf("Dot with empty = %v", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := Vector{1: 1, 2: 1}
+	b := Vector{1: 2, 2: 2}
+	if sim, ok := Cosine(a, b); !ok || !almost(sim, 1) {
+		t.Fatalf("parallel cosine = %v,%v, want 1,true", sim, ok)
+	}
+	c := Vector{3: 1}
+	if sim, ok := Cosine(a, c); !ok || !almost(sim, 0) {
+		t.Fatalf("orthogonal cosine = %v,%v, want 0,true", sim, ok)
+	}
+	d := Vector{1: -1, 2: -1}
+	if sim, ok := Cosine(a, d); !ok || !almost(sim, -1) {
+		t.Fatalf("antiparallel cosine = %v,%v, want -1,true", sim, ok)
+	}
+	if _, ok := Cosine(a, Vector{}); ok {
+		t.Fatal("cosine with zero vector must be undefined")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	// Perfect positive correlation on the overlap.
+	a := Vector{1: 1, 2: 2, 3: 3, 99: 5}
+	b := Vector{1: 2, 2: 4, 3: 6, 42: -7}
+	if sim, ok := Pearson(a, b); !ok || !almost(sim, 1) {
+		t.Fatalf("Pearson = %v,%v, want 1,true", sim, ok)
+	}
+	// Perfect negative correlation.
+	c := Vector{1: 3, 2: 2, 3: 1}
+	if sim, ok := Pearson(a, c); !ok || !almost(sim, -1) {
+		t.Fatalf("Pearson = %v,%v, want -1,true", sim, ok)
+	}
+	// Undefined: fewer than 2 overlapping dimensions.
+	if _, ok := Pearson(a, Vector{1: 1}); ok {
+		t.Fatal("Pearson on 1-dim overlap must be undefined")
+	}
+	if _, ok := Pearson(a, Vector{7: 1, 8: 2}); ok {
+		t.Fatal("Pearson on empty overlap must be undefined")
+	}
+	// Undefined: zero variance on the overlap.
+	if _, ok := Pearson(Vector{1: 5, 2: 5}, Vector{1: 1, 2: 2}); ok {
+		t.Fatal("Pearson with constant side must be undefined")
+	}
+}
+
+func TestPearsonSymmetric(t *testing.T) {
+	a := Vector{1: 0.3, 2: -0.5, 3: 0.9, 4: 0.1}
+	b := Vector{2: 0.8, 3: -0.2, 4: 0.4, 5: 1}
+	s1, ok1 := Pearson(a, b)
+	s2, ok2 := Pearson(b, a)
+	if ok1 != ok2 || !almost(s1, s2) {
+		t.Fatalf("Pearson asymmetric: %v,%v vs %v,%v", s1, ok1, s2, ok2)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	v := Vector{1: 5, 2: 9, 3: 9, 4: 1}
+	top := v.TopK(2)
+	if len(top) != 2 || top[0].Key != 2 || top[1].Key != 3 {
+		t.Fatalf("TopK = %v (ties must break by key)", top)
+	}
+	all := v.TopK(0)
+	if len(all) != 4 || all[3].Key != 4 {
+		t.Fatalf("TopK(0) = %v", all)
+	}
+	if got := v.TopK(100); len(got) != 4 {
+		t.Fatalf("TopK(100) = %v", got)
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	v := Vector{9: 1, 1: 2, 5: 3}
+	es := v.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Key >= es[i].Key {
+			t.Fatalf("Entries not sorted: %v", es)
+		}
+	}
+}
+
+func randVec(rng *rand.Rand, dims, nnz int) Vector {
+	v := New(nnz)
+	for i := 0; i < nnz; i++ {
+		v[int32(rng.Intn(dims))] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+// Property: cosine similarity is bounded, symmetric, and self-similarity
+// is 1 for any non-zero vector.
+func TestCosineProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randVec(rng, 50, 10)
+		b := randVec(rng, 50, 10)
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		s1, ok1 := Cosine(a, b)
+		s2, ok2 := Cosine(b, a)
+		if ok1 != ok2 || (ok1 && !almost(s1, s2)) {
+			return false
+		}
+		if ok1 && (s1 < -1 || s1 > 1) {
+			return false
+		}
+		if self, ok := Cosine(a, a); a.Norm() > 0 && (!ok || !almost(self, 1)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pearson is invariant under positive affine transforms of
+// either argument (scale > 0, shift arbitrary) on the overlap.
+func TestPearsonAffineInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randVec(rng, 20, 12)
+		b := randVec(rng, 20, 12)
+		s1, ok1 := Pearson(a, b)
+		if !ok1 {
+			return true
+		}
+		scale, shift := rng.Float64()*5+0.1, rng.Float64()*10-5
+		a2 := New(len(a))
+		for k, x := range a {
+			a2[k] = scale*x + shift
+		}
+		s2, ok2 := Pearson(a2, b)
+		return ok2 && math.Abs(s1-s2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling both vectors leaves cosine unchanged.
+func TestCosineScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randVec(rng, 30, 8)
+		b := randVec(rng, 30, 8)
+		s1, ok1 := Cosine(a, b)
+		if !ok1 {
+			return true
+		}
+		s2, ok2 := Cosine(a.Clone().Scale(3.7), b.Clone().Scale(0.2))
+		return ok2 && math.Abs(s1-s2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

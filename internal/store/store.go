@@ -1,0 +1,381 @@
+// Package store implements the crawler's local document cache: an
+// embedded, append-only log-structured key-value store in the bitcask
+// tradition — every Put appends one CRC-protected record to a single data
+// file and updates an in-memory hash index mapping key → file offset.
+//
+// The paper's architecture makes every agent materialize remote Semantic
+// Web documents locally before "all recommendation computations [are
+// performed] locally for one given user" (§2); this store is that
+// materialization layer. "Tailored crawlers search the Web for weblogs and
+// ensure data freshness" (§4.1) by overwriting records, so the log
+// accumulates dead versions; Compact rewrites the live set and atomically
+// swaps the file.
+//
+// Durability and failure model: records are only trusted if their CRC32
+// checks out; on Open, a torn tail (partial final record, e.g. after a
+// crash) is detected and truncated away, recovering every record before
+// it.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+var (
+	// ErrClosed is returned by operations on a closed store.
+	ErrClosed = errors.New("store: closed")
+	// ErrCorrupt is returned when a record fails its CRC or length checks
+	// in the middle of the log (a torn *tail* is repaired silently).
+	ErrCorrupt = errors.New("store: corrupt record")
+	// ErrKeyTooLarge is returned for keys above 64 KiB.
+	ErrKeyTooLarge = errors.New("store: key too large")
+)
+
+const (
+	maxKeyLen   = 64 << 10
+	maxValueLen = 64 << 20
+
+	flagTombstone = 1
+
+	// record header: crc32(4) + flags(1) + uvarint keyLen + uvarint valLen
+	headerFixed = 5
+)
+
+// Options configure a Store.
+type Options struct {
+	// SyncEveryPut fsyncs after every append. Slow but safest; off by
+	// default (the crawler can always re-fetch).
+	SyncEveryPut bool
+}
+
+// indexEntry locates the current version of one key in the data file.
+type indexEntry struct {
+	offset int64
+	size   int64 // full record size in bytes
+}
+
+// Store is a single-file append-only document store. All methods are safe
+// for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	path   string
+	f      *os.File
+	opt    Options
+	index  map[string]indexEntry
+	offset int64 // append position
+	dead   int64 // bytes belonging to overwritten/deleted records
+	closed bool
+}
+
+// Open opens (creating if necessary) the store at path and rebuilds the
+// index by scanning the log. A torn final record is truncated away.
+func Open(path string, opt Options) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	s := &Store{path: path, f: f, opt: opt, index: make(map[string]indexEntry)}
+	if err := s.rebuild(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// rebuild scans the log, populating the index, and truncates a torn tail.
+func (s *Store) rebuild() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat: %w", err)
+	}
+	size := info.Size()
+	var off int64
+	r := io.NewSectionReader(s.f, 0, size)
+	for off < size {
+		key, _, recLen, flags, err := readRecord(r, off, size)
+		if err != nil {
+			if errors.Is(err, errTorn) {
+				// Crash mid-append: drop the tail, keep everything before.
+				if terr := s.f.Truncate(off); terr != nil {
+					return fmt.Errorf("store: truncate torn tail: %w", terr)
+				}
+				break
+			}
+			return err
+		}
+		if prev, ok := s.index[key]; ok {
+			s.dead += prev.size
+		}
+		if flags&flagTombstone != 0 {
+			delete(s.index, key)
+			s.dead += recLen
+		} else {
+			s.index[key] = indexEntry{offset: off, size: recLen}
+		}
+		off += recLen
+	}
+	s.offset = off
+	if _, err := s.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("store: seek: %w", err)
+	}
+	return nil
+}
+
+// errTorn marks an incomplete record at the end of the log.
+var errTorn = errors.New("store: torn record")
+
+// readRecord reads and validates the record at off. It returns errTorn if
+// the file ends before the record does, and ErrCorrupt on checksum or
+// bound violations.
+func readRecord(r io.ReaderAt, off, size int64) (key string, value []byte, recLen int64, flags byte, err error) {
+	var hdr [headerFixed + 2*binary.MaxVarintLen32]byte
+	n, rerr := r.ReadAt(hdr[:], off)
+	if rerr != nil && rerr != io.EOF {
+		return "", nil, 0, 0, fmt.Errorf("store: read header: %w", rerr)
+	}
+	if n < headerFixed+2 {
+		return "", nil, 0, 0, errTorn
+	}
+	buf := hdr[:n]
+	crc := binary.LittleEndian.Uint32(buf[0:4])
+	flags = buf[4]
+	p := 5
+	keyLen, k1 := binary.Uvarint(buf[p:])
+	if k1 <= 0 {
+		return "", nil, 0, 0, errTorn
+	}
+	p += k1
+	valLen, k2 := binary.Uvarint(buf[p:])
+	if k2 <= 0 {
+		return "", nil, 0, 0, errTorn
+	}
+	p += k2
+	if keyLen > maxKeyLen || valLen > maxValueLen {
+		return "", nil, 0, 0, fmt.Errorf("%w: absurd lengths key=%d val=%d at offset %d",
+			ErrCorrupt, keyLen, valLen, off)
+	}
+	recLen = int64(p) + int64(keyLen) + int64(valLen)
+	if off+recLen > size {
+		return "", nil, 0, 0, errTorn
+	}
+	payload := make([]byte, 1+k1+k2+int(keyLen)+int(valLen))
+	if _, err := r.ReadAt(payload[1+k1+k2:], off+int64(p)); err != nil {
+		return "", nil, 0, 0, fmt.Errorf("store: read payload: %w", err)
+	}
+	copy(payload[:1+k1+k2], buf[4:p])
+	if crc32.ChecksumIEEE(payload) != crc {
+		return "", nil, 0, 0, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+	}
+	body := payload[1+k1+k2:]
+	return string(body[:keyLen]), body[keyLen:], recLen, flags, nil
+}
+
+// appendRecord writes one record at the current tail. Caller holds s.mu.
+func (s *Store) appendRecord(key string, value []byte, flags byte) (recLen int64, err error) {
+	var lens [2 * binary.MaxVarintLen32]byte
+	p := binary.PutUvarint(lens[:], uint64(len(key)))
+	p += binary.PutUvarint(lens[p:], uint64(len(value)))
+
+	rec := make([]byte, 0, headerFixed+p+len(key)+len(value))
+	rec = append(rec, 0, 0, 0, 0) // crc placeholder
+	rec = append(rec, flags)
+	rec = append(rec, lens[:p]...)
+	rec = append(rec, key...)
+	rec = append(rec, value...)
+	binary.LittleEndian.PutUint32(rec[0:4], crc32.ChecksumIEEE(rec[4:]))
+
+	if _, err := s.f.WriteAt(rec, s.offset); err != nil {
+		return 0, fmt.Errorf("store: append: %w", err)
+	}
+	if s.opt.SyncEveryPut {
+		if err := s.f.Sync(); err != nil {
+			return 0, fmt.Errorf("store: sync: %w", err)
+		}
+	}
+	return int64(len(rec)), nil
+}
+
+// Put stores value under key, replacing any previous version.
+func (s *Store) Put(key string, value []byte) error {
+	if len(key) > maxKeyLen {
+		return ErrKeyTooLarge
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	recLen, err := s.appendRecord(key, value, 0)
+	if err != nil {
+		return err
+	}
+	if prev, ok := s.index[key]; ok {
+		s.dead += prev.size
+	}
+	s.index[key] = indexEntry{offset: s.offset, size: recLen}
+	s.offset += recLen
+	return nil
+}
+
+// Get returns the current value of key; ok is false if absent or deleted.
+func (s *Store) Get(key string) (value []byte, ok bool, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	e, found := s.index[key]
+	if !found {
+		return nil, false, nil
+	}
+	_, v, _, flags, err := readRecord(s.f, e.offset, e.offset+e.size)
+	if err != nil {
+		return nil, false, err
+	}
+	if flags&flagTombstone != 0 {
+		return nil, false, nil
+	}
+	return v, true, nil
+}
+
+// Delete removes key by appending a tombstone. Deleting an absent key is
+// a no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	e, found := s.index[key]
+	if !found {
+		return nil
+	}
+	recLen, err := s.appendRecord(key, nil, flagTombstone)
+	if err != nil {
+		return err
+	}
+	s.dead += e.size + recLen
+	delete(s.index, key)
+	s.offset += recLen
+	return nil
+}
+
+// Has reports whether key currently has a live value.
+func (s *Store) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[key]
+	return ok && !s.closed
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Keys returns all live keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.index))
+	for k := range s.index {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats describes the store's physical state.
+type Stats struct {
+	LiveKeys  int
+	FileBytes int64
+	DeadBytes int64 // bytes reclaimable by Compact
+}
+
+// Stats returns current statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{LiveKeys: len(s.index), FileBytes: s.offset, DeadBytes: s.dead}
+}
+
+// Compact rewrites only the live records into a fresh file and atomically
+// replaces the log. Concurrent readers are blocked for the duration.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	defer os.Remove(tmpPath) // no-op after successful rename
+
+	// Deterministic order keeps compacted files byte-identical for
+	// identical logical content.
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	newIndex := make(map[string]indexEntry, len(keys))
+	next := &Store{f: tmp, index: newIndex}
+	for _, k := range keys {
+		e := s.index[k]
+		_, v, _, _, err := readRecord(s.f, e.offset, e.offset+e.size)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact read %q: %w", k, err)
+		}
+		recLen, err := next.appendRecord(k, v, 0)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		newIndex[k] = indexEntry{offset: next.offset, size: recLen}
+		next.offset += recLen
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact sync: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	old := s.f
+	s.f = tmp
+	s.index = newIndex
+	s.offset = next.offset
+	s.dead = 0
+	old.Close()
+	return nil
+}
+
+// Close releases the store. Further operations return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("store: close sync: %w", err)
+	}
+	return s.f.Close()
+}

@@ -1,0 +1,35 @@
+package taxonomy
+
+// Fig1 reconstructs the "small fragment from the Amazon book taxonomy" of
+// the paper's Figure 1, which Example 1 (§3.3) uses for its topic score
+// assignment walkthrough.
+//
+// The figure itself is not machine-readable in the paper, but Example 1
+// pins the sibling counts along the path Books → Science → Mathematics →
+// Pure → Algebra exactly: the published scores (29.087, 14.543, 4.848,
+// 1.212, 0.303) imply division factors sib+1 of 2, 3, 4 and 4 at the
+// Algebra, Pure, Mathematics and Science levels respectively. The filler
+// sibling names below are drawn from real Amazon book-taxonomy branches of
+// the era ("Applied" appears verbatim in §3.3's similarity example).
+func Fig1() *Taxonomy {
+	t := New("Books")
+
+	science := t.MustAdd(Root, "Science")
+	t.MustAdd(Root, "Fiction")
+	t.MustAdd(Root, "Nonfiction")
+	t.MustAdd(Root, "Reference")
+
+	math := t.MustAdd(science, "Mathematics")
+	t.MustAdd(science, "Physics")
+	t.MustAdd(science, "Astronomy")
+	t.MustAdd(science, "Nature")
+
+	pure := t.MustAdd(math, "Pure")
+	t.MustAdd(math, "Applied")
+	t.MustAdd(math, "History")
+
+	t.MustAdd(pure, "Algebra")
+	t.MustAdd(pure, "Calculus")
+
+	return t
+}

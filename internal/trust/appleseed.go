@@ -1,0 +1,287 @@
+package trust
+
+import (
+	"fmt"
+	"math"
+
+	"swrec/internal/model"
+)
+
+// AppleseedOptions parameterize the Appleseed spreading-activation metric.
+// Zero-value fields take the defaults the Appleseed paper evaluates with.
+type AppleseedOptions struct {
+	// Injection is the initial energy in0 pumped into the source node.
+	// Default 200.
+	Injection float64
+	// SpreadingFactor d ∈ (0,1) is the share of incoming energy a node
+	// passes on to its trusted successors; the node keeps (1-d) as rank.
+	// Low d concentrates trust near the source, high d spreads it deep
+	// into the network. Default 0.85.
+	SpreadingFactor float64
+	// Threshold Tc is the convergence accuracy: iteration stops when no
+	// node's accumulated rank changed by more than Tc in one pass.
+	// Default 0.05.
+	Threshold float64
+	// MaxNodes bounds the expansion range: once this many distinct peers
+	// have been discovered, no further nodes are added (edges to
+	// undiscovered agents are dropped, energy re-normalizes over the
+	// remaining ones). 0 means unbounded. This is the "predefined range"
+	// that keeps neighborhood detection scalable (§3.2).
+	MaxNodes int
+	// MaxIterations is a safety stop. Default 200.
+	MaxIterations int
+	// NormExponent q applies nonlinear weight normalization: an edge's
+	// share is w^q / Σ w'^q. q=1 is linear; q>1 favors highly trusted
+	// successors, the "more fine-grained analysis" knob. Default 1.
+	NormExponent float64
+	// NoBackprop disables the virtual backward edges to the source that
+	// Appleseed adds for every discovered node. Backward propagation
+	// returns a share of energy to the source, penalizing rank hoarding
+	// in remote cliques; disabling it is only useful for ablation (E4).
+	NoBackprop bool
+	// RespectDistrust removes peers the *source* explicitly distrusts
+	// (negative direct statement) from the final neighborhood. Distrusted
+	// edges never propagate energy in any case. Default false.
+	RespectDistrust bool
+	// DistrustPenalty γ ∈ [0,1] applies graded distrust after
+	// convergence: for every negative statement x → y among explored
+	// peers, y's rank is demoted multiplicatively by
+	//
+	//	rank(y) *= 1 - γ · normRank(x) · |t_x(y)|
+	//
+	// where normRank is the distruster's own rank relative to the
+	// maximum (the source counts as 1). Distrust thus carries exactly as
+	// much weight as the community accords the distruster — the graded
+	// treatment [12] discusses, generalizing the boolean RespectDistrust.
+	// 0 (default) disables it.
+	DistrustPenalty float64
+}
+
+// withDefaults fills zero fields with the standard parameters.
+func (o AppleseedOptions) withDefaults() AppleseedOptions {
+	if o.Injection == 0 {
+		o.Injection = 200
+	}
+	if o.SpreadingFactor == 0 {
+		o.SpreadingFactor = 0.85
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.05
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 200
+	}
+	if o.NormExponent == 0 {
+		o.NormExponent = 1
+	}
+	return o
+}
+
+// validate rejects parameters outside their meaningful domains.
+func (o AppleseedOptions) validate() error {
+	if o.Injection <= 0 {
+		return fmt.Errorf("trust: injection must be positive, got %v", o.Injection)
+	}
+	if o.SpreadingFactor <= 0 || o.SpreadingFactor >= 1 {
+		return fmt.Errorf("trust: spreading factor must be in (0,1), got %v", o.SpreadingFactor)
+	}
+	if o.Threshold <= 0 {
+		return fmt.Errorf("trust: threshold must be positive, got %v", o.Threshold)
+	}
+	if o.NormExponent <= 0 {
+		return fmt.Errorf("trust: norm exponent must be positive, got %v", o.NormExponent)
+	}
+	if o.DistrustPenalty < 0 || o.DistrustPenalty > 1 {
+		return fmt.Errorf("trust: distrust penalty must be in [0,1], got %v", o.DistrustPenalty)
+	}
+	return nil
+}
+
+// appleseedNode is the mutable per-node state of one computation.
+type appleseedNode struct {
+	id    model.AgentID
+	in    float64 // energy received this pass
+	inNew float64 // energy accumulating for next pass
+	rank  float64 // trust rank accumulated so far
+	// succ holds the node's positive out-edges discovered so far, as
+	// (target index, weight^q) with the precomputed normalization total.
+	succ      []appleseedEdge
+	succTotal float64
+	fetched   bool // trust statements already pulled from the Network
+}
+
+type appleseedEdge struct {
+	to int
+	w  float64 // weight raised to NormExponent
+}
+
+// Appleseed computes the trust neighborhood of source over net using the
+// spreading-activation model of [12]:
+//
+//	in_{new}(y) += d · in(x) · w(x,y)^q / Σ_z w(x,z)^q
+//	rank(x)    += (1-d) · in(x)
+//
+// with a virtual edge (y → source, weight 1) added for every node upon
+// discovery (backward propagation), iterated until every node's rank moves
+// by less than Threshold. The source itself accumulates no rank and never
+// appears in the result.
+//
+// Only positive trust statements propagate energy: distrust must not make
+// its target's *successors* trustworthy. With RespectDistrust set, peers
+// directly distrusted by the source are additionally removed from the
+// result.
+func Appleseed(net Network, source model.AgentID, opt AppleseedOptions) (*Neighborhood, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+
+	idx := map[model.AgentID]int{source: 0}
+	nodes := []*appleseedNode{{id: source, in: opt.Injection}}
+
+	// discover returns the index for id, registering it (with its virtual
+	// backward edge) the first time; full==true when MaxNodes forbids new
+	// nodes.
+	discover := func(id model.AgentID) (int, bool) {
+		if i, ok := idx[id]; ok {
+			return i, true
+		}
+		if opt.MaxNodes > 0 && len(nodes) >= opt.MaxNodes+1 {
+			return 0, false
+		}
+		i := len(nodes)
+		idx[id] = i
+		n := &appleseedNode{id: id}
+		if !opt.NoBackprop {
+			n.succ = append(n.succ, appleseedEdge{to: 0, w: 1})
+			n.succTotal = 1
+		}
+		nodes = append(nodes, n)
+		return i, true
+	}
+
+	// fetch pulls x's trust statements from the network once and attaches
+	// its positive out-edges. Negative statements never propagate energy;
+	// they are recorded for the optional post-convergence penalty.
+	type negEdge struct {
+		from int
+		to   model.AgentID
+		w    float64 // |t_x(y)|
+	}
+	var negEdges []negEdge
+	explored := 0
+	fetch := func(xi int) {
+		x := nodes[xi]
+		if x.fetched {
+			return
+		}
+		x.fetched = true
+		explored++
+		for _, st := range net.Peers(x.id) {
+			if st.Dst == x.id {
+				continue
+			}
+			if st.Value <= 0 {
+				if st.Value < 0 && opt.DistrustPenalty > 0 {
+					negEdges = append(negEdges, negEdge{from: xi, to: st.Dst, w: -st.Value})
+				}
+				continue
+			}
+			yi, ok := discover(st.Dst)
+			if !ok || yi == xi {
+				continue
+			}
+			w := math.Pow(st.Value, opt.NormExponent)
+			x.succ = append(x.succ, appleseedEdge{to: yi, w: w})
+			x.succTotal += w
+		}
+	}
+
+	d := opt.SpreadingFactor
+	iterations := 0
+	for ; iterations < opt.MaxIterations; iterations++ {
+		maxDelta := 0.0
+		// Snapshot length: nodes discovered during this pass only start
+		// receiving energy now and are processed next pass.
+		live := len(nodes)
+		for xi := 0; xi < live; xi++ {
+			x := nodes[xi]
+			if x.in == 0 {
+				continue
+			}
+			fetch(xi)
+			energy := x.in
+			x.in = 0
+			if xi != 0 { // the source hoards no rank
+				x.rank += (1 - d) * energy
+				if delta := (1 - d) * energy; delta > maxDelta {
+					maxDelta = delta
+				}
+			}
+			if x.succTotal == 0 {
+				// Dead end without backprop: energy dissipates, exactly
+				// like rank sinks in spreading activation models.
+				continue
+			}
+			for _, e := range x.succ {
+				nodes[e.to].inNew += d * energy * e.w / x.succTotal
+			}
+		}
+		for _, n := range nodes {
+			n.in += n.inNew
+			n.inNew = 0
+		}
+		if maxDelta < opt.Threshold && iterations > 0 {
+			break
+		}
+	}
+
+	// Graded distrust: demote each distrusted peer proportionally to the
+	// distruster's own standing.
+	if opt.DistrustPenalty > 0 && len(negEdges) > 0 {
+		maxRank := 0.0
+		for _, n := range nodes[1:] {
+			if n.rank > maxRank {
+				maxRank = n.rank
+			}
+		}
+		for _, e := range negEdges {
+			yi, ok := idx[e.to]
+			if !ok || yi == 0 {
+				continue // never positively reached, or the source itself
+			}
+			normRank := 1.0 // the source's word counts fully
+			if e.from != 0 {
+				if maxRank == 0 {
+					continue
+				}
+				normRank = nodes[e.from].rank / maxRank
+			}
+			factor := 1 - opt.DistrustPenalty*normRank*e.w
+			if factor < 0 {
+				factor = 0
+			}
+			nodes[yi].rank *= factor
+		}
+	}
+
+	// Collect ranks; optionally drop peers the source explicitly
+	// distrusts.
+	distrusted := map[model.AgentID]bool{}
+	if opt.RespectDistrust {
+		for _, st := range net.Peers(source) {
+			if st.Value < 0 {
+				distrusted[st.Dst] = true
+			}
+		}
+	}
+	nb := &Neighborhood{Source: source, Iterations: iterations, Explored: explored}
+	for _, n := range nodes[1:] {
+		if n.rank <= 0 || distrusted[n.id] {
+			continue
+		}
+		nb.Ranks = append(nb.Ranks, Rank{Agent: n.id, Trust: n.rank})
+	}
+	sortRanks(nb.Ranks)
+	return nb, nil
+}

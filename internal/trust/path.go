@@ -1,0 +1,118 @@
+package trust
+
+import (
+	"container/heap"
+	"fmt"
+
+	"swrec/internal/model"
+)
+
+// PathTrustOptions parameterize the scalar path-multiplication baseline.
+type PathTrustOptions struct {
+	// Horizon bounds the path length in hops. Default 4.
+	Horizon int
+	// MinTrust prunes paths whose accumulated strength falls below this
+	// value; it bounds exploration the way Appleseed's energy threshold
+	// does. Default 0.01.
+	MinTrust float64
+}
+
+func (o PathTrustOptions) withDefaults() PathTrustOptions {
+	if o.Horizon == 0 {
+		o.Horizon = 4
+	}
+	if o.MinTrust == 0 {
+		o.MinTrust = 0.01
+	}
+	return o
+}
+
+func (o PathTrustOptions) validate() error {
+	if o.Horizon < 1 {
+		return fmt.Errorf("trust: horizon must be >= 1, got %d", o.Horizon)
+	}
+	if o.MinTrust < 0 || o.MinTrust >= 1 {
+		return fmt.Errorf("trust: min trust must be in [0,1), got %v", o.MinTrust)
+	}
+	return nil
+}
+
+// ptItem is one frontier entry of the best-path search.
+type ptItem struct {
+	agent    model.AgentID
+	strength float64
+	hops     int
+}
+
+// ptHeap is a max-heap on path strength, so peers are finalized in
+// best-first order (Dijkstra over the (max, ×) semiring).
+type ptHeap []ptItem
+
+func (h ptHeap) Len() int            { return len(h) }
+func (h ptHeap) Less(i, j int) bool  { return h[i].strength > h[j].strength }
+func (h ptHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *ptHeap) Push(x interface{}) { *h = append(*h, x.(ptItem)) }
+func (h *ptHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// PathTrust scores every peer reachable from source within the horizon by
+// the strength of the best multiplicative chain of positive trust values,
+// in the tradition of scalar metrics for open networks (Beth, Borcherding
+// & Klein [10]). It is the experiments' stand-in for classic scalar trust
+// metrics: unlike Appleseed it evaluates each peer independently of how
+// many distinct paths support it.
+func PathTrust(net Network, source model.AgentID, opt PathTrustOptions) (*Neighborhood, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+
+	best := map[model.AgentID]float64{source: 1}
+	done := map[model.AgentID]bool{}
+	h := &ptHeap{{agent: source, strength: 1, hops: 0}}
+	explored := 0
+	maxHops := 0
+
+	for h.Len() > 0 {
+		it := heap.Pop(h).(ptItem)
+		if done[it.agent] || it.strength < best[it.agent] {
+			continue
+		}
+		done[it.agent] = true
+		if it.hops > maxHops {
+			maxHops = it.hops
+		}
+		if it.hops >= opt.Horizon {
+			continue
+		}
+		explored++
+		for _, st := range net.Peers(it.agent) {
+			if st.Value <= 0 {
+				continue
+			}
+			s := it.strength * st.Value
+			if s < opt.MinTrust || done[st.Dst] {
+				continue
+			}
+			if prev, ok := best[st.Dst]; !ok || s > prev {
+				best[st.Dst] = s
+				heap.Push(h, ptItem{agent: st.Dst, strength: s, hops: it.hops + 1})
+			}
+		}
+	}
+
+	nb := &Neighborhood{Source: source, Iterations: maxHops, Explored: explored}
+	for id, s := range best {
+		if id == source {
+			continue
+		}
+		nb.Ranks = append(nb.Ranks, Rank{Agent: id, Trust: s})
+	}
+	sortRanks(nb.Ranks)
+	return nb, nil
+}

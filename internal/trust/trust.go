@@ -1,0 +1,118 @@
+// Package trust implements the local group trust metrics that form the
+// first pillar of the paper's approach (§3.2): trust neighborhood
+// formation for an active agent a_i, relying only on partial trust graph
+// information and exploring the social network within predefined ranges so
+// that neighborhood detection retains scalability.
+//
+// Three metrics are provided:
+//
+//   - Appleseed (Ziegler & Lausen 2004 [12]): the paper's own local group
+//     trust metric, derived from spreading activation models (Quillian
+//     [13]). It assigns continuous trust ranks to peers within the
+//     computation range, with high ranks accorded to agents largely
+//     trusted by others of high trustworthiness.
+//   - Advogato (Levien & Aiken 1998 [11]): the most well-known prior local
+//     group trust metric; max-flow based and only able to make boolean
+//     trustworthiness decisions — the limitation the paper contrasts
+//     Appleseed against.
+//   - PathTrust: a simple scalar baseline that scores each peer by the
+//     strongest multiplicative trust chain from the source, standing in
+//     for classic scalar metrics (Beth et al. [10]) in the experiments.
+//
+// All metrics consume a Network, an abstraction over "whose trust
+// statements can I fetch" that both a fully materialized model.Community
+// and a partially crawled view satisfy.
+package trust
+
+import (
+	"sort"
+
+	"swrec/internal/model"
+)
+
+// Network exposes the partial trust graph a metric may explore. Statements
+// carry values in [-1, +1]; negative values are explicit distrust, which
+// the metrics must not confuse with absence of trust (§3.1, Marsh [8]).
+type Network interface {
+	// Peers returns the trust statements issued by a. The result may be
+	// empty for unknown or silent agents.
+	Peers(a model.AgentID) []model.TrustStatement
+}
+
+// communityNet adapts a materialized community to the Network interface.
+type communityNet struct{ c *model.Community }
+
+// FromCommunity exposes a community's trust edges as a Network.
+func FromCommunity(c *model.Community) Network { return communityNet{c} }
+
+func (n communityNet) Peers(a model.AgentID) []model.TrustStatement {
+	ag := n.c.Agent(a)
+	if ag == nil {
+		return nil
+	}
+	return ag.TrustedPeers()
+}
+
+// Rank is one entry of a computed trust neighborhood: the peer and its
+// continuous trust rank (metric-specific scale; only the ordering and
+// relative magnitude matter downstream).
+type Rank struct {
+	Agent model.AgentID
+	Trust float64
+}
+
+// Neighborhood is the ranked result of a local group trust computation for
+// one source agent, sorted by descending trust (ties broken by agent ID).
+type Neighborhood struct {
+	Source model.AgentID
+	Ranks  []Rank
+	// Iterations is the number of passes the metric ran until convergence
+	// (Appleseed) or levels explored (Advogato, PathTrust).
+	Iterations int
+	// Explored is the number of distinct agents whose trust statements
+	// were fetched — the metric's network cost.
+	Explored int
+}
+
+// sortRanks orders ranks by descending trust, then ID, in place.
+func sortRanks(rs []Rank) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Trust != rs[j].Trust {
+			return rs[i].Trust > rs[j].Trust
+		}
+		return rs[i].Agent < rs[j].Agent
+	})
+}
+
+// Top returns the n highest-ranked peers (all if n <= 0 or beyond range).
+func (nb *Neighborhood) Top(n int) []Rank {
+	if n <= 0 || n >= len(nb.Ranks) {
+		return nb.Ranks
+	}
+	return nb.Ranks[:n]
+}
+
+// RankOf returns the trust rank of peer and whether it is in range.
+func (nb *Neighborhood) RankOf(peer model.AgentID) (float64, bool) {
+	for _, r := range nb.Ranks {
+		if r.Agent == peer {
+			return r.Trust, true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether peer made it into the neighborhood.
+func (nb *Neighborhood) Contains(peer model.AgentID) bool {
+	_, ok := nb.RankOf(peer)
+	return ok
+}
+
+// AgentSet returns the neighborhood as a membership set.
+func (nb *Neighborhood) AgentSet() map[model.AgentID]bool {
+	s := make(map[model.AgentID]bool, len(nb.Ranks))
+	for _, r := range nb.Ranks {
+		s[r.Agent] = true
+	}
+	return s
+}

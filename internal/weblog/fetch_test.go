@@ -1,0 +1,97 @@
+package weblog_test
+
+// External test package: exercises weblog.Fetch against a published
+// semweb.Site (semweb itself imports weblog, so this must live outside
+// the weblog package to avoid an import cycle).
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"swrec/internal/isbn"
+	"swrec/internal/model"
+	"swrec/internal/semweb"
+	"swrec/internal/weblog"
+)
+
+func publishedSite(t *testing.T) (*semweb.Internet, *semweb.Site) {
+	t.Helper()
+	c := model.NewCommunity(nil)
+	s := semweb.NewSite("blogs.example", c)
+	code := isbn.Synthesize(42)
+	pid := model.ProductID(isbn.URN(code))
+	c.AddProduct(model.Product{ID: pid, Title: "Snow Crash", ISBN: code})
+	if err := c.SetRating(s.AgentURL("alice"), pid, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Agent(s.AgentURL("alice")).Name = "Alice"
+	var in semweb.Internet
+	in.RegisterSite(s)
+	return &in, s
+}
+
+func TestFetchMinesPublishedBlog(t *testing.T) {
+	in, site := publishedSite(t)
+	author, votes, err := weblog.Fetch(context.Background(), in.Client(), site.BlogURL("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attribution via the advertised FOAF homepage.
+	if author != site.AgentURL("alice") {
+		t.Fatalf("author = %s, want %s", author, site.AgentURL("alice"))
+	}
+	if len(votes) != 1 {
+		t.Fatalf("votes = %+v, want 1", votes)
+	}
+	if votes[0].Value != weblog.ImplicitVote {
+		t.Fatalf("vote value = %v", votes[0].Value)
+	}
+	// The mined vote can seed a community and the FOAF homepage (the
+	// author URL) is crawlable — the full §4 discovery chain.
+	resp, err := in.Client().Get(string(author))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("FOAF homepage status = %d", resp.StatusCode)
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	in, site := publishedSite(t)
+	if _, _, err := weblog.Fetch(context.Background(), in.Client(), site.BlogURL("ghost")); err == nil {
+		t.Fatal("missing blog accepted")
+	}
+	// A page without a FOAF link cannot be attributed.
+	var plain semweb.Internet
+	plain.Register("plain.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("<html><body><a href=\"http://www.amazon.com/dp/" + isbn.Synthesize(1) + "\">x</a></body></html>"))
+	}))
+	_, _, err := weblog.Fetch(context.Background(), plain.Client(), "http://plain.example/blog")
+	if !errors.Is(err, weblog.ErrNoFOAFLink) {
+		t.Fatalf("got %v, want ErrNoFOAFLink", err)
+	}
+	// Unreachable host.
+	if _, _, err := weblog.Fetch(context.Background(), (&semweb.Internet{}).Client(), "http://down.example/b"); err == nil {
+		t.Fatal("unreachable host accepted")
+	}
+}
+
+func TestSiteBlogEndpoint(t *testing.T) {
+	in, site := publishedSite(t)
+	resp, err := in.Client().Get(site.BlogURL("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+}
