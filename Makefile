@@ -3,12 +3,20 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz experiments experiments-paper examples clean
+.PHONY: all build check fmt vet test race cover bench fuzz experiments experiments-paper examples clean
 
-all: build vet test
+all: build check
+
+# check is the CI gate: formatting, vet, and the full test suite under
+# the race detector (the serving engine is exercised concurrently).
+check: fmt vet race
 
 build:
 	$(GO) build ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

@@ -1,37 +1,54 @@
 // Command swrecd serves recommendations over a JSON HTTP API — the
 // deployment face of an installation once its crawler has materialized a
 // community view. The community comes from a corpus directory (written
-// by `swrec export` or by a crawl) or is generated synthetically.
+// by `swrec export` or by a crawl) or is generated synthetically, and is
+// served by a persistent engine (internal/engine) whose caches are
+// warmed at startup so the first request is as fast as the thousandth.
 //
 // Usage:
 //
 //	swrecd [-addr 127.0.0.1:8080] [-in DIR | -scale small|paper -seed N]
 //	       [-metric appleseed|advogato|pathtrust|none] [-alpha 0.5]
+//	       [-warm] [-shutdown-timeout 10s]
 //
-// Endpoints (see internal/api):
+// Endpoints (see internal/api for the response envelope):
 //
+//	GET /v1/healthz
+//	GET /v1/metrics
 //	GET /v1/stats
-//	GET /v1/agents?limit=N
+//	GET /v1/agents?offset=0&limit=25
 //	GET /v1/agents/{escaped-uri}
-//	GET /v1/agents/{escaped-uri}/neighbors
-//	GET /v1/agents/{escaped-uri}/profile
-//	GET /v1/agents/{escaped-uri}/recommendations?n=10&novel=1
+//	GET /v1/agents/{escaped-uri}/neighbors?n=25&metric=&alpha=&measure=
+//	GET /v1/agents/{escaped-uri}/profile?n=15
+//	GET /v1/agents/{escaped-uri}/recommendations?n=10&novel=1&theta=0.4&metric=&alpha=&measure=
 //	GET /v1/products/{escaped-id}
+//	GET /v1/topics/{escaped-path}?offset=0&limit=50
+//
+// The server logs one line per request (method, path, status, duration),
+// applies read/write timeouts, and shuts down gracefully on SIGINT or
+// SIGTERM, draining in-flight requests up to -shutdown-timeout.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"net/url"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"swrec"
 	"swrec/internal/api"
 	"swrec/internal/cf"
 	"swrec/internal/core"
 	"swrec/internal/datagen"
+	"swrec/internal/engine"
 )
 
 func main() {
@@ -41,7 +58,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	metric := flag.String("metric", "appleseed", "trust metric: appleseed | advogato | pathtrust | none")
 	alpha := flag.Float64("alpha", 0.5, "rank synthesization blend")
+	warm := flag.Bool("warm", true, "precompute all agent profiles and neighborhoods at startup")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
+
+	logger := log.New(os.Stderr, "swrecd: ", log.LstdFlags)
 
 	var comm *swrec.Community
 	if *inDir != "" {
@@ -50,7 +71,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("serving corpus %s: %d agents, %d products\n",
+		logger.Printf("serving corpus %s: %d agents, %d products",
 			*inDir, comm.NumAgents(), comm.NumProducts())
 	} else {
 		cfg := datagen.SmallScale()
@@ -59,7 +80,7 @@ func main() {
 		}
 		cfg.Seed = *seed
 		comm, _ = swrec.GenerateCommunity(cfg)
-		fmt.Printf("serving generated %s community: %d agents, %d products\n",
+		logger.Printf("serving generated %s community: %d agents, %d products",
 			*scale, comm.NumAgents(), comm.NumProducts())
 	}
 
@@ -83,10 +104,23 @@ func main() {
 		fatal(fmt.Errorf("unknown metric %q", *metric))
 	}
 
-	srv, err := api.New(comm, opt)
+	eng, err := engine.New(comm, opt, engine.Config{})
 	if err != nil {
 		fatal(err)
 	}
+	if *warm {
+		res := eng.Warmup(0)
+		logger.Printf("warmed %d agents in %v", res.Agents, res.Duration.Round(time.Millisecond))
+	}
+
+	srv := &http.Server{
+		Handler:           logRequests(logger, api.New(eng)),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
@@ -95,12 +129,53 @@ func main() {
 	if ids := comm.Agents(); len(ids) > 0 {
 		sample = url.PathEscape(string(ids[0]))
 	}
-	fmt.Printf("listening on http://%s\n", ln.Addr())
-	fmt.Printf("  try: curl http://%s/v1/stats\n", ln.Addr())
-	fmt.Printf("  try: curl 'http://%s/v1/agents/%s/recommendations?n=5'\n", ln.Addr(), sample)
-	if err := (&http.Server{Handler: srv}).Serve(ln); err != nil {
-		fatal(err)
+	logger.Printf("listening on http://%s", ln.Addr())
+	logger.Printf("  try: curl http://%s/v1/healthz", ln.Addr())
+	logger.Printf("  try: curl 'http://%s/v1/agents/%s/recommendations?n=5'", ln.Addr(), sample)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Printf("signal received, draining for up to %v", *shutdownTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("forced shutdown: %v", err)
+			_ = srv.Close()
+		}
+		logger.Printf("bye")
 	}
+}
+
+// logRequests emits one line per request: method, path, status, duration.
+func logRequests(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		logger.Printf("%s %s %d %v", r.Method, r.URL.RequestURI(), rec.status,
+			time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
 }
 
 func fatal(err error) {

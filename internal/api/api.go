@@ -1,80 +1,119 @@
 // Package api exposes the recommender over a JSON HTTP API — the
 // deployment surface a §4-style installation offers its own user
-// interface once the crawler has materialized a community. Endpoints are
-// read-only (all mutation happens by crawling the Semantic Web):
+// interface once the crawler has materialized a community. The server is
+// a thin handler layer over internal/engine: every request pins one
+// immutable snapshot, so responses are consistent even while a
+// background crawler publishes updated views via Engine.Swap. Endpoints
+// are read-only (all mutation happens by crawling the Semantic Web):
 //
+//	GET /v1/healthz                        serving status: epoch, counts, uptime
+//	GET /v1/metrics                        expvar (engine cache + request counters)
 //	GET /v1/stats                          community + taxonomy statistics
-//	GET /v1/agents?limit=N                 agents by trust out-degree
+//	GET /v1/agents?offset=0&limit=25       agent directory by trust out-degree
 //	GET /v1/agents/{uri}                   one agent's statements
-//	GET /v1/agents/{uri}/neighbors?n=N     synthesized peer ranks
-//	GET /v1/agents/{uri}/profile?n=N       top taxonomy interests
-//	GET /v1/agents/{uri}/recommendations?n=N&novel=1&theta=0.4
+//	GET /v1/agents/{uri}/neighbors?n=25&metric=&alpha=&measure=
+//	GET /v1/agents/{uri}/profile?n=15      top taxonomy interests
+//	GET /v1/agents/{uri}/recommendations?n=10&novel=1&theta=0.4&metric=&alpha=&measure=
 //	GET /v1/products/{id}                  catalog entry
-//	GET /v1/topics/{path}                  products in a taxonomy branch
+//	GET /v1/topics/{path}?offset=0&limit=50  products in a taxonomy branch
 //
-// Agent URIs and product IDs arrive URL-escaped in the path. Errors are
-// JSON objects {"error": "..."} with conventional status codes.
+// Agent URIs and product IDs arrive URL-escaped in the path.
+//
+// Responses use a uniform envelope (the breaking v1 revision noted in
+// CHANGES.md): errors are {"error": {"code", "message"}} with
+// machine-readable codes (invalid_argument, not_found, no_taxonomy,
+// method_not_allowed, internal); list-shaped responses are
+// {"items": [...], "total": N} with real offset/limit pagination on
+// /v1/agents and /v1/topics/{path}.
+//
+// Per-request pipeline overrides on neighbors and recommendations —
+// metric=appleseed|advogato|pathtrust|none, alpha=[0,1],
+// measure=pearson|cosine — are validated eagerly (400 invalid_argument)
+// and served from override-specific engine caches.
 package api
 
 import (
-	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"net/http"
 	"net/url"
-	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"encoding/json"
+
+	"swrec/internal/cf"
 	"swrec/internal/core"
-	"swrec/internal/index"
+	"swrec/internal/engine"
 	"swrec/internal/model"
-	"swrec/internal/profile"
 	"swrec/internal/taxonomy"
 )
 
-// Server wraps one community and one recommender configuration.
+// apiStats aggregates request counters across all servers in the
+// process, published as "swrec_api" (requests, request_ns, status_NNN).
+var apiStats = expvar.NewMap("swrec_api")
+
+// Server is the HTTP handler layer over one serving engine.
 type Server struct {
-	comm *model.Community
-	opt  core.Options
-	mux  *http.ServeMux
+	eng *engine.Engine
+	mux *http.ServeMux
 }
 
-// New creates the API server. The options are validated eagerly by
-// building one recommender.
-func New(comm *model.Community, opt core.Options) (*Server, error) {
-	if _, err := core.New(comm, opt); err != nil {
-		return nil, err
-	}
-	s := &Server{comm: comm, opt: opt, mux: http.NewServeMux()}
+// New creates the API server over an already validated engine.
+func New(eng *engine.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.Handle("/v1/metrics", expvar.Handler())
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/agents", s.handleAgents)
 	s.mux.HandleFunc("/v1/agents/", s.handleAgentSubtree)
 	s.mux.HandleFunc("/v1/products/", s.handleProduct)
 	s.mux.HandleFunc("/v1/topics/", s.handleTopic)
-	return s, nil
+	return s
 }
 
-// ServeHTTP implements http.Handler.
+// statusRecorder captures the status code for request accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler, instrumenting every request.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		writeError(w, http.StatusMethodNotAllowed, "read-only API")
-		return
+		writeError(rec, http.StatusMethodNotAllowed, "method_not_allowed", "read-only API")
+	} else {
+		s.mux.ServeHTTP(rec, r)
 	}
-	s.mux.ServeHTTP(w, r)
+	apiStats.Add("requests", 1)
+	apiStats.Add("request_ns", time.Since(start).Nanoseconds())
+	apiStats.Add(fmt.Sprintf("status_%d", rec.status), 1)
 }
 
-// recommender builds a fresh pipeline; profile caches live per request,
-// which keeps results consistent with concurrent community updates by a
-// background crawler.
-func (s *Server) recommender() *core.Recommender {
-	rec, err := core.New(s.comm, s.opt)
-	if err != nil {
-		// Options were validated in New; a failure here means the
-		// community changed incompatibly, which has no recovery.
-		panic(err)
-	}
-	return rec
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// page is the uniform list envelope. Offset/Limit echo the effective
+// pagination window; endpoints without windowed pagination omit them.
+type page struct {
+	Items  any  `json:"items"`
+	Total  int  `json:"total"`
+	Offset *int `json:"offset,omitempty"`
+	Limit  *int `json:"limit,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -84,32 +123,136 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
+func writeError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	w.WriteHeader(status)
+	var body errorBody
+	body.Error.Code, body.Error.Message = code, msg
+	_ = json.NewEncoder(w).Encode(body)
 }
 
-// intParam reads a positive integer query parameter with a default.
-func intParam(r *http.Request, name string, def int) int {
+// writeList emits the items envelope without a pagination window.
+func writeList(w http.ResponseWriter, items any, total int) {
+	writeJSON(w, page{Items: items, Total: total})
+}
+
+// writePage emits the items envelope with its pagination window.
+func writePage(w http.ResponseWriter, items any, total, offset, limit int) {
+	writeJSON(w, page{Items: items, Total: total, Offset: &offset, Limit: &limit})
+}
+
+// intParam parses a non-negative integer query parameter. A malformed or
+// negative value is a validation error, not a silent default.
+func intParam(r *http.Request, name string, def int) (int, error) {
 	v := r.URL.Query().Get(name)
 	if v == "" {
-		return def
+		return def, nil
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil || n < 0 {
-		return def
+		return 0, fmt.Errorf("%s must be a non-negative integer, got %q", name, v)
 	}
-	return n
+	return n, nil
+}
+
+// pageParams reads the offset/limit pagination window. limit = 0 means
+// "no cap" and pages to the end.
+func pageParams(r *http.Request, defLimit int) (offset, limit int, err error) {
+	if offset, err = intParam(r, "offset", 0); err != nil {
+		return 0, 0, err
+	}
+	if limit, err = intParam(r, "limit", defLimit); err != nil {
+		return 0, 0, err
+	}
+	return offset, limit, nil
+}
+
+// window applies the pagination window to a slice of length n, returning
+// the clamped [lo, hi) bounds.
+func window(n, offset, limit int) (lo, hi int) {
+	if offset > n {
+		offset = n
+	}
+	hi = n
+	if limit > 0 && offset+limit < n {
+		hi = offset + limit
+	}
+	return offset, hi
+}
+
+// overrides parses the per-request pipeline override parameters shared
+// by the neighbors and recommendations endpoints.
+func parseOverrides(r *http.Request) (engine.Overrides, error) {
+	var ov engine.Overrides
+	q := r.URL.Query()
+	if v := q.Get("metric"); v != "" {
+		var m core.Metric
+		switch v {
+		case "appleseed":
+			m = core.Appleseed
+		case "advogato":
+			m = core.Advogato
+		case "pathtrust":
+			m = core.PathTrust
+		case "none":
+			m = core.NoTrust
+		default:
+			return ov, fmt.Errorf("metric must be appleseed|advogato|pathtrust|none, got %q", v)
+		}
+		ov.Metric = &m
+	}
+	if v := q.Get("alpha"); v != "" {
+		a, err := strconv.ParseFloat(v, 64)
+		if err != nil || a < 0 || a > 1 {
+			return ov, fmt.Errorf("alpha must be in [0,1], got %q", v)
+		}
+		ov.Alpha = &a
+	}
+	if v := q.Get("measure"); v != "" {
+		var m cf.Measure
+		switch v {
+		case "pearson":
+			m = cf.Pearson
+		case "cosine":
+			m = cf.Cosine
+		default:
+			return ov, fmt.Errorf("measure must be pearson|cosine, got %q", v)
+		}
+		ov.Measure = &m
+	}
+	switch v := q.Get("novel"); v {
+	case "", "0":
+	case "1":
+		c := core.NovelCategories
+		ov.Content = &c
+	default:
+		return ov, fmt.Errorf("novel must be 0 or 1, got %q", v)
+	}
+	return ov, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.eng.Snapshot()
+	comm := snap.Community()
+	writeJSON(w, map[string]any{
+		"status":        "ok",
+		"epoch":         snap.Epoch(),
+		"agents":        comm.NumAgents(),
+		"products":      comm.NumProducts(),
+		"uptimeSeconds": s.eng.Uptime().Seconds(),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.eng.Snapshot()
+	comm := snap.Community()
 	type stats struct {
+		Epoch     uint64          `json:"epoch"`
 		Community model.Stats     `json:"community"`
 		Taxonomy  *taxonomy.Stats `json:"taxonomy,omitempty"`
 	}
-	out := stats{Community: s.comm.ComputeStats()}
-	if tax := s.comm.Taxonomy(); tax != nil {
+	out := stats{Epoch: snap.Epoch(), Community: comm.ComputeStats()}
+	if tax := comm.Taxonomy(); tax != nil {
 		ts := tax.ComputeStats()
 		out.Taxonomy = &ts
 	}
@@ -124,24 +267,26 @@ type agentSummary struct {
 	Ratings  int           `json:"ratings"`
 }
 
+func summarize(comm *model.Community, id model.AgentID) agentSummary {
+	a := comm.Agent(id)
+	return agentSummary{ID: id, Name: a.Name,
+		TrustOut: len(a.Trust), Ratings: len(a.Ratings)}
+}
+
 func (s *Server) handleAgents(w http.ResponseWriter, r *http.Request) {
-	limit := intParam(r, "limit", 25)
-	out := make([]agentSummary, 0, s.comm.NumAgents())
-	for _, id := range s.comm.Agents() {
-		a := s.comm.Agent(id)
-		out = append(out, agentSummary{ID: id, Name: a.Name,
-			TrustOut: len(a.Trust), Ratings: len(a.Ratings)})
+	offset, limit, err := pageParams(r, 25)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].TrustOut != out[j].TrustOut {
-			return out[i].TrustOut > out[j].TrustOut
-		}
-		return out[i].ID < out[j].ID
-	})
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
+	snap := s.eng.Snapshot()
+	ids := snap.AgentsByTrustOut()
+	lo, hi := window(len(ids), offset, limit)
+	items := make([]agentSummary, 0, hi-lo)
+	for _, id := range ids[lo:hi] {
+		items = append(items, summarize(snap.Community(), id))
 	}
-	writeJSON(w, out)
+	writePage(w, items, len(ids), offset, limit)
 }
 
 // handleAgentSubtree routes /v1/agents/{uri}[/neighbors|/profile|/recommendations].
@@ -157,22 +302,23 @@ func (s *Server) handleAgentSubtree(w http.ResponseWriter, r *http.Request) {
 	}
 	uri, err := url.PathUnescape(rest)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "malformed agent URI")
+		writeError(w, http.StatusBadRequest, "invalid_argument", "malformed agent URI")
 		return
 	}
+	snap := s.eng.Snapshot()
 	id := model.AgentID(uri)
-	a := s.comm.Agent(id)
+	a := snap.Community().Agent(id)
 	if a == nil {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown agent %s", uri))
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("unknown agent %s", uri))
 		return
 	}
 	switch action {
 	case "neighbors":
-		s.serveNeighbors(w, r, id)
+		s.serveNeighbors(w, r, snap, id)
 	case "profile":
-		s.serveProfile(w, r, a)
+		s.serveProfile(w, r, snap, id)
 	case "recommendations":
-		s.serveRecommendations(w, r, id)
+		s.serveRecommendations(w, r, snap, id)
 	default:
 		type agentDetail struct {
 			agentSummary
@@ -180,68 +326,78 @@ func (s *Server) handleAgentSubtree(w http.ResponseWriter, r *http.Request) {
 			Ratings []model.RatingStatement `json:"ratingStatements"`
 		}
 		writeJSON(w, agentDetail{
-			agentSummary: agentSummary{ID: id, Name: a.Name,
-				TrustOut: len(a.Trust), Ratings: len(a.Ratings)},
-			Trust:   a.TrustedPeers(),
-			Ratings: a.RatedProducts(),
+			agentSummary: summarize(snap.Community(), id),
+			Trust:        a.TrustedPeers(),
+			Ratings:      a.RatedProducts(),
 		})
 	}
 }
 
-func (s *Server) serveNeighbors(w http.ResponseWriter, r *http.Request, id model.AgentID) {
-	peers, err := s.recommender().RankedPeers(id)
+func (s *Server) serveNeighbors(w http.ResponseWriter, r *http.Request, snap *engine.Snapshot, id model.AgentID) {
+	ov, err := parseOverrides(r)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, core.ErrUnknownAgent) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, err.Error())
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
 		return
 	}
-	if n := intParam(r, "n", 25); n > 0 && len(peers) > n {
+	n, err := intParam(r, "n", 25)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	peers, err := snap.RankedPeers(id, ov)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	total := len(peers)
+	if n > 0 && len(peers) > n {
 		peers = peers[:n]
 	}
-	writeJSON(w, peers)
+	writeList(w, peers, total)
 }
 
-func (s *Server) serveProfile(w http.ResponseWriter, r *http.Request, a *model.Agent) {
-	tax := s.comm.Taxonomy()
-	if tax == nil {
-		writeError(w, http.StatusConflict, "community has no taxonomy")
+func (s *Server) serveProfile(w http.ResponseWriter, r *http.Request, snap *engine.Snapshot, id model.AgentID) {
+	n, err := intParam(r, "n", 15)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
 		return
 	}
-	g := profile.New(tax)
-	prof := g.Profile(a, s.comm)
+	prof, err := snap.Profile(id)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	tax := snap.Community().Taxonomy()
 	type topicScore struct {
 		Topic string  `json:"topic"`
 		Score float64 `json:"score"`
 	}
-	var out []topicScore
-	for _, e := range prof.TopK(intParam(r, "n", 15)) {
-		out = append(out, topicScore{
+	items := make([]topicScore, 0, n)
+	for _, e := range prof.TopK(n) {
+		items = append(items, topicScore{
 			Topic: tax.QualifiedName(taxonomy.Topic(e.Key)),
 			Score: e.Value,
 		})
 	}
-	writeJSON(w, out)
+	writeList(w, items, len(prof))
 }
 
-func (s *Server) serveRecommendations(w http.ResponseWriter, r *http.Request, id model.AgentID) {
-	opt := s.opt
-	if r.URL.Query().Get("novel") == "1" {
-		opt.Content = core.NovelCategories
-	}
-	rec, err := core.New(s.comm, opt)
+func (s *Server) serveRecommendations(w http.ResponseWriter, r *http.Request, snap *engine.Snapshot, id model.AgentID) {
+	ov, err := parseOverrides(r)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
 		return
 	}
-	n := intParam(r, "n", 10)
+	n, err := intParam(r, "n", 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
 	theta := 0.0
 	if v := r.URL.Query().Get("theta"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil || f < 0 || f > 1 {
-			writeError(w, http.StatusBadRequest, "theta must be in [0,1]")
+			writeError(w, http.StatusBadRequest, "invalid_argument", "theta must be in [0,1]")
 			return
 		}
 		theta = f
@@ -251,43 +407,45 @@ func (s *Server) serveRecommendations(w http.ResponseWriter, r *http.Request, id
 	if theta > 0 && n > 0 {
 		fetchN = n * 5
 	}
-	recs, err := rec.Recommend(id, fetchN)
+	recs, err := snap.Recommend(id, fetchN, ov)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, core.ErrUnknownAgent) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, err.Error())
+		writeEngineError(w, err)
 		return
 	}
 	if theta > 0 {
+		rec, err := snap.RecommenderFor(ov)
+		if err != nil {
+			writeEngineError(w, err)
+			return
+		}
 		recs = rec.Diversify(recs, n, theta)
 	}
 	type recOut struct {
 		core.Recommendation
 		Title string `json:"title,omitempty"`
 	}
-	out := make([]recOut, 0, len(recs))
+	items := make([]recOut, 0, len(recs))
 	for _, rc := range recs {
 		ro := recOut{Recommendation: rc}
-		if p := s.comm.Product(rc.Product); p != nil {
+		if p := snap.Community().Product(rc.Product); p != nil {
 			ro.Title = p.Title
 		}
-		out = append(out, ro)
+		items = append(items, ro)
 	}
-	writeJSON(w, out)
+	writeList(w, items, len(items))
 }
 
 func (s *Server) handleProduct(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/products/")
 	idRaw, err := url.PathUnescape(rest)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "malformed product ID")
+		writeError(w, http.StatusBadRequest, "invalid_argument", "malformed product ID")
 		return
 	}
-	p := s.comm.Product(model.ProductID(idRaw))
+	snap := s.eng.Snapshot()
+	p := snap.Community().Product(model.ProductID(idRaw))
 	if p == nil {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown product %s", idRaw))
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("unknown product %s", idRaw))
 		return
 	}
 	type productOut struct {
@@ -297,7 +455,7 @@ func (s *Server) handleProduct(w http.ResponseWriter, r *http.Request) {
 		Topics []string        `json:"topics,omitempty"`
 	}
 	out := productOut{ID: p.ID, Title: p.Title, ISBN: p.ISBN}
-	if tax := s.comm.Taxonomy(); tax != nil {
+	if tax := snap.Community().Taxonomy(); tax != nil {
 		for _, d := range p.Topics {
 			out.Topics = append(out.Topics, tax.QualifiedName(d))
 		}
@@ -306,45 +464,66 @@ func (s *Server) handleProduct(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTopic browses a taxonomy branch: products whose descriptors fall
-// into the topic (by qualified path, root name included) or below it.
+// into the topic (by qualified path, root name included) or below it,
+// served from the snapshot's per-branch cache and paged with
+// offset/limit.
 func (s *Server) handleTopic(w http.ResponseWriter, r *http.Request) {
-	tax := s.comm.Taxonomy()
+	snap := s.eng.Snapshot()
+	tax := snap.Community().Taxonomy()
 	if tax == nil {
-		writeError(w, http.StatusConflict, "community has no taxonomy")
+		writeError(w, http.StatusConflict, "no_taxonomy", "community has no taxonomy")
 		return
 	}
 	rest := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/topics/")
 	path, err := url.PathUnescape(rest)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "malformed topic path")
+		writeError(w, http.StatusBadRequest, "invalid_argument", "malformed topic path")
+		return
+	}
+	offset, limit, err := pageParams(r, 50)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
 		return
 	}
 	d, ok := tax.Lookup(path)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown topic %s", path))
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("unknown topic %s", path))
 		return
 	}
-	ix := index.Build(s.comm)
-	pids := ix.Subtree(d)
-	if n := intParam(r, "n", 50); n > 0 && len(pids) > n {
-		pids = pids[:n]
-	}
+	pids := snap.Subtree(d)
+	total := len(pids)
+	lo, hi := window(total, offset, limit)
 	type entry struct {
 		ID    model.ProductID `json:"id"`
 		Title string          `json:"title,omitempty"`
 	}
-	type topicOut struct {
-		Topic    string  `json:"topic"`
-		Subtree  int     `json:"subtreeProducts"`
-		Products []entry `json:"products"`
+	type topicPage struct {
+		Topic  string  `json:"topic"`
+		Items  []entry `json:"items"`
+		Total  int     `json:"total"`
+		Offset int     `json:"offset"`
+		Limit  int     `json:"limit"`
 	}
-	out := topicOut{Topic: tax.QualifiedName(d), Subtree: ix.Count(d)}
-	for _, pid := range pids {
+	out := topicPage{Topic: tax.QualifiedName(d), Total: total, Offset: offset, Limit: limit,
+		Items: make([]entry, 0, hi-lo)}
+	for _, pid := range pids[lo:hi] {
 		e := entry{ID: pid}
-		if p := s.comm.Product(pid); p != nil {
+		if p := snap.Community().Product(pid); p != nil {
 			e.Title = p.Title
 		}
-		out.Products = append(out.Products, e)
+		out.Items = append(out.Items, e)
 	}
 	writeJSON(w, out)
+}
+
+// writeEngineError maps engine/core errors onto the error envelope.
+func writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrUnknownAgent):
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	case errors.Is(err, engine.ErrNoTaxonomy):
+		writeError(w, http.StatusConflict, "no_taxonomy", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
 }

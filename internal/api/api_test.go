@@ -2,31 +2,40 @@ package api
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync"
 	"testing"
 
 	"swrec/internal/cf"
 	"swrec/internal/core"
 	"swrec/internal/datagen"
+	"swrec/internal/engine"
 	"swrec/internal/model"
 )
 
-func newTestServer(t *testing.T) (*Server, *model.Community) {
+func testCommunity(t testing.TB, agents, products int) *model.Community {
 	t.Helper()
 	cfg := datagen.SmallScale()
-	cfg.Agents = 60
-	cfg.Products = 80
+	cfg.Agents = agents
+	cfg.Products = products
 	comm, _ := datagen.Generate(cfg)
-	s, err := New(comm, core.Options{
+	return comm
+}
+
+func newTestServer(t *testing.T) (*Server, *model.Community, *engine.Engine) {
+	t.Helper()
+	comm := testCommunity(t, 60, 80)
+	eng, err := engine.New(comm, core.Options{
 		CF: cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy},
-	})
+	}, engine.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s, comm
+	return New(eng), comm, eng
 }
 
 // get performs a request and decodes the JSON body into out.
@@ -46,9 +55,79 @@ func get(t *testing.T, s *Server, path string, out interface{}) int {
 	return rec.Code
 }
 
-func TestStatsEndpoint(t *testing.T) {
-	s, comm := newTestServer(t)
+// getError asserts an error response and returns the envelope code.
+func getError(t *testing.T, s *Server, path string, wantStatus int) string {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("%s status = %d, want %d", path, rec.Code, wantStatus)
+	}
+	var body struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("error body not enveloped: %s", rec.Body.String())
+	}
+	if body.Error.Code == "" || body.Error.Message == "" {
+		t.Fatalf("error envelope incomplete: %s", rec.Body.String())
+	}
+	return body.Error.Code
+}
+
+func TestHealthz(t *testing.T) {
+	s, comm, eng := newTestServer(t)
 	var out struct {
+		Status        string  `json:"status"`
+		Epoch         uint64  `json:"epoch"`
+		Agents        int     `json:"agents"`
+		Products      int     `json:"products"`
+		UptimeSeconds float64 `json:"uptimeSeconds"`
+	}
+	if code := get(t, s, "/v1/healthz", &out); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if out.Status != "ok" || out.Epoch != 1 ||
+		out.Agents != comm.NumAgents() || out.Products != comm.NumProducts() {
+		t.Fatalf("healthz = %+v", out)
+	}
+	if out.UptimeSeconds < 0 {
+		t.Fatalf("uptime = %v", out.UptimeSeconds)
+	}
+
+	if _, err := eng.Swap(testCommunity(t, 20, 30)); err != nil {
+		t.Fatal(err)
+	}
+	get(t, s, "/v1/healthz", &out)
+	if out.Epoch != 2 || out.Agents != 20 {
+		t.Fatalf("healthz after swap = %+v", out)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, comm, _ := newTestServer(t)
+	esc := url.PathEscape(string(comm.Agents()[0]))
+	get(t, s, "/v1/agents/"+esc+"/recommendations", nil) // generate traffic
+	var vars map[string]json.RawMessage
+	if code := get(t, s, "/v1/metrics", &vars); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if _, ok := vars["swrec_engine"]; !ok {
+		t.Fatal("metrics missing swrec_engine map")
+	}
+	if _, ok := vars["swrec_api"]; !ok {
+		t.Fatal("metrics missing swrec_api map")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, comm, _ := newTestServer(t)
+	var out struct {
+		Epoch     uint64      `json:"epoch"`
 		Community model.Stats `json:"community"`
 		Taxonomy  *struct {
 			Topics int `json:"Topics"`
@@ -56,6 +135,9 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if code := get(t, s, "/v1/stats", &out); code != 200 {
 		t.Fatalf("status = %d", code)
+	}
+	if out.Epoch != 1 {
+		t.Fatalf("epoch = %d", out.Epoch)
 	}
 	if out.Community.Agents != comm.NumAgents() {
 		t.Fatalf("agents = %d, want %d", out.Community.Agents, comm.NumAgents())
@@ -65,27 +147,76 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
-func TestAgentsListSortedAndLimited(t *testing.T) {
-	s, _ := newTestServer(t)
-	var out []struct {
+type agentsPage struct {
+	Items []struct {
 		ID       string `json:"id"`
 		TrustOut int    `json:"trustOut"`
-	}
-	if code := get(t, s, "/v1/agents?limit=5", &out); code != 200 {
+	} `json:"items"`
+	Total  int `json:"total"`
+	Offset int `json:"offset"`
+	Limit  int `json:"limit"`
+}
+
+func TestAgentsPagination(t *testing.T) {
+	s, comm, _ := newTestServer(t)
+	var first agentsPage
+	if code := get(t, s, "/v1/agents?limit=5", &first); code != 200 {
 		t.Fatalf("status = %d", code)
 	}
-	if len(out) != 5 {
-		t.Fatalf("limit ignored: %d entries", len(out))
+	if len(first.Items) != 5 || first.Total != comm.NumAgents() ||
+		first.Offset != 0 || first.Limit != 5 {
+		t.Fatalf("first page = %+v", first)
 	}
-	for i := 1; i < len(out); i++ {
-		if out[i-1].TrustOut < out[i].TrustOut {
+	for i := 1; i < len(first.Items); i++ {
+		if first.Items[i-1].TrustOut < first.Items[i].TrustOut {
 			t.Fatal("agents not sorted by trust out-degree")
 		}
+	}
+
+	// Walk the whole directory in pages: windows must be disjoint and
+	// cover every agent exactly once.
+	seen := map[string]bool{}
+	for offset := 0; ; offset += 7 {
+		var p agentsPage
+		if code := get(t, s, fmt.Sprintf("/v1/agents?offset=%d&limit=7", offset), &p); code != 200 {
+			t.Fatalf("page at %d: status %d", offset, code)
+		}
+		if p.Total != comm.NumAgents() {
+			t.Fatalf("total changed mid-walk: %d", p.Total)
+		}
+		for _, it := range p.Items {
+			if seen[it.ID] {
+				t.Fatalf("agent %s appeared twice", it.ID)
+			}
+			seen[it.ID] = true
+		}
+		if len(p.Items) < 7 {
+			break
+		}
+	}
+	if len(seen) != comm.NumAgents() {
+		t.Fatalf("paged %d agents, want %d", len(seen), comm.NumAgents())
+	}
+
+	// Past-the-end offset yields an empty page, not an error.
+	var empty agentsPage
+	if code := get(t, s, "/v1/agents?offset=100000&limit=5", &empty); code != 200 {
+		t.Fatalf("past-end status = %d", code)
+	}
+	if len(empty.Items) != 0 || empty.Total != comm.NumAgents() {
+		t.Fatalf("past-end page = %+v", empty)
+	}
+
+	if code := getError(t, s, "/v1/agents?limit=x", http.StatusBadRequest); code != "invalid_argument" {
+		t.Fatalf("bad limit code = %s", code)
+	}
+	if code := getError(t, s, "/v1/agents?offset=-3", http.StatusBadRequest); code != "invalid_argument" {
+		t.Fatalf("bad offset code = %s", code)
 	}
 }
 
 func TestAgentDetailAndSubResources(t *testing.T) {
-	s, comm := newTestServer(t)
+	s, comm, _ := newTestServer(t)
 	id := comm.Agents()[0]
 	esc := url.PathEscape(string(id))
 
@@ -106,66 +237,116 @@ func TestAgentDetailAndSubResources(t *testing.T) {
 		t.Fatalf("trust statements = %d, want %d", len(detail.Trust), len(comm.Agent(id).Trust))
 	}
 
-	var neighbors []struct {
-		Agent  string  `json:"Agent"`
-		Weight float64 `json:"Weight"`
+	var neighbors struct {
+		Items []struct {
+			Agent  string  `json:"Agent"`
+			Weight float64 `json:"Weight"`
+		} `json:"items"`
+		Total int `json:"total"`
 	}
 	if code := get(t, s, "/v1/agents/"+esc+"/neighbors?n=10", &neighbors); code != 200 {
 		t.Fatalf("neighbors status = %d", code)
 	}
-	if len(neighbors) > 10 {
-		t.Fatalf("n ignored: %d", len(neighbors))
+	if len(neighbors.Items) > 10 || neighbors.Total < len(neighbors.Items) {
+		t.Fatalf("neighbors page: %d items, total %d", len(neighbors.Items), neighbors.Total)
 	}
 
-	var prof []struct {
-		Topic string  `json:"topic"`
-		Score float64 `json:"score"`
+	var prof struct {
+		Items []struct {
+			Topic string  `json:"topic"`
+			Score float64 `json:"score"`
+		} `json:"items"`
+		Total int `json:"total"`
 	}
 	if code := get(t, s, "/v1/agents/"+esc+"/profile?n=5", &prof); code != 200 {
 		t.Fatalf("profile status = %d", code)
 	}
-	if len(prof) > 5 {
-		t.Fatalf("profile n ignored: %d", len(prof))
+	if len(prof.Items) > 5 {
+		t.Fatalf("profile n ignored: %d", len(prof.Items))
 	}
-	for _, ts := range prof {
+	for _, ts := range prof.Items {
 		if !strings.HasPrefix(ts.Topic, "Books") || ts.Score <= 0 {
 			t.Fatalf("bad profile entry %+v", ts)
 		}
 	}
 
-	var recs []struct {
-		Product string  `json:"Product"`
-		Score   float64 `json:"Score"`
-		Title   string  `json:"title"`
+	var recs struct {
+		Items []struct {
+			Product string  `json:"Product"`
+			Score   float64 `json:"Score"`
+			Title   string  `json:"title"`
+		} `json:"items"`
+		Total int `json:"total"`
 	}
 	if code := get(t, s, "/v1/agents/"+esc+"/recommendations?n=5", &recs); code != 200 {
 		t.Fatalf("recommendations status = %d", code)
 	}
-	if len(recs) > 5 {
-		t.Fatalf("rec n ignored: %d", len(recs))
+	if len(recs.Items) > 5 {
+		t.Fatalf("rec n ignored: %d", len(recs.Items))
 	}
-	for _, r := range recs {
+	for _, r := range recs.Items {
 		if _, rated := comm.Agent(id).Ratings[model.ProductID(r.Product)]; rated {
 			t.Fatalf("recommended already-rated %s", r.Product)
 		}
 	}
 }
 
+func TestRecommendationOverrides(t *testing.T) {
+	s, comm, _ := newTestServer(t)
+	esc := url.PathEscape(string(comm.Agents()[0]))
+	base := "/v1/agents/" + esc + "/recommendations"
+
+	var out struct {
+		Items []struct {
+			Product string `json:"Product"`
+		} `json:"items"`
+	}
+	for _, q := range []string{
+		"?metric=none", "?metric=advogato", "?metric=pathtrust",
+		"?alpha=1", "?alpha=0", "?measure=pearson",
+		"?metric=none&alpha=0.25&measure=pearson&novel=0",
+	} {
+		if code := get(t, s, base+q, &out); code != 200 {
+			t.Fatalf("%s status = %d", q, code)
+		}
+	}
+
+	// Pure-trust vs pure-similarity blends must both work on neighbors too.
+	var nOut struct {
+		Items []struct {
+			Weight float64 `json:"Weight"`
+		} `json:"items"`
+	}
+	if code := get(t, s, "/v1/agents/"+esc+"/neighbors?alpha=1&n=5", &nOut); code != 200 {
+		t.Fatalf("neighbors alpha status = %d", code)
+	}
+
+	for _, q := range []string{
+		"?metric=bogus", "?alpha=2", "?alpha=x", "?measure=manhattan",
+		"?novel=yes", "?n=-1", "?theta=7",
+	} {
+		if code := getError(t, s, base+q, http.StatusBadRequest); code != "invalid_argument" {
+			t.Fatalf("%s error code = %s", q, code)
+		}
+	}
+}
+
 func TestNovelFlag(t *testing.T) {
-	s, comm := newTestServer(t)
-	id := comm.Agents()[0]
-	esc := url.PathEscape(string(id))
-	var std, novel []struct {
-		Product string `json:"Product"`
+	s, comm, _ := newTestServer(t)
+	esc := url.PathEscape(string(comm.Agents()[0]))
+	var std, novel struct {
+		Items []struct {
+			Product string `json:"Product"`
+		} `json:"items"`
 	}
 	get(t, s, "/v1/agents/"+esc+"/recommendations?n=0", &std)
 	get(t, s, "/v1/agents/"+esc+"/recommendations?n=0&novel=1", &novel)
 	// Novel results are a (possibly strict) subset of the standard ones.
 	set := map[string]bool{}
-	for _, r := range std {
+	for _, r := range std.Items {
 		set[r.Product] = true
 	}
-	for _, r := range novel {
+	for _, r := range novel.Items {
 		if !set[r.Product] {
 			t.Fatalf("novel rec %s not in standard set", r.Product)
 		}
@@ -173,11 +354,12 @@ func TestNovelFlag(t *testing.T) {
 }
 
 func TestThetaDiversification(t *testing.T) {
-	s, comm := newTestServer(t)
-	id := comm.Agents()[0]
-	esc := url.PathEscape(string(id))
-	var plain, div []struct {
-		Product string `json:"Product"`
+	s, comm, _ := newTestServer(t)
+	esc := url.PathEscape(string(comm.Agents()[0]))
+	var plain, div struct {
+		Items []struct {
+			Product string `json:"Product"`
+		} `json:"items"`
 	}
 	if code := get(t, s, "/v1/agents/"+esc+"/recommendations?n=10", &plain); code != 200 {
 		t.Fatalf("plain status = %d", code)
@@ -185,63 +367,79 @@ func TestThetaDiversification(t *testing.T) {
 	if code := get(t, s, "/v1/agents/"+esc+"/recommendations?n=10&theta=0.8", &div); code != 200 {
 		t.Fatalf("theta status = %d", code)
 	}
-	if len(div) == 0 || len(div) > 10 {
-		t.Fatalf("diversified length = %d", len(div))
+	if len(div.Items) == 0 || len(div.Items) > 10 {
+		t.Fatalf("diversified length = %d", len(div.Items))
 	}
-	if len(plain) > 0 && len(div) > 0 && plain[0].Product != div[0].Product {
+	if len(plain.Items) > 0 && len(div.Items) > 0 && plain.Items[0].Product != div.Items[0].Product {
 		t.Fatal("diversification must keep the top candidate")
-	}
-	if code := get(t, s, "/v1/agents/"+esc+"/recommendations?theta=7", nil); code != 400 {
-		t.Fatalf("bad theta status = %d", code)
 	}
 }
 
-func TestTopicEndpoint(t *testing.T) {
-	s, comm := newTestServer(t)
-	// Pick a real leaf topic from a product's descriptors.
-	p := comm.Product(comm.Products()[0])
-	topicPath := comm.Taxonomy().QualifiedName(p.Topics[0])
-
-	var out struct {
-		Topic    string `json:"topic"`
-		Subtree  int    `json:"subtreeProducts"`
-		Products []struct {
+func TestTopicPagination(t *testing.T) {
+	s, comm, _ := newTestServer(t)
+	// The taxonomy root covers the entire catalog.
+	root := comm.Taxonomy().Name(0)
+	type topicPage struct {
+		Topic  string `json:"topic"`
+		Total  int    `json:"total"`
+		Offset int    `json:"offset"`
+		Limit  int    `json:"limit"`
+		Items  []struct {
 			ID string `json:"id"`
-		} `json:"products"`
+		} `json:"items"`
 	}
-	if code := get(t, s, "/v1/topics/"+url.PathEscape(topicPath), &out); code != 200 {
+	var first topicPage
+	if code := get(t, s, "/v1/topics/"+url.PathEscape(root)+"?limit=10", &first); code != 200 {
 		t.Fatalf("status = %d", code)
 	}
-	if out.Topic != topicPath || out.Subtree == 0 || len(out.Products) == 0 {
-		t.Fatalf("topic browse = %+v", out)
+	if first.Total != comm.NumProducts() || len(first.Items) != 10 {
+		t.Fatalf("root page = total %d items %d", first.Total, len(first.Items))
+	}
+
+	seen := map[string]bool{}
+	for offset := 0; ; offset += 13 {
+		var p topicPage
+		if code := get(t, s, fmt.Sprintf("/v1/topics/%s?offset=%d&limit=13", url.PathEscape(root), offset), &p); code != 200 {
+			t.Fatalf("page at %d: status %d", offset, code)
+		}
+		for _, it := range p.Items {
+			if seen[it.ID] {
+				t.Fatalf("product %s appeared twice", it.ID)
+			}
+			seen[it.ID] = true
+		}
+		if len(p.Items) < 13 {
+			break
+		}
+	}
+	if len(seen) != comm.NumProducts() {
+		t.Fatalf("paged %d products, want %d", len(seen), comm.NumProducts())
+	}
+
+	// A leaf topic still reports its own product.
+	p := comm.Product(comm.Products()[0])
+	topicPath := comm.Taxonomy().QualifiedName(p.Topics[0])
+	var leaf topicPage
+	if code := get(t, s, "/v1/topics/"+url.PathEscape(topicPath)+"?limit=0", &leaf); code != 200 {
+		t.Fatalf("leaf status = %d", code)
 	}
 	found := false
-	for _, e := range out.Products {
+	for _, e := range leaf.Items {
 		if e.ID == string(p.ID) {
 			found = true
 		}
 	}
-	if !found {
-		t.Fatalf("product %s missing from its own topic", p.ID)
+	if !found || leaf.Topic != topicPath {
+		t.Fatalf("product %s missing from its own topic page %+v", p.ID, leaf)
 	}
-	// Root browse covers the whole catalog.
-	root := comm.Taxonomy().Name(0)
-	var rootOut struct {
-		Subtree int `json:"subtreeProducts"`
-	}
-	if code := get(t, s, "/v1/topics/"+url.PathEscape(root)+"?n=1", &rootOut); code != 200 {
-		t.Fatal("root browse failed")
-	}
-	if rootOut.Subtree != comm.NumProducts() {
-		t.Fatalf("root subtree = %d, want %d", rootOut.Subtree, comm.NumProducts())
-	}
-	if code := get(t, s, "/v1/topics/No/Such/Topic", nil); code != 404 {
-		t.Fatalf("unknown topic status = %d", code)
+
+	if code := getError(t, s, "/v1/topics/No/Such/Topic", http.StatusNotFound); code != "not_found" {
+		t.Fatalf("unknown topic code = %s", code)
 	}
 }
 
 func TestProductEndpoint(t *testing.T) {
-	s, comm := newTestServer(t)
+	s, comm, _ := newTestServer(t)
 	pid := comm.Products()[0]
 	var out struct {
 		ID     string   `json:"id"`
@@ -255,23 +453,33 @@ func TestProductEndpoint(t *testing.T) {
 	}
 }
 
-func TestErrorPaths(t *testing.T) {
-	s, _ := newTestServer(t)
-	if code := get(t, s, "/v1/agents/"+url.PathEscape("http://nope/x"), nil); code != 404 {
-		t.Fatalf("unknown agent status = %d", code)
+func TestErrorEnvelope(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	if code := getError(t, s, "/v1/agents/"+url.PathEscape("http://nope/x"), http.StatusNotFound); code != "not_found" {
+		t.Fatalf("unknown agent code = %s", code)
 	}
-	if code := get(t, s, "/v1/products/nope", nil); code != 404 {
-		t.Fatalf("unknown product status = %d", code)
+	if code := getError(t, s, "/v1/products/nope", http.StatusNotFound); code != "not_found" {
+		t.Fatalf("unknown product code = %s", code)
 	}
+
 	req := httptest.NewRequest(http.MethodPost, "/v1/stats", nil)
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("POST status = %d", rec.Code)
 	}
-	// Validation at construction.
+	var body struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error.Code != "method_not_allowed" {
+		t.Fatalf("POST envelope = %s", rec.Body.String())
+	}
+
+	// Invalid options are rejected at engine construction.
 	comm := model.NewCommunity(nil)
-	if _, err := New(comm, core.Options{Alpha: 5}); err == nil {
+	if _, err := engine.New(comm, core.Options{Alpha: 5}, engine.Config{}); err == nil {
 		t.Fatal("invalid options accepted")
 	}
 }
@@ -279,11 +487,75 @@ func TestErrorPaths(t *testing.T) {
 func TestProfileWithoutTaxonomy(t *testing.T) {
 	comm := model.NewCommunity(nil)
 	comm.AddAgent("http://x/a")
-	s, err := New(comm, core.Options{CF: cf.Options{Representation: cf.Product}})
+	eng, err := engine.New(comm, core.Options{CF: cf.Options{Representation: cf.Product}}, engine.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if code := get(t, s, "/v1/agents/"+url.PathEscape("http://x/a")+"/profile", nil); code != http.StatusConflict {
-		t.Fatalf("status = %d, want 409", code)
+	s := New(eng)
+	esc := url.PathEscape("http://x/a")
+	if code := getError(t, s, "/v1/agents/"+esc+"/profile", http.StatusConflict); code != "no_taxonomy" {
+		t.Fatalf("profile code = %s", code)
 	}
+	if code := getError(t, s, "/v1/topics/Anything", http.StatusConflict); code != "no_taxonomy" {
+		t.Fatalf("topics code = %s", code)
+	}
+}
+
+// TestConcurrentClientsDuringSwap drives many clients through the full
+// HTTP stack while the engine swaps snapshots underneath them; run under
+// -race. Every response must be a well-formed 200 against a single
+// epoch's view.
+func TestConcurrentClientsDuringSwap(t *testing.T) {
+	s, comm, eng := newTestServer(t)
+
+	const clients = 8
+	const perClient = 15
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				// Resolve a live agent from the *current* directory page so
+				// the request targets whichever epoch it lands on.
+				req := httptest.NewRequest(http.MethodGet, "/v1/agents?limit=1", nil)
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				var p struct {
+					Items []struct {
+						ID string `json:"id"`
+					} `json:"items"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil || len(p.Items) == 0 {
+					errs <- fmt.Errorf("client %d: bad directory page: %s", seed, rec.Body.String())
+					return
+				}
+				esc := url.PathEscape(p.Items[0].ID)
+				req = httptest.NewRequest(http.MethodGet, "/v1/agents/"+esc+"/recommendations?n=5", nil)
+				rec = httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				// A swap between the two requests may retire the agent; 404
+				// is then correct. Anything else must be a clean 200.
+				if rec.Code != http.StatusOK && rec.Code != http.StatusNotFound {
+					errs <- fmt.Errorf("client %d: status %d: %s", seed, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(c)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Swap(testCommunity(t, 40+i, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := eng.Epoch(); got != 6 {
+		t.Fatalf("epoch = %d, want 6", got)
+	}
+	_ = comm
 }

@@ -220,6 +220,25 @@ func New(comm *model.Community, opt Options) (*Recommender, error) {
 	return r, nil
 }
 
+// WithOptions derives a recommender over the same community with
+// different pipeline options. When the CF configuration is unchanged the
+// derived recommender shares this one's similarity filter — and therefore
+// its interest-profile cache — so serving layers can honor per-request
+// overrides of the trust metric, α, or content mode without recomputing
+// profiles from scratch.
+func (r *Recommender) WithOptions(opt Options) (*Recommender, error) {
+	if opt.CF == r.opt.CF {
+		if err := opt.validate(); err != nil {
+			return nil, err
+		}
+		if opt.ContentBoost > 0 && r.gen == nil {
+			return nil, fmt.Errorf("core: content boost requires a taxonomy")
+		}
+		return &Recommender{comm: r.comm, opt: opt, filter: r.filter, gen: r.gen}, nil
+	}
+	return New(r.comm, opt)
+}
+
 // Community returns the underlying community view.
 func (r *Recommender) Community() *model.Community { return r.comm }
 
@@ -327,7 +346,18 @@ func (r *Recommender) Recommend(active model.AgentID, n int) ([]Recommendation, 
 	if err != nil {
 		return nil, err
 	}
+	return r.RecommendFrom(active, peers, n)
+}
+
+// RecommendFrom runs stage 4 only — the product vote — over an already
+// synthesized peer ranking, as produced by RankedPeers. Serving layers
+// that cache neighborhoods across requests (internal/engine) use this to
+// skip stages 1-3 entirely on a warm cache.
+func (r *Recommender) RecommendFrom(active model.AgentID, peers []PeerRank, n int) ([]Recommendation, error) {
 	act := r.comm.Agent(active)
+	if act == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownAgent, active)
+	}
 
 	var touched map[taxonomy.Topic]bool
 	if r.opt.Content == NovelCategories {

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"swrec/internal/core"
+	"swrec/internal/datagen"
+)
+
+// The acceptance benchmark for the serving engine: a warm-cache
+// recommendation request must beat the legacy serving path — which ran
+// core.New per request, recomputing every taxonomy profile and the trust
+// neighborhood from scratch — by at least an order of magnitude, and
+// must stop scaling with community size after first touch.
+//
+//	go test -bench=Serve -benchmem ./internal/engine/
+func benchCommunity(b *testing.B, agents int) *datagen.Config {
+	b.Helper()
+	cfg := datagen.SmallScale()
+	cfg.Agents = agents
+	cfg.Products = agents * 2
+	return &cfg
+}
+
+// BenchmarkServePerRequestNew measures the legacy path: a fresh pipeline
+// per request, as internal/api did before the engine existed.
+func BenchmarkServePerRequestNew(b *testing.B) {
+	for _, agents := range []int{100, 200, 400} {
+		b.Run(fmt.Sprintf("agents=%d", agents), func(b *testing.B) {
+			comm, _ := datagen.Generate(*benchCommunity(b, agents))
+			opt := testOptions()
+			id := comm.Agents()[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec, err := core.New(comm, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rec.Recommend(id, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeEngineWarm measures the engine path after warmup: the
+// neighborhood and all profiles come from caches, so only the stage-4
+// vote runs per request.
+func BenchmarkServeEngineWarm(b *testing.B) {
+	for _, agents := range []int{100, 200, 400} {
+		b.Run(fmt.Sprintf("agents=%d", agents), func(b *testing.B) {
+			comm, _ := datagen.Generate(*benchCommunity(b, agents))
+			e, err := New(comm, testOptions(), Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Warmup(0)
+			snap := e.Snapshot()
+			id := comm.Agents()[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := snap.Recommend(id, 10, Overrides{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWarmup measures the parallel precompute pass itself.
+func BenchmarkWarmup(b *testing.B) {
+	comm, _ := datagen.Generate(*benchCommunity(b, 200))
+	opt := testOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := New(comm, opt, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		e.Warmup(0)
+	}
+}

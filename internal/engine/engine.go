@@ -1,0 +1,463 @@
+// Package engine is the persistent serving core behind the HTTP API: one
+// shared, concurrency-safe recommendation engine instead of a pipeline
+// rebuilt per request.
+//
+// The paper's §4 deployment is an installation that continuously crawls
+// the Semantic Web and serves its own users from the materialized view.
+// Serving and crawling meet here through snapshot isolation: the engine
+// owns one immutable Snapshot — community, recommender, caches — behind
+// an atomic pointer. Requests pin the snapshot once and read only from
+// it; a background crawler publishes an updated community with Swap,
+// which installs a fresh snapshot (new epoch, empty caches) atomically
+// while in-flight requests finish against the old one.
+//
+// Within a snapshot the engine amortizes the expensive per-agent state
+// across requests:
+//
+//   - taxonomy interest profiles (Eq. 3) and synthesized trust
+//     neighborhoods (§3.2-3.4) live in per-snapshot LRU caches;
+//   - concurrent identical computations collapse through a singleflight
+//     layer, so a thundering herd on one agent computes its neighborhood
+//     once;
+//   - the catalog's TopicIndex and per-branch subtree listings are built
+//     once and reused;
+//   - Warmup precomputes hot state for every agent with a worker pool,
+//     so a freshly loaded corpus serves warm from the first request.
+//
+// Cache effectiveness is observable via expvar under "swrec_engine"
+// (profile_hit/miss, peers_hit/miss, flight_shared, swaps, warmed_agents).
+package engine
+
+import (
+	"expvar"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swrec/internal/cf"
+	"swrec/internal/core"
+	"swrec/internal/index"
+	"swrec/internal/model"
+	"swrec/internal/profile"
+	"swrec/internal/sparse"
+	"swrec/internal/taxonomy"
+)
+
+// stats aggregates cache counters across all engines in the process.
+var stats = expvar.NewMap("swrec_engine")
+
+// ErrNoTaxonomy is returned by taxonomy-dependent lookups on communities
+// that carry no taxonomy.
+var ErrNoTaxonomy = fmt.Errorf("engine: community has no taxonomy")
+
+// Config sizes the per-snapshot caches. Zero values select defaults
+// generous enough to hold the paper-scale corpus (§4.1: 9,100 agents).
+type Config struct {
+	// ProfileCacheSize bounds cached Eq. 3 interest profiles (default 16384).
+	ProfileCacheSize int
+	// PeerCacheSize bounds cached synthesized neighborhoods (default 16384).
+	PeerCacheSize int
+	// SubtreeCacheSize bounds cached topic-branch product listings
+	// (default 4096).
+	SubtreeCacheSize int
+	// ResultCacheSize bounds cached complete recommendation lists, keyed
+	// by (agent, n, overrides) — the snapshot is immutable, so the
+	// stage-4 vote is a pure function of that key (default 8192).
+	ResultCacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProfileCacheSize <= 0 {
+		c.ProfileCacheSize = 16384
+	}
+	if c.PeerCacheSize <= 0 {
+		c.PeerCacheSize = 16384
+	}
+	if c.SubtreeCacheSize <= 0 {
+		c.SubtreeCacheSize = 4096
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 8192
+	}
+	return c
+}
+
+// Overrides carries per-request deviations from the engine's default
+// pipeline options. Nil fields keep the default. Distinct override
+// combinations get distinct cache entries, so overridden requests warm
+// their own state without poisoning the default path.
+type Overrides struct {
+	Metric  *core.Metric
+	Alpha   *float64
+	Measure *cf.Measure
+	Content *core.ContentMode
+}
+
+// pipelineKey identifies the stages-1-3 configuration (trust metric, α,
+// similarity measure). Content mode affects only the stage-4 vote, so
+// neighborhoods are shared across content modes.
+func (ov Overrides) pipelineKey() string {
+	key := ""
+	if ov.Metric != nil {
+		key += fmt.Sprintf("m%d", *ov.Metric)
+	}
+	if ov.Alpha != nil {
+		key += fmt.Sprintf("a%g", *ov.Alpha)
+	}
+	if ov.Measure != nil {
+		key += fmt.Sprintf("s%d", *ov.Measure)
+	}
+	return key
+}
+
+// variantKey identifies the full recommender configuration.
+func (ov Overrides) variantKey() string {
+	key := ov.pipelineKey()
+	if ov.Content != nil {
+		key += fmt.Sprintf("c%d", *ov.Content)
+	}
+	return key
+}
+
+// apply merges the overrides into a copy of the base options.
+func (ov Overrides) apply(opt core.Options) core.Options {
+	if ov.Metric != nil {
+		opt.Metric = *ov.Metric
+	}
+	if ov.Alpha != nil {
+		opt.Alpha, opt.AlphaSet = *ov.Alpha, true
+	}
+	if ov.Measure != nil {
+		opt.CF.Measure = *ov.Measure
+	}
+	if ov.Content != nil {
+		opt.Content = *ov.Content
+	}
+	return opt
+}
+
+// Snapshot is one immutable epoch of the serving state: a community view
+// plus every cache derived from it. All methods are safe for concurrent
+// use; returned slices and vectors are shared and must not be modified.
+type Snapshot struct {
+	epoch uint64
+	comm  *model.Community
+	opt   core.Options
+	rec   *core.Recommender
+
+	// gen builds Eq. 3 profiles for the /profile endpoint and warmup;
+	// nil when the community carries no taxonomy.
+	gen *profile.Generator
+
+	profiles *lruCache[model.AgentID, sparse.Vector]
+	peers    *lruCache[string, []core.PeerRank]
+	subtrees *lruCache[taxonomy.Topic, []model.ProductID]
+	results  *lruCache[string, []core.Recommendation]
+
+	ixOnce sync.Once
+	ix     *index.TopicIndex
+
+	agentsOnce    sync.Once
+	agentsByTrust []model.AgentID
+
+	variantMu sync.Mutex
+	variants  map[string]*core.Recommender
+
+	flights flightGroup
+}
+
+func newSnapshot(epoch uint64, comm *model.Community, opt core.Options, cfg Config) (*Snapshot, error) {
+	rec, err := core.New(comm, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		epoch:    epoch,
+		comm:     comm,
+		opt:      opt,
+		rec:      rec,
+		profiles: newLRU[model.AgentID, sparse.Vector](cfg.ProfileCacheSize),
+		peers:    newLRU[string, []core.PeerRank](cfg.PeerCacheSize),
+		subtrees: newLRU[taxonomy.Topic, []model.ProductID](cfg.SubtreeCacheSize),
+		results:  newLRU[string, []core.Recommendation](cfg.ResultCacheSize),
+		variants: make(map[string]*core.Recommender),
+	}
+	if tax := comm.Taxonomy(); tax != nil {
+		s.gen = profile.New(tax)
+	}
+	return s, nil
+}
+
+// Epoch returns the snapshot's monotonically increasing publish number.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Community returns the snapshot's immutable community view.
+func (s *Snapshot) Community() *model.Community { return s.comm }
+
+// Recommender returns the default-options recommender bound to this
+// snapshot.
+func (s *Snapshot) Recommender() *core.Recommender { return s.rec }
+
+// RecommenderFor returns a recommender honoring the given per-request
+// overrides. Variants are memoized per snapshot and share the default
+// recommender's similarity filter (and its profile cache) whenever the
+// CF configuration is unchanged.
+func (s *Snapshot) RecommenderFor(ov Overrides) (*core.Recommender, error) {
+	key := ov.variantKey()
+	if key == "" {
+		return s.rec, nil
+	}
+	s.variantMu.Lock()
+	defer s.variantMu.Unlock()
+	if rec, ok := s.variants[key]; ok {
+		return rec, nil
+	}
+	rec, err := s.rec.WithOptions(ov.apply(s.opt))
+	if err != nil {
+		return nil, err
+	}
+	s.variants[key] = rec
+	return rec, nil
+}
+
+// RankedPeers runs pipeline stages 1-3 for the active agent under the
+// given overrides, serving from the neighborhood cache when warm and
+// collapsing concurrent identical computations to one.
+func (s *Snapshot) RankedPeers(active model.AgentID, ov Overrides) ([]core.PeerRank, error) {
+	key := string(active) + "\x00" + ov.pipelineKey()
+	if peers, ok := s.peers.get(key); ok {
+		stats.Add("peers_hit", 1)
+		return peers, nil
+	}
+	stats.Add("peers_miss", 1)
+	v, err, shared := s.flights.do("peers\x00"+key, func() (any, error) {
+		rec, err := s.RecommenderFor(ov)
+		if err != nil {
+			return nil, err
+		}
+		peers, err := rec.RankedPeers(active)
+		if err != nil {
+			return nil, err
+		}
+		s.peers.add(key, peers)
+		return peers, nil
+	})
+	if shared {
+		stats.Add("flight_shared", 1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v.([]core.PeerRank), nil
+}
+
+// Recommend runs the full pipeline for the active agent: cached
+// neighborhood (stages 1-3) plus the stage-4 vote. Because the snapshot
+// is immutable, the complete result is itself a pure function of
+// (agent, n, overrides) and is served from the result cache on repeat —
+// a repeated identical request costs O(answer), independent of community
+// size.
+func (s *Snapshot) Recommend(active model.AgentID, n int, ov Overrides) ([]core.Recommendation, error) {
+	key := fmt.Sprintf("%s\x00%d\x00%s", active, n, ov.variantKey())
+	if recs, ok := s.results.get(key); ok {
+		stats.Add("results_hit", 1)
+		return recs, nil
+	}
+	stats.Add("results_miss", 1)
+	v, err, shared := s.flights.do("recs\x00"+key, func() (any, error) {
+		peers, err := s.RankedPeers(active, ov)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := s.RecommenderFor(ov)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := rec.RecommendFrom(active, peers, n)
+		if err != nil {
+			return nil, err
+		}
+		s.results.add(key, recs)
+		return recs, nil
+	})
+	if shared {
+		stats.Add("flight_shared", 1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v.([]core.Recommendation), nil
+}
+
+// Profile returns the agent's Eq. 3 taxonomy profile from the cache,
+// computing and caching it on first touch.
+func (s *Snapshot) Profile(active model.AgentID) (sparse.Vector, error) {
+	if s.gen == nil {
+		return nil, ErrNoTaxonomy
+	}
+	a := s.comm.Agent(active)
+	if a == nil {
+		return nil, fmt.Errorf("%w: %s", core.ErrUnknownAgent, active)
+	}
+	if prof, ok := s.profiles.get(active); ok {
+		stats.Add("profile_hit", 1)
+		return prof, nil
+	}
+	stats.Add("profile_miss", 1)
+	v, err, shared := s.flights.do("profile\x00"+string(active), func() (any, error) {
+		prof := s.gen.Profile(a, s.comm)
+		s.profiles.add(active, prof)
+		return prof, nil
+	})
+	if shared {
+		stats.Add("flight_shared", 1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v.(sparse.Vector), nil
+}
+
+// TopicIndex returns the snapshot's catalog index, building it on first
+// use.
+func (s *Snapshot) TopicIndex() *index.TopicIndex {
+	s.ixOnce.Do(func() { s.ix = index.Build(s.comm) })
+	return s.ix
+}
+
+// Subtree returns the deduplicated, sorted products of a taxonomy branch
+// from the per-branch cache.
+func (s *Snapshot) Subtree(d taxonomy.Topic) []model.ProductID {
+	if pids, ok := s.subtrees.get(d); ok {
+		stats.Add("subtree_hit", 1)
+		return pids
+	}
+	stats.Add("subtree_miss", 1)
+	v, _, _ := s.flights.do(fmt.Sprintf("subtree\x00%d", d), func() (any, error) {
+		pids := s.TopicIndex().Subtree(d)
+		s.subtrees.add(d, pids)
+		return pids, nil
+	})
+	return v.([]model.ProductID)
+}
+
+// AgentsByTrustOut returns all agent IDs ordered by descending trust
+// out-degree (ties by ID), computed once per snapshot — the ordering the
+// agent directory endpoint pages through. The slice is shared; callers
+// must not modify it.
+func (s *Snapshot) AgentsByTrustOut() []model.AgentID {
+	s.agentsOnce.Do(func() {
+		ids := append([]model.AgentID(nil), s.comm.Agents()...)
+		deg := func(id model.AgentID) int { return len(s.comm.Agent(id).Trust) }
+		sort.Slice(ids, func(i, j int) bool {
+			di, dj := deg(ids[i]), deg(ids[j])
+			if di != dj {
+				return di > dj
+			}
+			return ids[i] < ids[j]
+		})
+		s.agentsByTrust = ids
+	})
+	return s.agentsByTrust
+}
+
+// Engine owns the current snapshot and the swap discipline around it.
+type Engine struct {
+	cfg   Config
+	opt   core.Options
+	start time.Time
+
+	swapMu sync.Mutex // serializes Swap; epoch increments under it
+	snap   atomic.Pointer[Snapshot]
+}
+
+// New validates the options against the community and installs epoch 1.
+// The community (and any community later passed to Swap) must not be
+// mutated while the engine serves from it — crawlers build a fresh view
+// and publish it with Swap.
+func New(comm *model.Community, opt core.Options, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	snap, err := newSnapshot(1, comm, opt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, opt: opt, start: time.Now()}
+	e.snap.Store(snap)
+	return e, nil
+}
+
+// Snapshot returns the current epoch's state. Handlers call this once
+// per request and read only through the returned snapshot, so a
+// concurrent Swap never mixes epochs within one request.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Epoch returns the current snapshot's epoch.
+func (e *Engine) Epoch() uint64 { return e.Snapshot().epoch }
+
+// Options returns the engine's default pipeline options.
+func (e *Engine) Options() core.Options { return e.opt }
+
+// Uptime reports how long the engine has been serving.
+func (e *Engine) Uptime() time.Duration { return time.Since(e.start) }
+
+// Swap atomically publishes a new community view under the next epoch.
+// The previous snapshot stays valid for requests that already pinned it;
+// its caches are garbage once those drain. Returns the installed
+// snapshot. On error (e.g. the new community is incompatible with the
+// engine's options) the current snapshot remains in place.
+func (e *Engine) Swap(comm *model.Community) (*Snapshot, error) {
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	snap, err := newSnapshot(e.snap.Load().epoch+1, comm, e.opt, e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.snap.Store(snap)
+	stats.Add("swaps", 1)
+	return snap, nil
+}
+
+// WarmupResult reports what a Warmup pass touched.
+type WarmupResult struct {
+	Agents   int           // agents whose hot state was precomputed
+	Duration time.Duration // wall-clock time of the pass
+}
+
+// Warmup precomputes every agent's neighborhood and taxonomy profile on
+// the current snapshot with a pool of workers (default GOMAXPROCS when
+// workers <= 0), so a freshly loaded corpus serves its first requests
+// from warm caches. Errors on individual agents are skipped: warming is
+// best-effort and the serving path recomputes on demand.
+func (e *Engine) Warmup(workers int) WarmupResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	snap := e.Snapshot()
+	ids := snap.comm.Agents()
+	jobs := make(chan model.AgentID)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range jobs {
+				_, _ = snap.RankedPeers(id, Overrides{})
+				if snap.gen != nil {
+					_, _ = snap.Profile(id)
+				}
+			}
+		}()
+	}
+	for _, id := range ids {
+		jobs <- id
+	}
+	close(jobs)
+	wg.Wait()
+	snap.TopicIndex()
+	stats.Add("warmed_agents", int64(len(ids)))
+	return WarmupResult{Agents: len(ids), Duration: time.Since(start)}
+}

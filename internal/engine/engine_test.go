@@ -1,0 +1,367 @@
+package engine
+
+import (
+	"errors"
+	"expvar"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"swrec/internal/cf"
+	"swrec/internal/core"
+	"swrec/internal/datagen"
+	"swrec/internal/model"
+)
+
+func testCommunity(t testing.TB, agents, products int) *model.Community {
+	t.Helper()
+	cfg := datagen.SmallScale()
+	cfg.Agents = agents
+	cfg.Products = products
+	comm, _ := datagen.Generate(cfg)
+	return comm
+}
+
+func testOptions() core.Options {
+	return core.Options{CF: cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy}}
+}
+
+func counter(name string) int64 {
+	if v, ok := stats.Get(name).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+func TestRankedPeersCached(t *testing.T) {
+	comm := testCommunity(t, 40, 60)
+	e, err := New(comm, testOptions(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	id := comm.Agents()[0]
+
+	misses := counter("peers_miss")
+	first, err := snap.RankedPeers(id, Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter("peers_miss") != misses+1 {
+		t.Fatal("first lookup did not count as a miss")
+	}
+	hits := counter("peers_hit")
+	second, err := snap.RankedPeers(id, Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter("peers_hit") != hits+1 {
+		t.Fatal("second lookup did not hit the cache")
+	}
+	if len(first) != len(second) || (len(first) > 0 && &first[0] != &second[0]) {
+		t.Fatal("cache returned a different neighborhood")
+	}
+
+	// A pipeline override warms its own entry, not the default one.
+	alpha := 0.9
+	if _, err := snap.RankedPeers(id, Overrides{Alpha: &alpha}); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter("peers_miss"); got != misses+2 {
+		t.Fatalf("override shared the default cache entry (misses %d)", got-misses)
+	}
+}
+
+func TestRecommendMatchesDirectPipeline(t *testing.T) {
+	comm := testCommunity(t, 40, 60)
+	opt := testOptions()
+	e, err := New(comm, opt, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := core.New(comm, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range comm.Agents()[:10] {
+		want, err := rec.Recommend(id, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Snapshot().Recommend(id, 0, Overrides{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("agent %s: %d recs, want %d", id, len(got), len(want))
+		}
+		// Vote sums run over map-backed sparse vectors, so scores may
+		// differ in the last ULP between pipeline instances; compare as
+		// a score map with tolerance rather than positionally.
+		wantScore := make(map[string]core.Recommendation, len(want))
+		for _, rc := range want {
+			wantScore[string(rc.Product)] = rc
+		}
+		for _, rc := range got {
+			w, ok := wantScore[string(rc.Product)]
+			if !ok {
+				t.Fatalf("agent %s: unexpected product %s", id, rc.Product)
+			}
+			if rc.Supporters != w.Supporters || rc.Score-w.Score > 1e-9 || w.Score-rc.Score > 1e-9 {
+				t.Fatalf("agent %s product %s: %+v != %+v", id, rc.Product, rc, w)
+			}
+		}
+	}
+}
+
+func TestSingleflightCollapsesConcurrentComputations(t *testing.T) {
+	comm := testCommunity(t, 20, 30)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	opt := testOptions()
+	// A blocking candidate pre-filter stands in for an expensive trust
+	// metric: every stage-1 run must pass through it.
+	opt.Candidates = func(active model.AgentID) []model.AgentID {
+		calls.Add(1)
+		<-release
+		return comm.Agents()
+	}
+	e, err := New(comm, opt, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	id := comm.Agents()[0]
+
+	const clients = 8
+	var started, done sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		started.Add(1)
+		done.Add(1)
+		go func() {
+			started.Done()
+			defer done.Done()
+			if _, err := snap.RankedPeers(id, Overrides{}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	started.Wait()
+	time.Sleep(100 * time.Millisecond) // let every client reach the flight
+	close(release)
+	done.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("stage 1 ran %d times for %d concurrent clients", got, clients)
+	}
+}
+
+func TestSwapPublishesNewEpochAndKeepsOldSnapshot(t *testing.T) {
+	comm := testCommunity(t, 30, 40)
+	e, err := New(comm, testOptions(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := e.Snapshot()
+	if old.Epoch() != 1 {
+		t.Fatalf("initial epoch = %d", old.Epoch())
+	}
+
+	comm2 := testCommunity(t, 50, 70)
+	snap2, err := e.Swap(comm2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Epoch() != 2 || e.Epoch() != 2 {
+		t.Fatalf("epoch after swap = %d / %d", snap2.Epoch(), e.Epoch())
+	}
+	if e.Snapshot().Community() != comm2 {
+		t.Fatal("engine does not serve the swapped community")
+	}
+	// The pinned pre-swap snapshot still answers from the old view.
+	if old.Community() != comm || old.Community().NumAgents() != 30 {
+		t.Fatal("old snapshot lost its community")
+	}
+	if _, err := old.RankedPeers(comm.Agents()[0], Overrides{}); err != nil {
+		t.Fatalf("old snapshot stopped serving: %v", err)
+	}
+
+	// A community incompatible with the options must not be installed.
+	bare := model.NewCommunity(nil) // taxonomy representation needs a taxonomy
+	if _, err := e.Swap(bare); err == nil {
+		t.Fatal("incompatible swap accepted")
+	}
+	if e.Snapshot() != snap2 {
+		t.Fatal("failed swap displaced the current snapshot")
+	}
+}
+
+func TestWarmupPrecomputesAllAgents(t *testing.T) {
+	comm := testCommunity(t, 35, 50)
+	e, err := New(comm, testOptions(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Warmup(4)
+	if res.Agents != comm.NumAgents() {
+		t.Fatalf("warmed %d agents, want %d", res.Agents, comm.NumAgents())
+	}
+	snap := e.Snapshot()
+	if got := snap.peers.len(); got != comm.NumAgents() {
+		t.Fatalf("peer cache holds %d entries, want %d", got, comm.NumAgents())
+	}
+	if got := snap.profiles.len(); got != comm.NumAgents() {
+		t.Fatalf("profile cache holds %d entries, want %d", got, comm.NumAgents())
+	}
+	hits := counter("peers_hit")
+	for _, id := range comm.Agents() {
+		if _, err := snap.RankedPeers(id, Overrides{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := counter("peers_hit") - hits; got != int64(comm.NumAgents()) {
+		t.Fatalf("post-warmup lookups hit %d times, want %d", got, comm.NumAgents())
+	}
+}
+
+func TestRecommenderForSharesFilterAcrossCompatibleVariants(t *testing.T) {
+	comm := testCommunity(t, 25, 40)
+	e, err := New(comm, testOptions(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+
+	base, _ := snap.RecommenderFor(Overrides{})
+	alpha := 0.8
+	blended, err := snap.RecommenderFor(Overrides{Alpha: &alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blended == base {
+		t.Fatal("alpha override returned the default recommender")
+	}
+	if blended.Filter() != base.Filter() {
+		t.Fatal("alpha override rebuilt the similarity filter")
+	}
+	again, _ := snap.RecommenderFor(Overrides{Alpha: &alpha})
+	if again != blended {
+		t.Fatal("variant not memoized")
+	}
+
+	pearson := cf.Pearson
+	other, err := snap.RecommenderFor(Overrides{Measure: &pearson})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Filter() == base.Filter() {
+		t.Fatal("measure override must build its own filter")
+	}
+
+	bad := 7.0
+	if _, err := snap.RecommenderFor(Overrides{Alpha: &bad}); err == nil {
+		t.Fatal("invalid alpha accepted")
+	}
+}
+
+func TestProfileCachedAndGuarded(t *testing.T) {
+	comm := testCommunity(t, 20, 30)
+	e, err := New(comm, testOptions(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	id := comm.Agents()[0]
+	p1, err := snap.Profile(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) == 0 {
+		t.Fatal("empty profile for a rated agent")
+	}
+	misses := counter("profile_miss")
+	if _, err := snap.Profile(id); err != nil {
+		t.Fatal(err)
+	}
+	if counter("profile_miss") != misses {
+		t.Fatal("second profile lookup recomputed")
+	}
+	if _, err := snap.Profile("http://nope/x"); !errors.Is(err, core.ErrUnknownAgent) {
+		t.Fatalf("unknown agent error = %v", err)
+	}
+
+	bare := model.NewCommunity(nil)
+	bare.AddAgent("http://x/a")
+	e2, err := New(bare, core.Options{CF: cf.Options{Representation: cf.Product}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Snapshot().Profile("http://x/a"); !errors.Is(err, ErrNoTaxonomy) {
+		t.Fatalf("no-taxonomy error = %v", err)
+	}
+}
+
+func TestSubtreeCached(t *testing.T) {
+	comm := testCommunity(t, 20, 40)
+	e, err := New(comm, testOptions(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	p := comm.Product(comm.Products()[0])
+	d := p.Topics[0]
+	first := snap.Subtree(d)
+	second := snap.Subtree(d)
+	if len(first) == 0 || len(first) != len(second) {
+		t.Fatalf("subtree lengths %d / %d", len(first), len(second))
+	}
+	if len(first) > 0 && &first[0] != &second[0] {
+		t.Fatal("subtree recomputed despite cache")
+	}
+}
+
+// TestConcurrentRecommendDuringSwap hammers the engine from many
+// goroutines while snapshots are being swapped underneath them; run with
+// -race. Every request must succeed against whichever epoch it pinned.
+func TestConcurrentRecommendDuringSwap(t *testing.T) {
+	comm := testCommunity(t, 30, 40)
+	e, err := New(comm, testOptions(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	const perClient = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				snap := e.Snapshot()
+				ids := snap.Community().Agents()
+				id := ids[(seed+i)%len(ids)]
+				if _, err := snap.Recommend(id, 5, Overrides{}); err != nil {
+					errs <- fmt.Errorf("epoch %d agent %s: %w", snap.Epoch(), id, err)
+					return
+				}
+				if _, err := snap.Profile(id); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := e.Swap(testCommunity(t, 30+i, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

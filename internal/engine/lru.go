@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity, mutex-guarded LRU map. The engine keeps
+// one per snapshot and per cached artifact kind (taxonomy profiles,
+// synthesized neighborhoods, topic subtrees), so eviction pressure in one
+// kind never displaces another.
+type lruCache[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry[K, V]
+	items map[K]*list.Element
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRU[K comparable, V any](capacity int) *lruCache[K, V] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &lruCache[K, V]{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[K]*list.Element, capacity),
+	}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lruCache[K, V]) get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// add inserts or refreshes a value, evicting the least recently used
+// entry when over capacity.
+func (c *lruCache[K, V]) add(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruEntry[K, V]).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.order.PushFront(&lruEntry[K, V]{key: k, val: v})
+	if c.order.Len() > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.items, el.Value.(*lruEntry[K, V]).key)
+	}
+}
+
+// len reports the live entry count.
+func (c *lruCache[K, V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

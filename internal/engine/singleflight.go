@@ -1,0 +1,45 @@
+package engine
+
+import "sync"
+
+// flightGroup deduplicates concurrent computations of the same key: the
+// first caller runs fn, later callers for the same key block and share
+// the result. This is the classic singleflight pattern (stdlib has no
+// exported version, and the module is dependency-free), sized down to
+// what the engine needs: no channels, no forgotten-call API.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// do runs fn once per concurrent set of callers sharing key. shared
+// reports whether this caller reused another caller's in-flight result.
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, c.err, false
+}

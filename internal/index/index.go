@@ -74,9 +74,26 @@ func (ix *TopicIndex) Subtree(d taxonomy.Topic) []model.ProductID {
 	return out
 }
 
-// Count returns the subtree posting count without materializing the list.
+// Count returns the subtree posting count without materializing the
+// sorted product list: it walks the branch deduplicating into a set only.
 func (ix *TopicIndex) Count(d taxonomy.Topic) int {
-	return len(ix.Subtree(d))
+	if ix.tax == nil {
+		return len(ix.Direct(d))
+	}
+	seen := map[model.ProductID]bool{}
+	var walk func(t taxonomy.Topic)
+	walk = func(t taxonomy.Topic) {
+		for _, pid := range ix.postings[t] {
+			seen[pid] = true
+		}
+		for _, c := range ix.tax.Children(t) {
+			if ix.tax.Parent(c) == t {
+				walk(c)
+			}
+		}
+	}
+	walk(d)
+	return len(seen)
 }
 
 // TopicsOf returns the topics that actually carry postings, sorted — the

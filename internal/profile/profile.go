@@ -30,6 +30,7 @@ package profile
 
 import (
 	"fmt"
+	"sync"
 
 	"swrec/internal/model"
 	"swrec/internal/sparse"
@@ -89,8 +90,11 @@ type Generator struct {
 	// default is false; explicit-rating communities may prefer true.
 	WeightByRating bool
 	// divisor caches, per topic, the Eq. 3 normalization term
-	// Σ_m Π_{j>m} 1/(sib(p_j)+1) for the topic's primary path.
-	divisor map[taxonomy.Topic]float64
+	// Σ_m Π_{j>m} 1/(sib(p_j)+1) for the topic's primary path. Guarded by
+	// divisorMu so one Generator can serve concurrent profile builds (the
+	// serving engine shares a Generator across request goroutines).
+	divisorMu sync.Mutex
+	divisor   map[taxonomy.Topic]float64
 }
 
 // New creates a generator over the given taxonomy.
@@ -132,6 +136,8 @@ func (g *Generator) PropagateLeaf(out sparse.Vector, d taxonomy.Topic, share flo
 // 1/((sib(p_q)+1)(sib(p_{q-1})+1)) + ... so that the path total equals the
 // descriptor share. Cached per topic.
 func (g *Generator) pathDivisor(d taxonomy.Topic, path []taxonomy.Topic) float64 {
+	g.divisorMu.Lock()
+	defer g.divisorMu.Unlock()
 	if v, ok := g.divisor[d]; ok {
 		return v
 	}

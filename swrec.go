@@ -47,6 +47,7 @@ import (
 	"swrec/internal/corpus"
 	"swrec/internal/crawler"
 	"swrec/internal/datagen"
+	"swrec/internal/engine"
 	"swrec/internal/foaf"
 	"swrec/internal/index"
 	"swrec/internal/model"
@@ -156,6 +157,25 @@ type Recommender = core.Recommender
 // paper's default configuration (Appleseed + taxonomy-Pearson + α=0.5).
 func NewRecommender(c *Community, opt Options) (*Recommender, error) {
 	return core.New(c, opt)
+}
+
+// Engine is the persistent, concurrency-safe serving engine behind the
+// HTTP API: one immutable community snapshot plus shared caches for
+// taxonomy profiles, trust neighborhoods, and recommendation results,
+// with an atomic Swap for publishing crawled updates (see
+// internal/engine).
+type Engine = engine.Engine
+
+// EngineConfig sizes the engine's per-snapshot caches; the zero value
+// selects defaults.
+type EngineConfig = engine.Config
+
+// NewEngine builds a serving engine over a community view. Long-running
+// servers should prefer this over NewRecommender: repeated queries for
+// the same agent are answered from caches, and Warmup precomputes every
+// agent's hot state in parallel.
+func NewEngine(c *Community, opt Options, cfg EngineConfig) (*Engine, error) {
+	return engine.New(c, opt, cfg)
 }
 
 // NewCommunity creates an empty community over a taxonomy (which may be
