@@ -3,13 +3,14 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet test race cover bench fuzz experiments experiments-paper examples clean
+.PHONY: all build check fmt vet test race cover bench fuzz fuzz-smoke experiments experiments-paper examples clean
 
 all: build check
 
-# check is the CI gate: formatting, vet, and the full test suite under
-# the race detector (the serving engine is exercised concurrently).
-check: fmt vet race
+# check is the CI gate: formatting, vet, the full test suite under the
+# race detector (the serving engine is exercised concurrently), and a
+# short fuzz smoke of the RDF parsers.
+check: fmt vet race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -30,8 +31,12 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# bench runs the serving and write-path benchmarks and archives the
+# results as JSON for cross-commit comparison.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run=^$$ -bench=. -benchmem \
+		./internal/engine/ ./internal/wal/ ./internal/ingest/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_engine.json
 
 # Short fuzz pass over the RDF parsers (see internal/rdf/fuzz_test.go).
 fuzz:
@@ -39,6 +44,13 @@ fuzz:
 	$(GO) test -fuzz FuzzParseTurtle -fuzztime 30s ./internal/rdf/
 	$(GO) test -fuzz FuzzParseRDFXML -fuzztime 30s ./internal/rdf/
 	$(GO) test -fuzz FuzzParseDocument -fuzztime 30s ./internal/rdf/
+
+# fuzz-smoke is the 5-second-per-target variant run as part of check.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz FuzzParseNTriples -fuzztime 5s ./internal/rdf/
+	$(GO) test -run=^$$ -fuzz FuzzParseTurtle -fuzztime 5s ./internal/rdf/
+	$(GO) test -run=^$$ -fuzz FuzzParseRDFXML -fuzztime 5s ./internal/rdf/
+	$(GO) test -run=^$$ -fuzz FuzzParseDocument -fuzztime 5s ./internal/rdf/
 
 experiments:
 	$(GO) run ./cmd/experiments

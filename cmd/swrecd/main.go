@@ -9,7 +9,15 @@
 //
 //	swrecd [-addr 127.0.0.1:8080] [-in DIR | -scale small|paper -seed N]
 //	       [-metric appleseed|advogato|pathtrust|none] [-alpha 0.5]
-//	       [-warm] [-shutdown-timeout 10s]
+//	       [-warm] [-shutdown-timeout 10s] [-wal DIR]
+//
+// With -wal the server opens the durable write path (internal/ingest):
+// POST/DELETE endpoints on /v1/agents accept first-party mutations,
+// acknowledged once appended to the write-ahead log under DIR and made
+// visible through epoch snapshot swaps. On restart the server loads the
+// last checkpointed community from DIR (falling back to -in/-scale when
+// no checkpoint exists) and replays only the WAL records past the
+// checkpoint. Shutdown checkpoints, so a clean restart replays nothing.
 //
 // Endpoints (see internal/api for the response envelope):
 //
@@ -49,6 +57,7 @@ import (
 	"swrec/internal/core"
 	"swrec/internal/datagen"
 	"swrec/internal/engine"
+	"swrec/internal/ingest"
 )
 
 func main() {
@@ -60,12 +69,26 @@ func main() {
 	alpha := flag.Float64("alpha", 0.5, "rank synthesization blend")
 	warm := flag.Bool("warm", true, "precompute all agent profiles and neighborhoods at startup")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	walDir := flag.String("wal", "", "write-ahead log directory; enables the durable write endpoints")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "swrecd: ", log.LstdFlags)
 
 	var comm *swrec.Community
-	if *inDir != "" {
+	if *walDir != "" {
+		base, cp, ok, err := ingest.LoadBase(*walDir)
+		if err != nil {
+			fatal(err)
+		}
+		if ok {
+			comm = base
+			logger.Printf("restored checkpoint from %s (epoch %d, seq %d): %d agents, %d products",
+				*walDir, cp.Epoch, cp.Seq, comm.NumAgents(), comm.NumProducts())
+		}
+	}
+	if comm != nil {
+		// Base came from the WAL checkpoint.
+	} else if *inDir != "" {
 		var err error
 		comm, err = swrec.ImportCorpus(*inDir)
 		if err != nil {
@@ -113,8 +136,25 @@ func main() {
 		logger.Printf("warmed %d agents in %v", res.Agents, res.Duration.Round(time.Millisecond))
 	}
 
+	// The ingest pipeline replays unapplied WAL records at Open and is
+	// the engine's only swapper; the API submits mutations through it.
+	var pipe *ingest.Pipeline
+	handler := api.New(eng)
+	if *walDir != "" {
+		pipe, err = ingest.Open(eng, *walDir, ingest.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		if n := pipe.Replayed(); n > 0 {
+			epoch, seq := pipe.Applied()
+			logger.Printf("replayed %d WAL records (now epoch %d, seq %d)", n, epoch, seq)
+		}
+		handler = api.NewWritable(eng, pipe)
+		logger.Printf("write endpoints enabled, WAL at %s", *walDir)
+	}
+
 	srv := &http.Server{
-		Handler:           logRequests(logger, api.New(eng)),
+		Handler:           logRequests(logger, handler),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -152,6 +192,15 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			logger.Printf("forced shutdown: %v", err)
 			_ = srv.Close()
+		}
+		if pipe != nil {
+			// Checkpoint so the next start replays nothing, then drain.
+			if err := pipe.Checkpoint(); err != nil {
+				logger.Printf("checkpoint: %v", err)
+			}
+			if err := pipe.Close(); err != nil {
+				logger.Printf("ingest close: %v", err)
+			}
 		}
 		logger.Printf("bye")
 	}

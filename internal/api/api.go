@@ -3,8 +3,8 @@
 // interface once the crawler has materialized a community. The server is
 // a thin handler layer over internal/engine: every request pins one
 // immutable snapshot, so responses are consistent even while a
-// background crawler publishes updated views via Engine.Swap. Endpoints
-// are read-only (all mutation happens by crawling the Semantic Web):
+// background crawler publishes updated views via Engine.Swap. Read
+// endpoints:
 //
 //	GET /v1/healthz                        serving status: epoch, counts, uptime
 //	GET /v1/metrics                        expvar (engine cache + request counters)
@@ -16,6 +16,23 @@
 //	GET /v1/agents/{uri}/recommendations?n=10&novel=1&theta=0.4&metric=&alpha=&measure=
 //	GET /v1/products/{id}                  catalog entry
 //	GET /v1/topics/{path}?offset=0&limit=50  products in a taxonomy branch
+//
+// A server built with NewWritable additionally accepts first-party
+// mutations through the durable ingest pipeline (internal/ingest); a
+// server built with New stays read-only and answers 405 to every write:
+//
+//	POST   /v1/agents                      {"id", "name"} upsert an agent
+//	POST   /v1/agents/{uri}/trust          {"peer", "value"} assert trust in [-1,1]
+//	DELETE /v1/agents/{uri}/trust?peer=    retract a trust edge
+//	POST   /v1/agents/{uri}/ratings        {"product", "value"} rate in [-1,1]
+//	DELETE /v1/agents/{uri}/ratings?product=  retract a rating
+//
+// Writes are validated against the pinned snapshot (rating targets must
+// be cataloged products or checksum-valid urn:isbn: URNs), appended to
+// the write-ahead log, and acknowledged with 202 Accepted and the
+// assigned WAL sequence number once durable. Visibility is at the next
+// epoch swap, so a read-after-write may briefly see the previous state;
+// a full ingest queue fails fast with 503 overloaded.
 //
 // Agent URIs and product IDs arrive URL-escaped in the path.
 //
@@ -36,6 +53,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -47,25 +65,39 @@ import (
 	"swrec/internal/cf"
 	"swrec/internal/core"
 	"swrec/internal/engine"
+	"swrec/internal/ingest"
 	"swrec/internal/model"
 	"swrec/internal/taxonomy"
+	"swrec/internal/wal"
 )
 
 // apiStats aggregates request counters across all servers in the
 // process, published as "swrec_api" (requests, request_ns, status_NNN).
 var apiStats = expvar.NewMap("swrec_api")
 
-// Server is the HTTP handler layer over one serving engine.
-type Server struct {
-	eng *engine.Engine
-	mux *http.ServeMux
+// Writer is the slice of the ingest pipeline the API needs: durable
+// acknowledgement of one validated mutation. *ingest.Pipeline satisfies
+// it; tests may substitute fakes.
+type Writer interface {
+	Submit(m wal.Mutation) (uint64, error)
 }
 
-// New creates the API server over an already validated engine.
-func New(eng *engine.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+// Server is the HTTP handler layer over one serving engine.
+type Server struct {
+	eng    *engine.Engine
+	writer Writer // nil = read-only surface
+	mux    *http.ServeMux
+}
+
+// New creates a read-only API server over an already validated engine.
+func New(eng *engine.Engine) *Server { return NewWritable(eng, nil) }
+
+// NewWritable creates the API server with the write endpoints backed by
+// w (normally the *ingest.Pipeline). A nil w yields a read-only server.
+func NewWritable(eng *engine.Engine, w Writer) *Server {
+	s := &Server{eng: eng, writer: w, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	s.mux.Handle("/v1/metrics", expvar.Handler())
+	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/agents", s.handleAgents)
 	s.mux.HandleFunc("/v1/agents/", s.handleAgentSubtree)
@@ -89,14 +121,41 @@ func (r *statusRecorder) WriteHeader(code int) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		writeError(rec, http.StatusMethodNotAllowed, "method_not_allowed", "read-only API")
-	} else {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
 		s.mux.ServeHTTP(rec, r)
+	case http.MethodPost, http.MethodDelete:
+		if s.writer == nil {
+			writeError(rec, http.StatusMethodNotAllowed, "method_not_allowed", "read-only API")
+		} else {
+			s.mux.ServeHTTP(rec, r)
+		}
+	default:
+		writeError(rec, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("method %s not supported", r.Method))
 	}
 	apiStats.Add("requests", 1)
 	apiStats.Add("request_ns", time.Since(start).Nanoseconds())
 	apiStats.Add(fmt.Sprintf("status_%d", rec.status), 1)
+}
+
+// requireRead rejects write methods on read-only endpoints. With a
+// writer configured the global gate admits POST/DELETE, so each read
+// handler applies this guard.
+func requireRead(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+		fmt.Sprintf("%s does not accept %s", r.URL.Path, r.Method))
+	return false
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireRead(w, r) {
+		return
+	}
+	expvar.Handler().ServeHTTP(w, r)
 }
 
 // errorBody is the uniform error envelope.
@@ -232,6 +291,9 @@ func parseOverrides(r *http.Request) (engine.Overrides, error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireRead(w, r) {
+		return
+	}
 	snap := s.eng.Snapshot()
 	comm := snap.Community()
 	writeJSON(w, map[string]any{
@@ -244,6 +306,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireRead(w, r) {
+		return
+	}
 	snap := s.eng.Snapshot()
 	comm := snap.Community()
 	type stats struct {
@@ -274,6 +339,13 @@ func summarize(comm *model.Community, id model.AgentID) agentSummary {
 }
 
 func (s *Server) handleAgents(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		s.serveUpsertAgent(w, r)
+		return
+	}
+	if !requireRead(w, r) {
+		return
+	}
 	offset, limit, err := pageParams(r, 25)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
@@ -289,11 +361,12 @@ func (s *Server) handleAgents(w http.ResponseWriter, r *http.Request) {
 	writePage(w, items, len(ids), offset, limit)
 }
 
-// handleAgentSubtree routes /v1/agents/{uri}[/neighbors|/profile|/recommendations].
+// handleAgentSubtree routes
+// /v1/agents/{uri}[/neighbors|/profile|/recommendations|/trust|/ratings].
 func (s *Server) handleAgentSubtree(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/agents/")
 	var action string
-	for _, suffix := range []string{"/neighbors", "/profile", "/recommendations"} {
+	for _, suffix := range []string{"/neighbors", "/profile", "/recommendations", "/trust", "/ratings"} {
 		if strings.HasSuffix(rest, suffix) {
 			action = suffix[1:]
 			rest = strings.TrimSuffix(rest, suffix)
@@ -310,6 +383,14 @@ func (s *Server) handleAgentSubtree(w http.ResponseWriter, r *http.Request) {
 	a := snap.Community().Agent(id)
 	if a == nil {
 		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("unknown agent %s", uri))
+		return
+	}
+	switch action {
+	case "trust", "ratings":
+		s.serveWrite(w, r, snap, id, action)
+		return
+	}
+	if !requireRead(w, r) {
 		return
 	}
 	switch action {
@@ -436,6 +517,9 @@ func (s *Server) serveRecommendations(w http.ResponseWriter, r *http.Request, sn
 }
 
 func (s *Server) handleProduct(w http.ResponseWriter, r *http.Request) {
+	if !requireRead(w, r) {
+		return
+	}
 	rest := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/products/")
 	idRaw, err := url.PathUnescape(rest)
 	if err != nil {
@@ -468,6 +552,9 @@ func (s *Server) handleProduct(w http.ResponseWriter, r *http.Request) {
 // served from the snapshot's per-branch cache and paged with
 // offset/limit.
 func (s *Server) handleTopic(w http.ResponseWriter, r *http.Request) {
+	if !requireRead(w, r) {
+		return
+	}
 	snap := s.eng.Snapshot()
 	tax := snap.Community().Taxonomy()
 	if tax == nil {
@@ -514,6 +601,113 @@ func (s *Server) handleTopic(w http.ResponseWriter, r *http.Request) {
 		out.Items = append(out.Items, e)
 	}
 	writeJSON(w, out)
+}
+
+// maxWriteBody bounds write request bodies; mutations are tiny.
+const maxWriteBody = 1 << 16
+
+// accepted is the 202 envelope for durable write acknowledgements.
+type accepted struct {
+	Status string `json:"status"`
+	Seq    uint64 `json:"seq"`
+}
+
+// decodeBody strictly parses a small JSON request body into dst.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxWriteBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument",
+			fmt.Sprintf("malformed request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// submit validates the mutation against the pinned snapshot, hands it to
+// the ingest pipeline, and acknowledges durability with 202 and the
+// assigned WAL sequence number.
+func (s *Server) submit(w http.ResponseWriter, snap *engine.Snapshot, m wal.Mutation) {
+	if err := ingest.ValidateIn(snap.Community(), m); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	seq, err := s.writer.Submit(m)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(accepted{Status: "accepted", Seq: seq})
+}
+
+// serveWrite handles POST/DELETE /v1/agents/{uri}/{trust|ratings}.
+func (s *Server) serveWrite(w http.ResponseWriter, r *http.Request, snap *engine.Snapshot, id model.AgentID, action string) {
+	switch {
+	case r.Method == http.MethodPost && action == "trust":
+		var body struct {
+			Peer  model.AgentID `json:"peer"`
+			Value float64       `json:"value"`
+		}
+		if !decodeBody(w, r, &body) {
+			return
+		}
+		s.submit(w, snap, wal.Mutation{Op: wal.OpUpsertTrust, Agent: id, Peer: body.Peer, Value: body.Value})
+	case r.Method == http.MethodDelete && action == "trust":
+		peer := r.URL.Query().Get("peer")
+		if peer == "" {
+			writeError(w, http.StatusBadRequest, "invalid_argument", "peer query parameter required")
+			return
+		}
+		s.submit(w, snap, wal.Mutation{Op: wal.OpDeleteTrust, Agent: id, Peer: model.AgentID(peer)})
+	case r.Method == http.MethodPost && action == "ratings":
+		var body struct {
+			Product model.ProductID `json:"product"`
+			Value   float64         `json:"value"`
+		}
+		if !decodeBody(w, r, &body) {
+			return
+		}
+		s.submit(w, snap, wal.Mutation{Op: wal.OpUpsertRating, Agent: id, Product: body.Product, Value: body.Value})
+	case r.Method == http.MethodDelete && action == "ratings":
+		product := r.URL.Query().Get("product")
+		if product == "" {
+			writeError(w, http.StatusBadRequest, "invalid_argument", "product query parameter required")
+			return
+		}
+		s.submit(w, snap, wal.Mutation{Op: wal.OpDeleteRating, Agent: id, Product: model.ProductID(product)})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("%s does not accept %s", r.URL.Path, r.Method))
+	}
+}
+
+// serveUpsertAgent handles POST /v1/agents.
+func (s *Server) serveUpsertAgent(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		ID   model.AgentID `json:"id"`
+		Name string        `json:"name"`
+	}
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	s.submit(w, s.eng.Snapshot(), wal.Mutation{Op: wal.OpUpsertAgent, Agent: body.ID, Name: body.Name})
+}
+
+// writeSubmitError maps ingest pipeline errors onto the error envelope.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ingest.ErrInvalid):
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
+	case errors.Is(err, ingest.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "overloaded", "ingest queue full, retry later")
+	case errors.Is(err, ingest.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "write pipeline is shut down")
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
 }
 
 // writeEngineError maps engine/core errors onto the error envelope.

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sync"
 	"time"
@@ -61,6 +62,11 @@ type Crawler struct {
 	IgnoreRobots bool
 	// Timeout bounds one fetch. Default 10s.
 	Timeout time.Duration
+	// RetryBackoff is the base delay before the single retry of a
+	// transiently failed fetch (timeout, connection error, or 5xx). The
+	// actual delay is jittered in [0.5, 1.5) of the base so a re-crawl
+	// does not hammer a recovering host in lockstep. Default 500ms.
+	RetryBackoff time.Duration
 }
 
 // Stats reports what one crawl did.
@@ -71,6 +77,8 @@ type Stats struct {
 	Failed       int // fetch or parse failures (skipped, crawl continues)
 	Skipped      int // agents not visited due to MaxAgents/MaxDepth bounds
 	RobotsDenied int // homepages skipped because robots.txt disallows them
+	Retried      int // transient fetch failures retried after backoff
+	StaleServed  int // fetches that failed twice but were answered from cache
 }
 
 // Result is a materialized community plus crawl statistics.
@@ -89,6 +97,12 @@ func etagKey(url string) string { return "etag\x00" + url }
 // conditional (If-None-Match); a 304 reuses the cached bytes — the
 // "ensure data freshness" re-crawl of §4.1 at the cost of one round trip
 // per unchanged homepage.
+//
+// Failure protocol: a transient failure (timeout, connection error, 5xx)
+// is retried once after a jittered backoff; if the retry also fails and
+// a cached copy exists, the stale copy is served — the crawler "degrades
+// gracefully when parts of the Web are unreachable" instead of dropping
+// an agent it has seen before.
 func (c *Crawler) fetchDoc(ctx context.Context, url string, st *Stats, mu *sync.Mutex) ([]byte, error) {
 	var cached []byte
 	var cachedETag string
@@ -106,6 +120,42 @@ func (c *Crawler) fetchDoc(ctx context.Context, url string, st *Stats, mu *sync.
 			}
 		}
 	}
+	data, transient, err := c.fetchOnce(ctx, url, cached, cachedETag, st, mu)
+	if err != nil && transient {
+		mu.Lock()
+		st.Retried++
+		mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(jitter(c.RetryBackoff)):
+		}
+		data, _, err = c.fetchOnce(ctx, url, cached, cachedETag, st, mu)
+	}
+	if err != nil {
+		if cached != nil {
+			mu.Lock()
+			st.StaleServed++
+			mu.Unlock()
+			return cached, nil
+		}
+		return nil, err
+	}
+	return data, nil
+}
+
+// jitter spreads the retry backoff uniformly over [0.5, 1.5) of base.
+func jitter(base time.Duration) time.Duration {
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	return base/2 + time.Duration(rand.Int64N(int64(base)))
+}
+
+// fetchOnce performs one fetch attempt. transient reports whether the
+// failure class is worth one retry (network error or 5xx, as opposed to
+// a 4xx or a malformed URL).
+func (c *Crawler) fetchOnce(ctx context.Context, url string, cached []byte, cachedETag string, st *Stats, mu *sync.Mutex) (data []byte, transient bool, err error) {
 	client := c.Client
 	if client == nil {
 		client = http.DefaultClient
@@ -118,43 +168,44 @@ func (c *Crawler) fetchDoc(ctx context.Context, url string, st *Stats, mu *sync.
 	defer cancel()
 	req, err := http.NewRequestWithContext(fctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, fmt.Errorf("crawler: request %s: %w", url, err)
+		return nil, false, fmt.Errorf("crawler: request %s: %w", url, err)
 	}
 	if cachedETag != "" {
 		req.Header.Set("If-None-Match", cachedETag)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("crawler: fetch %s: %w", url, err)
+		return nil, true, fmt.Errorf("crawler: fetch %s: %w", url, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotModified && cached != nil {
 		mu.Lock()
 		st.NotModified++
 		mu.Unlock()
-		return cached, nil
+		return cached, false, nil
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("crawler: fetch %s: status %d", url, resp.StatusCode)
+		return nil, resp.StatusCode >= 500,
+			fmt.Errorf("crawler: fetch %s: status %d", url, resp.StatusCode)
 	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxDocumentBytes))
+	data, err = io.ReadAll(io.LimitReader(resp.Body, maxDocumentBytes))
 	if err != nil {
-		return nil, fmt.Errorf("crawler: read %s: %w", url, err)
+		return nil, true, fmt.Errorf("crawler: read %s: %w", url, err)
 	}
 	mu.Lock()
 	st.Fetched++
 	mu.Unlock()
 	if c.Cache != nil {
 		if err := c.Cache.Put(url, data); err != nil {
-			return nil, fmt.Errorf("crawler: cache: %w", err)
+			return nil, false, fmt.Errorf("crawler: cache: %w", err)
 		}
 		if tag := resp.Header.Get("ETag"); tag != "" {
 			if err := c.Cache.Put(etagKey(url), []byte(tag)); err != nil {
-				return nil, fmt.Errorf("crawler: cache etag: %w", err)
+				return nil, false, fmt.Errorf("crawler: cache etag: %w", err)
 			}
 		}
 	}
-	return data, nil
+	return data, false, nil
 }
 
 // Crawl materializes a community: it loads the global taxonomy and catalog

@@ -1,0 +1,177 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"swrec/internal/model"
+	"swrec/internal/store"
+)
+
+// flakyTransport fails requests whose URL contains a marker substring a
+// fixed number of times before delegating to the real transport.
+type flakyTransport struct {
+	inner   http.RoundTripper
+	marker  string
+	mode    string // "5xx" fabricates a 503; "err" returns a transport error
+	mu      sync.Mutex
+	remain  int // failures left to inject
+	matched int // requests that hit the marker
+}
+
+var errInjected = errors.New("injected connection failure")
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !strings.Contains(req.URL.String(), f.marker) {
+		return f.inner.RoundTrip(req)
+	}
+	f.mu.Lock()
+	f.matched++
+	inject := f.remain > 0
+	if inject {
+		f.remain--
+	}
+	f.mu.Unlock()
+	if !inject {
+		return f.inner.RoundTrip(req)
+	}
+	if f.mode == "err" {
+		return nil, errInjected
+	}
+	return &http.Response{
+		StatusCode: http.StatusServiceUnavailable,
+		Status:     "503 Service Unavailable",
+		Body:       http.NoBody,
+		Header:     http.Header{},
+		Request:    req,
+	}, nil
+}
+
+func TestCrawlRetriesTransient5xx(t *testing.T) {
+	in, site := publishWeb(t)
+	ft := &flakyTransport{inner: in.Client().Transport, marker: "alice", mode: "5xx", remain: 1}
+	cr := &Crawler{Client: &http.Client{Transport: ft}, RetryBackoff: time.Millisecond}
+	res, err := cr.Crawl(context.Background(), site.TaxonomyURL(), site.CatalogURL(),
+		[]model.AgentID{site.AgentURL("alice")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two retries: the injected 503 on alice, plus the fixture's
+	// permanently offline host (zoe), which is also transient-classed.
+	if res.Stats.Retried != 2 {
+		t.Fatalf("Retried = %d, want 2 (alice + offline zoe)", res.Stats.Retried)
+	}
+	if res.Stats.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1 (only offline zoe)", res.Stats.Failed)
+	}
+	// The retry succeeded, so the whole chain behind alice crawled.
+	if !res.Community.HasAgent(site.AgentURL("dave")) {
+		t.Fatal("crawl did not recover behind the retried fetch")
+	}
+}
+
+func TestCrawlRetriesConnectionError(t *testing.T) {
+	in, site := publishWeb(t)
+	ft := &flakyTransport{inner: in.Client().Transport, marker: "alice", mode: "err", remain: 1}
+	cr := &Crawler{Client: &http.Client{Transport: ft}, RetryBackoff: time.Millisecond}
+	res, err := cr.Crawl(context.Background(), site.TaxonomyURL(), site.CatalogURL(),
+		[]model.AgentID{site.AgentURL("alice")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice's injected error retried and recovered; offline zoe retried
+	// and failed (the fixture's permanent outage).
+	if res.Stats.Retried != 2 || res.Stats.Failed != 1 {
+		t.Fatalf("Retried = %d Failed = %d, want 2/1", res.Stats.Retried, res.Stats.Failed)
+	}
+	if !res.Community.HasAgent(site.AgentURL("dave")) {
+		t.Fatal("crawl did not recover behind the retried fetch")
+	}
+}
+
+func TestCrawlPersistentFailureExhaustsRetry(t *testing.T) {
+	in, site := publishWeb(t)
+	// More injected failures than the one retry: alice stays down.
+	ft := &flakyTransport{inner: in.Client().Transport, marker: "alice", mode: "5xx", remain: 99}
+	cr := &Crawler{Client: &http.Client{Transport: ft}, RetryBackoff: time.Millisecond}
+	res, err := cr.Crawl(context.Background(), site.TaxonomyURL(), site.CatalogURL(),
+		[]model.AgentID{site.AgentURL("alice")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Retried != 1 {
+		t.Fatalf("Retried = %d, want exactly 1 (single retry)", res.Stats.Retried)
+	}
+	if res.Stats.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", res.Stats.Failed)
+	}
+	if ft.matched != 2 {
+		t.Fatalf("transport saw %d attempts, want 2", ft.matched)
+	}
+}
+
+func TestCrawlNo4xxRetry(t *testing.T) {
+	in, site := publishWeb(t)
+	cr := &Crawler{Client: in.Client(), RetryBackoff: time.Millisecond}
+	// mallory's homepage exists; an unknown agent 404s and must not retry.
+	res, err := cr.Crawl(context.Background(), site.TaxonomyURL(), site.CatalogURL(),
+		[]model.AgentID{site.AgentURL("nobody-here")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Retried != 0 {
+		t.Fatalf("Retried = %d for a 404, want 0", res.Stats.Retried)
+	}
+	if res.Stats.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", res.Stats.Failed)
+	}
+}
+
+func TestCrawlStaleCacheFallback(t *testing.T) {
+	in, site := publishWeb(t)
+	st, err := store.Open(filepath.Join(t.TempDir(), "cache.db"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	seed := site.AgentURL("alice")
+	// First crawl warms the cache over a healthy network.
+	warm := &Crawler{Client: in.Client(), Cache: st}
+	if _, err := warm.Crawl(context.Background(), site.TaxonomyURL(), site.CatalogURL(),
+		[]model.AgentID{seed}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-crawl with Refresh while alice's host is persistently down:
+	// the retry exhausts, then the cached homepage is served, so the
+	// community still contains the full chain.
+	ft := &flakyTransport{inner: in.Client().Transport, marker: "alice", mode: "err", remain: 999}
+	cr := &Crawler{Client: &http.Client{Transport: ft}, Cache: st, Refresh: true,
+		RetryBackoff: time.Millisecond}
+	res, err := cr.Crawl(context.Background(), site.TaxonomyURL(), site.CatalogURL(),
+		[]model.AgentID{seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.StaleServed != 1 {
+		t.Fatalf("StaleServed = %d, want 1", res.Stats.StaleServed)
+	}
+	// Offline zoe was never cached, so it still counts as the one
+	// failure; alice's outage was absorbed by the cache.
+	if res.Stats.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1 (only uncached zoe)", res.Stats.Failed)
+	}
+	if !res.Community.HasAgent(site.AgentURL("dave")) {
+		t.Fatal("stale cache fallback did not preserve the crawl frontier")
+	}
+	if v, ok := res.Community.Trust(seed, site.AgentURL("bob")); !ok || v != 0.9 {
+		t.Fatal("alice's cached statements missing from the community")
+	}
+}

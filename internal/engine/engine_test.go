@@ -324,6 +324,79 @@ func TestSubtreeCached(t *testing.T) {
 // TestConcurrentRecommendDuringSwap hammers the engine from many
 // goroutines while snapshots are being swapped underneath them; run with
 // -race. Every request must succeed against whichever epoch it pinned.
+// TestWarmupDuringSwap races full Warmup passes against Swap publishing
+// new epochs and concurrent readers. Warmup pins the snapshot current at
+// its start, so a pass that overlaps a swap must complete against its
+// pinned epoch without error and without touching the new one (caught by
+// -race if any warmup write escaped into a swapped-in snapshot).
+func TestWarmupDuringSwap(t *testing.T) {
+	comm := testCommunity(t, 30, 40)
+	e, err := New(comm, testOptions(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+
+	// Continuous warmup passes.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res := e.Warmup(2)
+				if res.Agents == 0 {
+					errs <- fmt.Errorf("warmup touched no agents")
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent readers on whatever epoch is current.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := e.Snapshot()
+				ids := snap.Community().Agents()
+				if _, err := snap.Recommend(ids[(seed+i)%len(ids)], 5, Overrides{}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(r)
+	}
+	// Swaps drive epoch turnover under the warmers' feet.
+	for i := 0; i < 6; i++ {
+		if _, err := e.Swap(testCommunity(t, 30+i, 40)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := e.Snapshot().Epoch(); got < 7 {
+		t.Fatalf("epoch = %d after 6 swaps, want >= 7", got)
+	}
+}
+
 func TestConcurrentRecommendDuringSwap(t *testing.T) {
 	comm := testCommunity(t, 30, 40)
 	e, err := New(comm, testOptions(), Config{})

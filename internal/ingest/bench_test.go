@@ -1,0 +1,110 @@
+package ingest
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"swrec/internal/engine"
+	"swrec/internal/wal"
+)
+
+// BenchmarkRecommendWhileIngesting is the read-path-isolation acceptance
+// benchmark: a warm-cache Recommend against a pinned snapshot must stay
+// within noise of the idle-engine figure (~350ns in the engine package's
+// BenchmarkServeEngineWarm) while a background writer streams mutations
+// through the full Submit → WAL → clone → Swap pipeline. Readers never
+// touch the mutable clone, so the only cross-talk is memory bandwidth.
+//
+//	go test -bench=Recommend -benchmem ./internal/ingest/
+func BenchmarkRecommendWhileIngesting(b *testing.B) {
+	comm := testCommunity(b, 200, 400)
+	eng := testEngine(b, comm)
+	eng.Warmup(0)
+
+	cfg := Config{
+		SnapshotEvery:    512,
+		SnapshotInterval: 50 * time.Millisecond,
+		QueueSize:        4096,
+		WAL:              wal.Options{NoSync: true},
+	}
+	p, err := Open(eng, b.TempDir(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+
+	// The writer streams bursts at a steady pace (~64k mutations/s)
+	// rather than spinning flat out: Go benchmark memstats are
+	// process-wide, so an unthrottled writer would bill its own
+	// allocations and GC assists to the reader being measured.
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		muts := testMutations(comm, 1024)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for i := 0; ; {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			for n := 0; n < 64; n++ {
+				if _, err := p.Submit(muts[i%len(muts)]); err != nil && !errors.Is(err, ErrOverloaded) {
+					return
+				}
+				i++
+			}
+		}
+	}()
+
+	// Pin one warm snapshot for the whole run, exactly as a request
+	// handler does: swaps publish new epochs, but this reader's view is
+	// immutable.
+	snap := eng.Snapshot()
+	id := snap.Community().Agents()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.Recommend(id, 10, engine.Overrides{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-writerDone
+}
+
+// BenchmarkSubmitThroughput measures end-to-end write throughput of the
+// pipeline (validate, enqueue, group commit, durable ack) with fsync
+// disabled so the group-commit machinery is the measured cost.
+func BenchmarkSubmitThroughput(b *testing.B) {
+	comm := testCommunity(b, 100, 200)
+	eng := testEngine(b, comm)
+	cfg := Config{
+		SnapshotEvery:    1 << 30,
+		SnapshotInterval: time.Hour,
+		QueueSize:        8192,
+		WAL:              wal.Options{NoSync: true},
+	}
+	p, err := Open(eng, b.TempDir(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+
+	muts := testMutations(comm, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if _, err := p.Submit(muts[i%len(muts)]); err != nil && !errors.Is(err, ErrOverloaded) {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,591 @@
+// Package ingest is the durable write path between clients publishing
+// new statements and the read-optimized serving engine: a batching
+// applier that accepts typed mutations concurrently, makes them durable
+// in a write-ahead log (internal/wal), and folds them into the serving
+// state through epoch snapshot swaps (internal/engine) — off the hot
+// read path.
+//
+// The paper's installations continually receive new trust statements and
+// ratings ("tailored crawlers ... ensure data freshness", §4.1; the
+// related P2P work has peers pushing updates into each other's local
+// views). The engine serves immutable snapshots, so mutations cannot be
+// applied in place; instead the pipeline:
+//
+//  1. accepts mutations on a bounded queue (a full queue returns
+//     ErrOverloaded — backpressure instead of collapse);
+//  2. drains them in batches, appends each batch to the WAL with one
+//     fsync (group commit), and only then acknowledges the submitters —
+//     an acknowledged write survives a crash;
+//  3. accumulates appended mutations into a delta set and, when the
+//     delta is large enough or old enough, clones the current community,
+//     applies the delta to the clone, and publishes it via Engine.Swap
+//     under a fresh epoch.
+//
+// Durability across restarts: Checkpoint exports the applied community
+// as a corpus snapshot inside the WAL directory, records the
+// epoch↔sequence mapping (wal.Checkpoint), and truncates WAL segments
+// made redundant. On the next Open, the pipeline replays only the WAL
+// records above the checkpoint onto the engine's community — exactly the
+// acknowledged-but-unapplied suffix. Replay in sequence order is
+// idempotent (upserts are last-writer-wins, retractions are absorbing),
+// so the crash windows inside Checkpoint itself are harmless.
+//
+// The pipeline must be the engine's only swapper while it runs.
+//
+// Observability: expvar map "swrec_ingest" (appended, applied,
+// snapshot_builds, replay_records, queue_depth, overloaded,
+// apply_errors, checkpoints).
+package ingest
+
+import (
+	"errors"
+	"expvar"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"swrec/internal/corpus"
+	"swrec/internal/engine"
+	"swrec/internal/isbn"
+	"swrec/internal/model"
+	"swrec/internal/wal"
+)
+
+// stats aggregates ingest counters across all pipelines in the process.
+var stats = expvar.NewMap("swrec_ingest")
+
+var (
+	// ErrOverloaded is returned by Submit when the ingest queue is full —
+	// the backpressure signal (HTTP 503 at the API layer).
+	ErrOverloaded = errors.New("ingest: queue full, try again later")
+	// ErrClosed is returned by operations on a closed pipeline.
+	ErrClosed = errors.New("ingest: closed")
+	// ErrInvalid wraps mutation validation failures.
+	ErrInvalid = errors.New("ingest: invalid mutation")
+)
+
+// snapshotDir is the corpus snapshot directory inside the WAL directory.
+const snapshotDir = "snapshot"
+
+// Config tunes the pipeline. Zero values select defaults.
+type Config struct {
+	// QueueSize bounds concurrently pending submissions (default 1024);
+	// beyond it Submit returns ErrOverloaded.
+	QueueSize int
+	// BatchSize caps mutations per WAL append / group commit (default 256).
+	BatchSize int
+	// SnapshotEvery triggers a snapshot build once this many appended
+	// mutations await application (default 4096).
+	SnapshotEvery int
+	// SnapshotInterval triggers a snapshot build once the oldest pending
+	// mutation is this old (default 2s).
+	SnapshotInterval time.Duration
+	// WAL configures the underlying log (segment size, fsync).
+	WAL wal.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 4096
+	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 2 * time.Second
+	}
+	return c
+}
+
+// submission is one queued mutation plus its acknowledgment channel.
+type submission struct {
+	m   wal.Mutation
+	res chan subResult
+}
+
+type subResult struct {
+	seq uint64
+	err error
+}
+
+// Pipeline is the ingestion subsystem over one engine and one WAL
+// directory. Submit is safe for concurrent use.
+type Pipeline struct {
+	eng *engine.Engine
+	w   *wal.WAL
+	dir string
+	cfg Config
+
+	queue chan submission
+	flush chan chan error
+	chkpt chan chan error
+	quit  chan struct{} // closed by Close: drain, flush, exit
+	abort chan struct{} // closed by Abort: exit without applying
+	done  chan struct{}
+
+	closeMu  sync.RWMutex
+	closed   bool
+	stopOnce sync.Once
+
+	// gate, when non-nil, is received from before each batch append so
+	// tests can hold the worker and observe backpressure deterministically.
+	gate chan struct{}
+
+	// Worker-owned state (no locks: only the worker goroutine touches
+	// these after Open returns).
+	base    *model.Community // community backing the engine's snapshot
+	delta   []wal.Mutation   // appended but not yet applied
+	deltaAt time.Time        // when the oldest delta entry was appended
+
+	// Cross-goroutine observability.
+	obsMu    sync.Mutex
+	epoch    uint64 // epoch of the last published snapshot
+	applied  uint64 // last sequence number folded into the serving state
+	replayed int    // records replayed at Open
+}
+
+// Open opens (creating if necessary) the WAL in dir, replays every
+// record above the directory's checkpoint onto the engine's current
+// community — publishing one recovery snapshot if anything was replayed
+// — and starts the pipeline. The engine must be serving the community
+// state the checkpoint describes (use LoadBase; with no checkpoint, the
+// original corpus and an un-truncated WAL).
+func Open(eng *engine.Engine, dir string, cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	w, err := wal.Open(dir, cfg.WAL)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		eng:   eng,
+		w:     w,
+		dir:   dir,
+		cfg:   cfg,
+		queue: make(chan submission, cfg.QueueSize),
+		flush: make(chan chan error),
+		chkpt: make(chan chan error),
+		quit:  make(chan struct{}),
+		abort: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	snap := eng.Snapshot()
+	p.base = snap.Community()
+	p.epoch = snap.Epoch()
+
+	cp, _, err := wal.LoadCheckpoint(dir)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	p.applied = cp.Seq
+	if err := p.replay(cp.Seq + 1); err != nil {
+		w.Close()
+		return nil, err
+	}
+	go p.run()
+	return p, nil
+}
+
+// replay folds WAL records with seq >= from into a clone of the base
+// community and publishes it as one recovery epoch.
+func (p *Pipeline) replay(from uint64) error {
+	var muts []wal.Mutation
+	var last uint64
+	err := p.w.Replay(from, func(seq uint64, m wal.Mutation) error {
+		muts = append(muts, m)
+		last = seq
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("ingest: replay: %w", err)
+	}
+	if len(muts) == 0 {
+		return nil
+	}
+	clone := p.base.Clone()
+	for _, m := range muts {
+		if err := Apply(clone, m); err != nil {
+			stats.Add("apply_errors", 1)
+		}
+	}
+	snap, err := p.eng.Swap(clone)
+	if err != nil {
+		return fmt.Errorf("ingest: replay swap: %w", err)
+	}
+	p.base = clone
+	p.epoch = snap.Epoch()
+	p.applied = last
+	p.replayed = len(muts)
+	stats.Add("replay_records", int64(len(muts)))
+	return nil
+}
+
+// Replayed reports how many WAL records Open replayed.
+func (p *Pipeline) Replayed() int {
+	p.obsMu.Lock()
+	defer p.obsMu.Unlock()
+	return p.replayed
+}
+
+// Applied returns the epoch↔sequence mapping of the serving state: the
+// epoch last published and the last sequence number folded into it.
+func (p *Pipeline) Applied() (epoch, seq uint64) {
+	p.obsMu.Lock()
+	defer p.obsMu.Unlock()
+	return p.epoch, p.applied
+}
+
+// Submit validates the mutation, enqueues it, and blocks until its batch
+// is durably appended to the WAL, returning the assigned sequence
+// number. The mutation becomes visible to readers at the next snapshot
+// swap. A full queue fails fast with ErrOverloaded.
+func (p *Pipeline) Submit(m wal.Mutation) (uint64, error) {
+	if err := Validate(m); err != nil {
+		return 0, err
+	}
+	sub := submission{m: m, res: make(chan subResult, 1)}
+	p.closeMu.RLock()
+	if p.closed {
+		p.closeMu.RUnlock()
+		return 0, ErrClosed
+	}
+	select {
+	case p.queue <- sub:
+		p.closeMu.RUnlock()
+		stats.Add("queue_depth", 1)
+	default:
+		p.closeMu.RUnlock()
+		stats.Add("overloaded", 1)
+		return 0, ErrOverloaded
+	}
+	r := <-sub.res
+	return r.seq, r.err
+}
+
+// Flush forces application of every acknowledged mutation: it blocks
+// until the pending delta has been published via Engine.Swap.
+func (p *Pipeline) Flush() error { return p.request(p.flush) }
+
+// Checkpoint flushes, exports the applied community as a corpus snapshot
+// inside the WAL directory, durably records the epoch↔sequence mapping,
+// and truncates WAL segments the checkpoint made redundant. After a
+// crash, restart cost is proportional to writes since the last
+// Checkpoint, not since process start.
+func (p *Pipeline) Checkpoint() error { return p.request(p.chkpt) }
+
+func (p *Pipeline) request(ch chan chan error) error {
+	res := make(chan error, 1)
+	select {
+	case ch <- res:
+		return <-res
+	case <-p.done:
+		return ErrClosed
+	}
+}
+
+// Close drains the queue, appends and applies everything pending, and
+// releases the WAL. It does not checkpoint; call Checkpoint first for a
+// truncated restart.
+func (p *Pipeline) Close() error {
+	return p.shutdown(p.quit)
+}
+
+// Abort stops the pipeline without applying the pending delta — the
+// programmatic equivalent of kill -9 for crash-recovery tests and fast
+// shutdown. Acknowledged mutations are already durable in the WAL and
+// will be replayed on the next Open.
+func (p *Pipeline) Abort() error {
+	return p.shutdown(p.abort)
+}
+
+func (p *Pipeline) shutdown(signal chan struct{}) error {
+	p.closeMu.Lock()
+	already := p.closed
+	p.closed = true
+	p.closeMu.Unlock()
+	p.stopOnce.Do(func() { close(signal) })
+	<-p.done
+	if already {
+		return nil
+	}
+	return p.w.Close()
+}
+
+// run is the single worker goroutine: group-commit appends, snapshot
+// triggers, flush/checkpoint requests.
+func (p *Pipeline) run() {
+	defer close(p.done)
+	tick := p.cfg.SnapshotInterval / 2
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.abort:
+			p.drainRejecting()
+			return
+		case <-p.quit:
+			p.drainAppending()
+			p.snapshot()
+			return
+		case sub := <-p.queue:
+			if p.gate != nil {
+				<-p.gate
+			}
+			p.appendBatch(sub)
+			if len(p.delta) >= p.cfg.SnapshotEvery {
+				p.snapshot()
+			}
+		case <-ticker.C:
+			if len(p.delta) > 0 && time.Since(p.deltaAt) >= p.cfg.SnapshotInterval {
+				p.snapshot()
+			}
+		case res := <-p.flush:
+			res <- p.snapshot()
+		case res := <-p.chkpt:
+			res <- p.checkpoint()
+		}
+	}
+}
+
+// appendBatch drains up to BatchSize-1 more queued submissions, appends
+// them to the WAL as one group commit, and acknowledges every submitter.
+func (p *Pipeline) appendBatch(first submission) {
+	batch := []submission{first}
+	for len(batch) < p.cfg.BatchSize {
+		select {
+		case sub := <-p.queue:
+			batch = append(batch, sub)
+		default:
+			goto drained
+		}
+	}
+drained:
+	stats.Add("queue_depth", -int64(len(batch)))
+	muts := make([]wal.Mutation, len(batch))
+	for i, sub := range batch {
+		muts[i] = sub.m
+	}
+	firstSeq, _, err := p.w.Append(muts)
+	if err != nil {
+		for _, sub := range batch {
+			sub.res <- subResult{err: err}
+		}
+		return
+	}
+	if len(p.delta) == 0 {
+		p.deltaAt = time.Now()
+	}
+	p.delta = append(p.delta, muts...)
+	stats.Add("appended", int64(len(muts)))
+	for i, sub := range batch {
+		sub.res <- subResult{seq: firstSeq + uint64(i)}
+	}
+}
+
+// snapshot clones the base community, applies the pending delta, and
+// publishes the clone under a fresh epoch. The serving hot path never
+// sees the mutable clone.
+func (p *Pipeline) snapshot() error {
+	if len(p.delta) == 0 {
+		return nil
+	}
+	clone := p.base.Clone()
+	for _, m := range p.delta {
+		if err := Apply(clone, m); err != nil {
+			stats.Add("apply_errors", 1)
+		}
+	}
+	snap, err := p.eng.Swap(clone)
+	if err != nil {
+		// The delta stays pending; a later snapshot retries. This only
+		// happens when a mutation made the community incompatible with
+		// the engine's options, which validation is meant to prevent.
+		stats.Add("swap_errors", 1)
+		return fmt.Errorf("ingest: swap: %w", err)
+	}
+	applied := p.w.NextSeq() - 1
+	p.base = clone
+	stats.Add("applied", int64(len(p.delta)))
+	stats.Add("snapshot_builds", 1)
+	p.delta = p.delta[:0]
+	p.obsMu.Lock()
+	p.epoch = snap.Epoch()
+	p.applied = applied
+	p.obsMu.Unlock()
+	return nil
+}
+
+// checkpoint makes the applied state durable: flush, export the corpus
+// snapshot atomically (export to temp, rename into place), record the
+// epoch↔sequence mapping, truncate redundant WAL segments. Replay
+// idempotency makes every crash window here safe: the marker is written
+// only after the snapshot it describes is in place, and a stale marker
+// merely replays more records than strictly needed.
+func (p *Pipeline) checkpoint() error {
+	if err := p.snapshot(); err != nil {
+		return err
+	}
+	final := filepath.Join(p.dir, snapshotDir)
+	tmp := final + ".tmp"
+	old := final + ".old"
+	for _, d := range []string{tmp, old} {
+		if err := os.RemoveAll(d); err != nil {
+			return fmt.Errorf("ingest: checkpoint: %w", err)
+		}
+	}
+	if err := corpus.Export(p.base, tmp); err != nil {
+		return fmt.Errorf("ingest: checkpoint export: %w", err)
+	}
+	if _, err := os.Stat(final); err == nil {
+		if err := os.Rename(final, old); err != nil {
+			return fmt.Errorf("ingest: checkpoint: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("ingest: checkpoint: %w", err)
+	}
+	_ = os.RemoveAll(old)
+	p.obsMu.Lock()
+	cp := wal.Checkpoint{Epoch: p.epoch, Seq: p.applied}
+	p.obsMu.Unlock()
+	if err := wal.SaveCheckpoint(p.dir, cp); err != nil {
+		return err
+	}
+	if _, err := p.w.TruncateBefore(cp.Seq + 1); err != nil {
+		return err
+	}
+	stats.Add("checkpoints", 1)
+	return nil
+}
+
+// drainRejecting empties the queue on Abort, failing every waiter.
+func (p *Pipeline) drainRejecting() {
+	for {
+		select {
+		case sub := <-p.queue:
+			stats.Add("queue_depth", -1)
+			sub.res <- subResult{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// drainAppending empties the queue on Close, appending everything so no
+// acknowledged-or-queued mutation is lost.
+func (p *Pipeline) drainAppending() {
+	for {
+		select {
+		case sub := <-p.queue:
+			p.appendBatch(sub)
+		default:
+			return
+		}
+	}
+}
+
+// LoadBase loads the community a WAL directory's checkpoint describes.
+// ok is false when dir holds no checkpoint (first start: serve the
+// original corpus and let Open replay the whole WAL).
+func LoadBase(dir string) (comm *model.Community, cp wal.Checkpoint, ok bool, err error) {
+	cp, ok, err = wal.LoadCheckpoint(dir)
+	if err != nil || !ok {
+		return nil, cp, false, err
+	}
+	comm, err = corpus.Import(filepath.Join(dir, snapshotDir))
+	if err != nil {
+		return nil, cp, false, fmt.Errorf("ingest: load checkpoint snapshot: %w", err)
+	}
+	return comm, cp, true, nil
+}
+
+// Validate statically checks a mutation: known op, non-empty
+// identifiers, values inside [-1,+1], no self-trust. It is the shared
+// gate in front of the WAL — nothing invalid becomes durable.
+func Validate(m wal.Mutation) error {
+	if m.Agent == "" {
+		return fmt.Errorf("%w: empty agent ID", ErrInvalid)
+	}
+	switch m.Op {
+	case wal.OpUpsertTrust, wal.OpDeleteTrust:
+		if m.Peer == "" {
+			return fmt.Errorf("%w: empty peer ID", ErrInvalid)
+		}
+		if m.Peer == m.Agent {
+			return fmt.Errorf("%w: %v", ErrInvalid, model.ErrSelfTrust)
+		}
+		if m.Op == wal.OpUpsertTrust && (m.Value < model.MinValue || m.Value > model.MaxValue) {
+			return fmt.Errorf("%w: trust value %v outside [-1,+1]", ErrInvalid, m.Value)
+		}
+	case wal.OpUpsertRating, wal.OpDeleteRating:
+		if m.Product == "" {
+			return fmt.Errorf("%w: empty product ID", ErrInvalid)
+		}
+		if m.Op == wal.OpUpsertRating && (m.Value < model.MinValue || m.Value > model.MaxValue) {
+			return fmt.Errorf("%w: rating value %v outside [-1,+1]", ErrInvalid, m.Value)
+		}
+	case wal.OpUpsertAgent:
+		// Name is free-form and optional.
+	default:
+		return fmt.Errorf("%w: unknown op %d", ErrInvalid, m.Op)
+	}
+	return nil
+}
+
+// ValidateIn checks m against a community view (a snapshot's community;
+// read-only): an upserted rating must reference a cataloged product or
+// carry a checksum-valid ISBN URN, in which case a bare catalog entry
+// will be registered on apply — the §3.1 rule that ratings refer to
+// globally agreed identifiers.
+func ValidateIn(c *model.Community, m wal.Mutation) error {
+	if err := Validate(m); err != nil {
+		return err
+	}
+	if m.Op == wal.OpUpsertRating && c.Product(m.Product) == nil {
+		raw, isURN := isbn.FromURN(string(m.Product))
+		if !isURN || !isbn.Valid(raw) {
+			return fmt.Errorf("%w: product %s is neither cataloged nor a valid ISBN URN",
+				ErrInvalid, m.Product)
+		}
+	}
+	return nil
+}
+
+// Apply folds one mutation into a mutable community. Upserts are
+// last-writer-wins, retractions of absent statements are no-ops, and a
+// rating of an uncataloged product registers a bare catalog entry (the
+// same recovery Merge uses) — together this makes ordered replay
+// idempotent.
+func Apply(c *model.Community, m wal.Mutation) error {
+	switch m.Op {
+	case wal.OpUpsertAgent:
+		a := c.AddAgent(m.Agent)
+		if m.Name != "" {
+			a.Name = m.Name
+		}
+		return nil
+	case wal.OpUpsertTrust:
+		return c.SetTrust(m.Agent, m.Peer, m.Value)
+	case wal.OpDeleteTrust:
+		c.DeleteTrust(m.Agent, m.Peer)
+		return nil
+	case wal.OpUpsertRating:
+		if c.Product(m.Product) == nil {
+			c.AddProduct(model.Product{ID: m.Product})
+		}
+		return c.SetRating(m.Agent, m.Product, m.Value)
+	case wal.OpDeleteRating:
+		c.DeleteRating(m.Agent, m.Product)
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown op %d", ErrInvalid, m.Op)
+	}
+}

@@ -1,0 +1,568 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"swrec/internal/cf"
+	"swrec/internal/core"
+	"swrec/internal/datagen"
+	"swrec/internal/engine"
+	"swrec/internal/isbn"
+	"swrec/internal/model"
+	"swrec/internal/wal"
+)
+
+func testCommunity(t testing.TB, agents, products int) *model.Community {
+	t.Helper()
+	cfg := datagen.SmallScale()
+	cfg.Agents = agents
+	cfg.Products = products
+	comm, _ := datagen.Generate(cfg)
+	return comm
+}
+
+func testEngine(t testing.TB, comm *model.Community) *engine.Engine {
+	t.Helper()
+	eng, err := engine.New(comm, core.Options{
+		CF: cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy},
+	}, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// lazyConfig disables every automatic snapshot trigger so tests control
+// application explicitly via Flush.
+func lazyConfig() Config {
+	return Config{SnapshotEvery: 1 << 30, SnapshotInterval: time.Hour}
+}
+
+// testMutations fabricates n valid mutations against comm: trust edges,
+// ratings of cataloged products, retractions, and agent upserts.
+func testMutations(comm *model.Community, n int) []wal.Mutation {
+	ids := comm.Agents()
+	pids := comm.Products()
+	out := make([]wal.Mutation, 0, n)
+	for i := 0; len(out) < n; i++ {
+		src := ids[i%len(ids)]
+		dst := ids[(i+7)%len(ids)]
+		if src == dst {
+			dst = ids[(i+8)%len(ids)]
+		}
+		switch i % 5 {
+		case 0:
+			out = append(out, wal.Mutation{Op: wal.OpUpsertTrust, Agent: src, Peer: dst, Value: float64(i%20)/10 - 1})
+		case 1:
+			out = append(out, wal.Mutation{Op: wal.OpUpsertRating, Agent: src, Product: pids[i%len(pids)], Value: float64(i%19)/9 - 1})
+		case 2:
+			out = append(out, wal.Mutation{Op: wal.OpDeleteTrust, Agent: src, Peer: dst})
+		case 3:
+			out = append(out, wal.Mutation{Op: wal.OpUpsertAgent, Agent: model.AgentID(fmt.Sprintf("http://new/agent%d", i)), Name: fmt.Sprintf("Agent %d", i)})
+		case 4:
+			out = append(out, wal.Mutation{Op: wal.OpDeleteRating, Agent: src, Product: pids[i%len(pids)]})
+		}
+	}
+	return out
+}
+
+// digest canonically serializes a community's agents, names, trust
+// functions, ratings, and catalog, so two states can be compared
+// byte-for-byte regardless of map iteration order.
+func digest(c *model.Community) string {
+	var b strings.Builder
+	ids := append([]model.AgentID(nil), c.Agents()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		a := c.Agent(id)
+		fmt.Fprintf(&b, "agent %s name=%q\n", id, a.Name)
+		for _, st := range a.TrustedPeers() {
+			fmt.Fprintf(&b, "  trust %s %.17g\n", st.Dst, st.Value)
+		}
+		for _, rt := range a.RatedProducts() {
+			fmt.Fprintf(&b, "  rating %s %.17g\n", rt.Product, rt.Value)
+		}
+	}
+	pids := append([]model.ProductID(nil), c.Products()...)
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		p := c.Product(pid)
+		// Topic IDs are assigned at taxonomy parse time and are not
+		// stable across an export/import; qualified names are.
+		names := make([]string, len(p.Topics))
+		for i, d := range p.Topics {
+			names[i] = c.Taxonomy().QualifiedName(d)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "product %s title=%q isbn=%q topics=%v\n", pid, p.Title, p.ISBN, names)
+	}
+	return b.String()
+}
+
+func TestSubmitDurableAndAppliedOnFlush(t *testing.T) {
+	comm := testCommunity(t, 20, 30)
+	eng := testEngine(t, comm)
+	p, err := Open(eng, t.TempDir(), lazyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	src, dst := comm.Agents()[0], comm.Agents()[1]
+	seq, err := p.Submit(wal.Mutation{Op: wal.OpUpsertTrust, Agent: src, Peer: dst, Value: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Fatalf("first seq = %d, want 1", seq)
+	}
+	// Not yet visible: the serving snapshot is immutable.
+	if v, ok := eng.Snapshot().Community().Trust(src, dst); ok && v == 0.75 {
+		t.Fatal("mutation visible before snapshot swap")
+	}
+	epochBefore := eng.Epoch()
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Epoch() != epochBefore+1 {
+		t.Fatalf("Flush did not publish a new epoch: %d -> %d", epochBefore, eng.Epoch())
+	}
+	if v, ok := eng.Snapshot().Community().Trust(src, dst); !ok || v != 0.75 {
+		t.Fatalf("applied trust = %v,%v, want 0.75", v, ok)
+	}
+	// The original community must be untouched (applied on a clone).
+	if _, ok := comm.Trust(src, dst); ok {
+		t.Fatal("mutation leaked into the pre-swap community")
+	}
+	ep, ap := p.Applied()
+	if ep != eng.Epoch() || ap != 1 {
+		t.Fatalf("Applied() = (%d,%d), want (%d,1)", ep, ap, eng.Epoch())
+	}
+	// An empty Flush is a no-op, not a new epoch.
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Epoch() != epochBefore+1 {
+		t.Fatal("empty flush published a gratuitous epoch")
+	}
+}
+
+func TestSizeTriggerSnapshots(t *testing.T) {
+	comm := testCommunity(t, 20, 30)
+	eng := testEngine(t, comm)
+	cfg := lazyConfig()
+	cfg.SnapshotEvery = 10
+	p, err := Open(eng, t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	for _, m := range testMutations(comm, 25) {
+		if _, err := p.Submit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 25 sequential submissions with threshold 10 must have produced at
+	// least two swaps (batching may group them differently).
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Epoch() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if eng.Epoch() < 3 {
+		t.Fatalf("size trigger produced only epoch %d", eng.Epoch())
+	}
+}
+
+func TestIntervalTriggerSnapshots(t *testing.T) {
+	comm := testCommunity(t, 20, 30)
+	eng := testEngine(t, comm)
+	cfg := lazyConfig()
+	cfg.SnapshotInterval = 20 * time.Millisecond
+	p, err := Open(eng, t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if _, err := p.Submit(wal.Mutation{Op: wal.OpUpsertAgent, Agent: "http://x/late"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Epoch() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !eng.Snapshot().Community().HasAgent("http://x/late") {
+		t.Fatal("interval trigger never applied the mutation")
+	}
+}
+
+func TestBackpressureErrOverloaded(t *testing.T) {
+	comm := testCommunity(t, 20, 30)
+	eng := testEngine(t, comm)
+	cfg := lazyConfig()
+	cfg.QueueSize = 1
+	cfg.BatchSize = 1
+	p, err := Open(eng, t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Hold the worker at the gate: with capacity 2 in flight (one
+	// dequeued and held, one resident in the queue of 1), at least 3 of
+	// 5 concurrent submissions must bounce with ErrOverloaded, and none
+	// may be silently lost.
+	gate := make(chan struct{})
+	p.gate = gate
+
+	var wg sync.WaitGroup
+	var accepted, overloaded, other int64
+	var mu sync.Mutex
+	for _, m := range testMutations(comm, 5) {
+		wg.Add(1)
+		go func(m wal.Mutation) {
+			defer wg.Done()
+			_, err := p.Submit(m)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				accepted++
+			case errors.Is(err, ErrOverloaded):
+				overloaded++
+			default:
+				other++
+			}
+		}(m)
+	}
+	// Wait until the rejections have happened, then release the worker so
+	// the accepted submissions get their durable acks.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := overloaded+other >= 3
+		mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if other != 0 {
+		t.Fatalf("%d submissions failed with unexpected errors", other)
+	}
+	if accepted == 0 {
+		t.Fatal("no submission was accepted")
+	}
+	if overloaded < 3 {
+		t.Fatalf("overloaded = %d, want >= 3 (capacity is 2 with the worker held)", overloaded)
+	}
+	// Every acknowledged mutation is durable.
+	if st := p.w.Stats(); st.Appended != uint64(accepted) {
+		t.Fatalf("WAL holds %d records, %d were acknowledged", st.Appended, accepted)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	comm := testCommunity(t, 10, 10)
+	eng := testEngine(t, comm)
+	p, err := Open(eng, t.TempDir(), lazyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	bad := []wal.Mutation{
+		{Op: wal.OpUpsertTrust, Agent: "", Peer: "b", Value: 0.5},
+		{Op: wal.OpUpsertTrust, Agent: "a", Peer: "", Value: 0.5},
+		{Op: wal.OpUpsertTrust, Agent: "a", Peer: "a", Value: 0.5},
+		{Op: wal.OpUpsertTrust, Agent: "a", Peer: "b", Value: 1.5},
+		{Op: wal.OpUpsertRating, Agent: "a", Product: "", Value: 0.5},
+		{Op: wal.OpUpsertRating, Agent: "a", Product: "p", Value: -2},
+		{Op: wal.OpDeleteTrust, Agent: "a", Peer: "a"},
+		{Op: 0, Agent: "a"},
+		{Op: 99, Agent: "a"},
+	}
+	for _, m := range bad {
+		if _, err := p.Submit(m); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("Submit(%+v) = %v, want ErrInvalid", m, err)
+		}
+	}
+	if st := p.w.Stats(); st.Appended != 0 {
+		t.Fatalf("invalid mutations reached the WAL: %d records", st.Appended)
+	}
+
+	// ValidateIn: uncataloged product needs a checksum-valid ISBN URN.
+	view := eng.Snapshot().Community()
+	known := wal.Mutation{Op: wal.OpUpsertRating, Agent: "a", Product: view.Products()[0], Value: 0.5}
+	if err := ValidateIn(view, known); err != nil {
+		t.Fatalf("cataloged product rejected: %v", err)
+	}
+	urn := wal.Mutation{Op: wal.OpUpsertRating, Agent: "a",
+		Product: model.ProductID(isbn.URN(isbn.Synthesize(424242))), Value: 0.5}
+	if err := ValidateIn(view, urn); err != nil {
+		t.Fatalf("valid ISBN URN rejected: %v", err)
+	}
+	junk := wal.Mutation{Op: wal.OpUpsertRating, Agent: "a", Product: "urn:isbn:12345", Value: 0.5}
+	if err := ValidateIn(view, junk); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("checksum-failing ISBN accepted: %v", err)
+	}
+	if err := ValidateIn(view, wal.Mutation{Op: wal.OpUpsertRating, Agent: "a", Product: "http://x/unknown", Value: 0.5}); !errors.Is(err, ErrInvalid) {
+		t.Fatal("uncataloged non-ISBN product accepted")
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	comm := testCommunity(t, 10, 10)
+	eng := testEngine(t, comm)
+	p, err := Open(eng, t.TempDir(), lazyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+	if _, err := p.Submit(testMutations(comm, 1)[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v", err)
+	}
+	if err := p.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush after Close = %v", err)
+	}
+}
+
+func TestCloseAppliesPending(t *testing.T) {
+	cfg := datagen.SmallScale()
+	cfg.Agents, cfg.Products = 15, 20
+	base, _ := datagen.Generate(cfg)
+	eng := testEngine(t, base)
+	dir := t.TempDir()
+	p, err := Open(eng, dir, lazyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := base.Agents()[0], base.Agents()[1]
+	if _, err := p.Submit(wal.Mutation{Op: wal.OpUpsertTrust, Agent: src, Peer: dst, Value: -0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := eng.Snapshot().Community().Trust(src, dst); !ok || v != -0.5 {
+		t.Fatal("Close did not apply the pending delta")
+	}
+}
+
+// TestCrashRecoveryReplayMatchesCleanRun is the acceptance criterion:
+// kill the pipeline after N appended-but-unapplied mutations; on
+// restart, WAL replay must reproduce exactly (byte-equal under canonical
+// serialization) the community a clean run of the same mutations
+// produces.
+func TestCrashRecoveryReplayMatchesCleanRun(t *testing.T) {
+	cfg := datagen.SmallScale()
+	cfg.Agents, cfg.Products = 25, 30
+	gen := func() *model.Community { c, _ := datagen.Generate(cfg); return c }
+	muts := testMutations(gen(), 40)
+
+	// Clean run: every mutation applied through the pipeline, no crash.
+	cleanEng := testEngine(t, gen())
+	cleanPipe, err := Open(cleanEng, t.TempDir(), lazyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range muts {
+		if _, err := cleanPipe.Submit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cleanPipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := digest(cleanEng.Snapshot().Community())
+
+	// Crashed run: first 15 mutations applied (flushed), next 25
+	// acknowledged but never applied, then the pipeline is killed.
+	dir := t.TempDir()
+	eng1 := testEngine(t, gen())
+	p1, err := Open(eng1, dir, lazyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range muts[:15] {
+		if _, err := p1.Submit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range muts[15:] {
+		if _, err := p1.Submit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p1.Abort(); err != nil { // kill -9: no flush, no checkpoint
+		t.Fatal(err)
+	}
+
+	// Restart from the original base corpus (no checkpoint was written,
+	// so the WAL holds all 40 records).
+	if _, _, ok, err := LoadBase(dir); err != nil || ok {
+		t.Fatalf("LoadBase without checkpoint = ok=%v err=%v", ok, err)
+	}
+	eng2 := testEngine(t, gen())
+	p2, err := Open(eng2, dir, lazyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := p2.Replayed(); got != 40 {
+		t.Fatalf("replayed %d records, want 40", got)
+	}
+	if got := digest(eng2.Snapshot().Community()); got != want {
+		t.Fatalf("replayed state differs from clean run:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}
+
+// TestCheckpointTruncatesAndRestartsFromSnapshot covers the durable
+// checkpoint: after Checkpoint, the WAL is truncated, LoadBase restores
+// the exported community, and only post-checkpoint records replay.
+func TestCheckpointTruncatesAndRestartsFromSnapshot(t *testing.T) {
+	cfg := datagen.SmallScale()
+	cfg.Agents, cfg.Products = 25, 30
+	gen := func() *model.Community { c, _ := datagen.Generate(cfg); return c }
+	muts := testMutations(gen(), 60)
+
+	dir := t.TempDir()
+	eng1 := testEngine(t, gen())
+	wcfg := lazyConfig()
+	wcfg.WAL.SegmentBytes = 256 // force rotation so truncation has segments to remove
+	p1, err := Open(eng1, dir, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range muts[:40] {
+		if _, err := p1.Submit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segsBefore := p1.w.Stats().Segments
+	if err := p1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if segs := p1.w.Stats().Segments; segs >= segsBefore {
+		t.Fatalf("checkpoint did not truncate: %d -> %d segments", segsBefore, segs)
+	}
+	cpEpoch, cpSeq := p1.Applied()
+	if cpSeq != 40 {
+		t.Fatalf("checkpoint seq = %d, want 40", cpSeq)
+	}
+	// More writes after the checkpoint, acknowledged but never applied.
+	for _, m := range muts[40:] {
+		if _, err := p1.Submit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: base comes from the checkpoint snapshot, replay covers
+	// only the 20 unapplied records.
+	base2, cp, ok, err := LoadBase(dir)
+	if err != nil || !ok {
+		t.Fatalf("LoadBase = ok=%v err=%v", ok, err)
+	}
+	if cp.Seq != 40 || cp.Epoch != cpEpoch {
+		t.Fatalf("checkpoint = %+v, want epoch %d seq 40", cp, cpEpoch)
+	}
+	eng2 := testEngine(t, base2)
+	p2, err := Open(eng2, dir, lazyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := p2.Replayed(); got != 20 {
+		t.Fatalf("replayed %d records, want 20", got)
+	}
+
+	// The recovered state must match a clean run of all 60 mutations.
+	cleanEng := testEngine(t, gen())
+	cleanPipe, err := Open(cleanEng, t.TempDir(), lazyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range muts {
+		if _, err := cleanPipe.Submit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cleanPipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := digest(cleanEng.Snapshot().Community())
+	if got := digest(eng2.Snapshot().Community()); got != want {
+		t.Fatalf("checkpoint+replay state differs from clean run:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}
+
+// TestConcurrentSubmitWithReaders exercises the full read/write mix
+// under -race: writers stream mutations (forcing frequent swaps) while
+// readers pin snapshots and recommend.
+func TestConcurrentSubmitWithReaders(t *testing.T) {
+	comm := testCommunity(t, 25, 30)
+	eng := testEngine(t, comm)
+	cfg := Config{SnapshotEvery: 8, SnapshotInterval: 10 * time.Millisecond, QueueSize: 256}
+	p, err := Open(eng, t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := testMutations(comm, 120)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(muts); i += 4 {
+				if _, err := p.Submit(muts[i]); err != nil && !errors.Is(err, ErrOverloaded) {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				snap := eng.Snapshot()
+				ids := snap.Community().Agents()
+				if _, err := snap.Recommend(ids[(r*13+i)%len(ids)], 5, engine.Overrides{}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

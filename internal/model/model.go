@@ -249,6 +249,60 @@ func (c *Community) Rating(agent AgentID, product ProductID) (v float64, ok bool
 	return v, ok
 }
 
+// DeleteTrust retracts t_src(dst), restoring ⊥. Retracting an absent
+// statement is a no-op: retraction messages on the Semantic Web may
+// arrive for statements never materialized locally.
+func (c *Community) DeleteTrust(src, dst AgentID) {
+	if a := c.agents[src]; a != nil {
+		delete(a.Trust, dst)
+	}
+}
+
+// DeleteRating retracts r_agent(product), restoring ⊥. Retracting an
+// absent rating is a no-op.
+func (c *Community) DeleteRating(agent AgentID, product ProductID) {
+	if a := c.agents[agent]; a != nil {
+		delete(a.Ratings, product)
+	}
+}
+
+// Clone returns a deep copy of the community: agents, trust and rating
+// functions, and the catalog are copied; the taxonomy (immutable once
+// built) is shared. Insertion order is preserved, so a clone is
+// byte-equivalent to the original under deterministic serialization.
+// Clone is how the ingestion path derives a mutable working copy from a
+// snapshot that is concurrently being served.
+func (c *Community) Clone() *Community {
+	out := &Community{
+		agents:   make(map[AgentID]*Agent, len(c.agents)),
+		agentIDs: append([]AgentID(nil), c.agentIDs...),
+		products: make(map[ProductID]*Product, len(c.products)),
+		prodIDs:  append([]ProductID(nil), c.prodIDs...),
+		tax:      c.tax,
+	}
+	for id, a := range c.agents {
+		cp := &Agent{
+			ID:      a.ID,
+			Name:    a.Name,
+			Trust:   make(map[AgentID]float64, len(a.Trust)),
+			Ratings: make(map[ProductID]float64, len(a.Ratings)),
+		}
+		for peer, v := range a.Trust {
+			cp.Trust[peer] = v
+		}
+		for p, v := range a.Ratings {
+			cp.Ratings[p] = v
+		}
+		out.agents[id] = cp
+	}
+	for id, p := range c.products {
+		cp := *p
+		cp.Topics = append([]taxonomy.Topic(nil), p.Topics...)
+		out.products[id] = &cp
+	}
+	return out
+}
+
 // TrustEdges returns the full trust network as a flat statement list, in
 // deterministic order (by source insertion order, then by the per-agent
 // order of TrustedPeers).

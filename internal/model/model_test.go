@@ -319,6 +319,77 @@ func randomCommunity(seed int64, agents, products int) *Community {
 	return c
 }
 
+func TestDeleteTrustAndRating(t *testing.T) {
+	c := NewCommunity(nil)
+	c.AddProduct(Product{ID: "p1"})
+	must(t, c.SetTrust("a", "b", 0.5))
+	must(t, c.SetRating("a", "p1", 0.9))
+
+	c.DeleteTrust("a", "b")
+	if _, ok := c.Trust("a", "b"); ok {
+		t.Fatal("trust statement survived deletion")
+	}
+	c.DeleteRating("a", "p1")
+	if _, ok := c.Rating("a", "p1"); ok {
+		t.Fatal("rating survived deletion")
+	}
+	// Deleting absent statements (and from unknown agents) is a no-op.
+	c.DeleteTrust("a", "b")
+	c.DeleteTrust("ghost", "b")
+	c.DeleteRating("ghost", "p1")
+	if !c.HasAgent("a") || !c.HasAgent("b") {
+		t.Fatal("deletion must not unmaterialize agents")
+	}
+}
+
+func TestCloneIsDeepAndOrderPreserving(t *testing.T) {
+	c := randomCommunity(7, 12, 8)
+	c.Agent(c.Agents()[0]).Name = "Alice"
+
+	cp := c.Clone()
+	if cp.Taxonomy() != c.Taxonomy() {
+		t.Fatal("taxonomy must be shared, not copied")
+	}
+	if len(cp.Agents()) != len(c.Agents()) || len(cp.Products()) != len(c.Products()) {
+		t.Fatal("clone lost agents or products")
+	}
+	for i, id := range c.Agents() {
+		if cp.Agents()[i] != id {
+			t.Fatal("agent insertion order not preserved")
+		}
+		orig, cl := c.Agent(id), cp.Agent(id)
+		if orig == cl {
+			t.Fatal("agent record shared between clone and original")
+		}
+		if cl.Name != orig.Name || len(cl.Trust) != len(orig.Trust) || len(cl.Ratings) != len(orig.Ratings) {
+			t.Fatalf("agent %s not copied faithfully", id)
+		}
+	}
+	for i, pid := range c.Products() {
+		if cp.Products()[i] != pid {
+			t.Fatal("product insertion order not preserved")
+		}
+		if c.Product(pid) == cp.Product(pid) {
+			t.Fatal("product record shared between clone and original")
+		}
+	}
+
+	// Mutating the clone must not leak into the original.
+	a0, a1 := c.Agents()[0], c.Agents()[1]
+	before, _ := c.Trust(a0, a1)
+	must(t, cp.SetTrust(a0, a1, -0.25))
+	cp.AddAgent("http://x/new")
+	if after, _ := c.Trust(a0, a1); after != before {
+		t.Fatal("clone mutation leaked into original trust function")
+	}
+	if c.HasAgent("http://x/new") {
+		t.Fatal("clone mutation leaked into original agent set")
+	}
+	if err := cp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func itoa(i int) string {
 	if i == 0 {
 		return "0"

@@ -75,8 +75,13 @@ type Store struct {
 }
 
 // Open opens (creating if necessary) the store at path and rebuilds the
-// index by scanning the log. A torn final record is truncated away.
+// index by scanning the log. A torn final record is truncated away, and
+// a temp file orphaned by a crash mid-Compact is removed: it was never
+// renamed into place, so the main log is still the authoritative copy.
 func Open(path string, opt Options) (*Store, error) {
+	if err := os.Remove(path + ".compact"); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: remove orphaned compact temp: %w", err)
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", path, err)

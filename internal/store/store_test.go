@@ -310,6 +310,59 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 }
 
+// TestCompactCrashRecovery simulates a crash in the middle of Compact:
+// the partially written temp file is left behind, never renamed into
+// place. Open must discard the orphan and serve the original log intact.
+func TestCompactCrashRecovery(t *testing.T) {
+	s, path := open(t)
+	for i := 0; i < 20; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fabricate the mid-compaction state: a torn temp file holding a
+	// prefix of the real log plus trailing garbage.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, data[:len(data)/3]...), "garbage tail"...)
+	tmpPath := path + ".compact"
+	if err := os.WriteFile(tmpPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open after crashed compact: %v", err)
+	}
+	defer s2.Close()
+	if _, err := os.Stat(tmpPath); !os.IsNotExist(err) {
+		t.Fatalf("orphaned %s not removed (stat err = %v)", tmpPath, err)
+	}
+	// Every record from the authoritative log survived.
+	for i := 0; i < 20; i++ {
+		v, ok, err := s2.Get(fmt.Sprintf("key-%d", i))
+		if err != nil || !ok || !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 32)) {
+			t.Fatalf("key-%d = %q,%v,%v after recovery", i, v, ok, err)
+		}
+	}
+	// And the recovered store compacts cleanly afterwards.
+	if err := s2.Delete("key-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Compact(); err != nil {
+		t.Fatalf("compact after recovery: %v", err)
+	}
+	if _, ok, _ := s2.Get("key-1"); !ok {
+		t.Fatal("live key lost in post-recovery compact")
+	}
+}
+
 func TestOpenErrors(t *testing.T) {
 	// Path inside a nonexistent directory.
 	if _, err := Open(filepath.Join(t.TempDir(), "no", "such", "dir", "x.log"), Options{}); err == nil {

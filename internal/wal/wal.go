@@ -1,0 +1,665 @@
+// Package wal implements the durable write path's append-only log: a
+// directory of CRC32-protected segment files recording typed community
+// mutations (trust/rating upserts and retractions, agent upserts) with
+// monotonically increasing sequence numbers.
+//
+// The paper's agents continually publish new statements ("tailored
+// crawlers ... ensure data freshness", §4.1); the serving stack applies
+// them in batches via epoch snapshot swaps (internal/ingest). The WAL is
+// what makes those mutations durable before they are applied: a write is
+// acknowledged only after its batch has been appended and fsynced, so a
+// crash between acknowledgment and the next snapshot swap loses nothing —
+// on restart, records above the last checkpoint are replayed.
+//
+// Failure model (mirroring internal/store): a record is trusted only if
+// its CRC32 checks out; on Open, a torn tail of the *last* segment (a
+// partial final record, e.g. after a crash mid-append) is detected and
+// truncated away, recovering every record before it. Corruption anywhere
+// else — a failed checksum mid-segment, or a damaged non-final segment —
+// is an error, never silently skipped.
+//
+// Layout:
+//
+//	<dir>/wal-<firstseq>.log   segment files, rotated at SegmentBytes
+//	<dir>/CHECKPOINT           epoch↔sequence mapping of the last durable
+//	                           checkpoint (written atomically via rename)
+//
+// TruncateBefore removes whole segments made redundant by a checkpoint.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"swrec/internal/model"
+)
+
+var (
+	// ErrClosed is returned by operations on a closed WAL.
+	ErrClosed = errors.New("wal: closed")
+	// ErrCorrupt is returned when a record fails its CRC or bound checks
+	// anywhere except the tail of the last segment.
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrBadMutation is returned when appending a mutation that cannot be
+	// encoded (unknown op).
+	ErrBadMutation = errors.New("wal: bad mutation")
+)
+
+// Op enumerates the mutation types the log can carry.
+type Op uint8
+
+const (
+	// OpUpsertTrust records t_src(dst) = v.
+	OpUpsertTrust Op = iota + 1
+	// OpDeleteTrust retracts t_src(dst).
+	OpDeleteTrust
+	// OpUpsertRating records r_agent(product) = v.
+	OpUpsertRating
+	// OpDeleteRating retracts r_agent(product).
+	OpDeleteRating
+	// OpUpsertAgent materializes an agent (optionally naming it).
+	OpUpsertAgent
+
+	opMax = OpUpsertAgent
+)
+
+// String names the op for logs and errors.
+func (op Op) String() string {
+	switch op {
+	case OpUpsertTrust:
+		return "upsert-trust"
+	case OpDeleteTrust:
+		return "delete-trust"
+	case OpUpsertRating:
+		return "upsert-rating"
+	case OpDeleteRating:
+		return "delete-rating"
+	case OpUpsertAgent:
+		return "upsert-agent"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// Mutation is one typed community mutation. Field use by op:
+//
+//	OpUpsertTrust:  Agent (source), Peer (target), Value
+//	OpDeleteTrust:  Agent (source), Peer (target)
+//	OpUpsertRating: Agent, Product, Value
+//	OpDeleteRating: Agent, Product
+//	OpUpsertAgent:  Agent, Name (optional display name)
+type Mutation struct {
+	Op      Op
+	Agent   model.AgentID
+	Peer    model.AgentID
+	Product model.ProductID
+	Value   float64
+	Name    string
+}
+
+// maxFieldLen bounds each string field; URIs and names beyond this are
+// garbage, and the bound keeps decode allocations sane.
+const maxFieldLen = 64 << 10
+
+// encode appends the mutation's wire form (op + fields) to buf.
+func (m Mutation) encode(buf []byte) ([]byte, error) {
+	if m.Op == 0 || m.Op > opMax {
+		return nil, fmt.Errorf("%w: %v", ErrBadMutation, m.Op)
+	}
+	if len(m.Agent) > maxFieldLen || len(m.Peer) > maxFieldLen ||
+		len(m.Product) > maxFieldLen || len(m.Name) > maxFieldLen {
+		return nil, fmt.Errorf("%w: field too large", ErrBadMutation)
+	}
+	buf = append(buf, byte(m.Op))
+	putStr := func(s string) {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	putStr(string(m.Agent))
+	switch m.Op {
+	case OpUpsertTrust:
+		putStr(string(m.Peer))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Value))
+	case OpDeleteTrust:
+		putStr(string(m.Peer))
+	case OpUpsertRating:
+		putStr(string(m.Product))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Value))
+	case OpDeleteRating:
+		putStr(string(m.Product))
+	case OpUpsertAgent:
+		putStr(m.Name)
+	}
+	return buf, nil
+}
+
+// decodeMutation parses one mutation from b, returning the remainder.
+func decodeMutation(b []byte) (Mutation, []byte, error) {
+	var m Mutation
+	if len(b) < 1 {
+		return m, nil, fmt.Errorf("%w: empty mutation", ErrCorrupt)
+	}
+	m.Op = Op(b[0])
+	if m.Op == 0 || m.Op > opMax {
+		return m, nil, fmt.Errorf("%w: unknown op %d", ErrCorrupt, b[0])
+	}
+	b = b[1:]
+	getStr := func() (string, error) {
+		n, k := binary.Uvarint(b)
+		if k <= 0 || n > maxFieldLen || uint64(len(b)-k) < n {
+			return "", fmt.Errorf("%w: bad string field", ErrCorrupt)
+		}
+		s := string(b[k : k+int(n)])
+		b = b[k+int(n):]
+		return s, nil
+	}
+	getF64 := func() (float64, error) {
+		if len(b) < 8 {
+			return 0, fmt.Errorf("%w: truncated value", ErrCorrupt)
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		return v, nil
+	}
+	var err error
+	var s string
+	if s, err = getStr(); err != nil {
+		return m, nil, err
+	}
+	m.Agent = model.AgentID(s)
+	switch m.Op {
+	case OpUpsertTrust, OpDeleteTrust:
+		if s, err = getStr(); err != nil {
+			return m, nil, err
+		}
+		m.Peer = model.AgentID(s)
+		if m.Op == OpUpsertTrust {
+			if m.Value, err = getF64(); err != nil {
+				return m, nil, err
+			}
+		}
+	case OpUpsertRating, OpDeleteRating:
+		if s, err = getStr(); err != nil {
+			return m, nil, err
+		}
+		m.Product = model.ProductID(s)
+		if m.Op == OpUpsertRating {
+			if m.Value, err = getF64(); err != nil {
+				return m, nil, err
+			}
+		}
+	case OpUpsertAgent:
+		if m.Name, err = getStr(); err != nil {
+			return m, nil, err
+		}
+	}
+	return m, b, nil
+}
+
+// Record framing: crc32(payload) + uint32 payload length + payload, where
+// payload = uvarint seq + mutation wire form.
+const frameHeader = 8
+
+// Options configure a WAL.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// NoSync skips fsync after appends. Only for tests and benchmarks:
+	// it voids the durability guarantee.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// segment is one immutable (or active) log file.
+type segment struct {
+	path     string
+	firstSeq uint64 // sequence number of its first record
+}
+
+// segmentName formats the file name for a segment starting at seq.
+func segmentName(seq uint64) string { return fmt.Sprintf("wal-%016x.log", seq) }
+
+// parseSegmentName extracts the first sequence number, reporting ok=false
+// for unrelated files.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[4:len(name)-4], 16, 64)
+	return seq, err == nil
+}
+
+// WAL is an append-only mutation log over a directory of segments. All
+// methods are safe for concurrent use; appends are serialized.
+type WAL struct {
+	mu       sync.Mutex
+	dir      string
+	opt      Options
+	segments []segment // sorted by firstSeq; last is active
+	active   *os.File
+	size     int64  // active segment size
+	nextSeq  uint64 // sequence number the next record receives
+	appended uint64 // records appended in this process, for Stats
+	closed   bool
+}
+
+// Open opens (creating if necessary) the WAL directory, scans all
+// segments to find the next sequence number, and repairs a torn tail on
+// the last segment.
+func Open(dir string, opt Options) (*WAL, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir %s: %w", dir, err)
+	}
+	w := &WAL{dir: dir, opt: opt, nextSeq: 1}
+	for _, e := range entries {
+		if seq, ok := parseSegmentName(e.Name()); ok {
+			w.segments = append(w.segments, segment{path: filepath.Join(dir, e.Name()), firstSeq: seq})
+		}
+	}
+	sort.Slice(w.segments, func(i, j int) bool { return w.segments[i].firstSeq < w.segments[j].firstSeq })
+
+	// Non-final segments must be fully intact: a tear there means records
+	// after it exist that depend on the lost ones, so it is corruption.
+	for i, seg := range w.segments {
+		last := i == len(w.segments)-1
+		lastSeq, size, err := scanSegment(seg.path, seg.firstSeq, last)
+		if err != nil {
+			return nil, err
+		}
+		if lastSeq >= w.nextSeq {
+			w.nextSeq = lastSeq + 1
+		}
+		if last {
+			w.size = size
+		}
+	}
+	if len(w.segments) == 0 {
+		if err := w.rotateLocked(); err != nil {
+			return nil, err
+		}
+	} else {
+		tail := w.segments[len(w.segments)-1]
+		f, err := os.OpenFile(tail.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: open segment: %w", err)
+		}
+		// scanSegment already truncated a torn tail logically; make it
+		// physical so appends land right after the last good record.
+		if err := f.Truncate(w.size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if _, err := f.Seek(w.size, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: seek: %w", err)
+		}
+		w.active = f
+	}
+	return w, nil
+}
+
+// scanSegment walks one segment, validating every record. For the last
+// segment a torn tail is tolerated (its offset is returned as the good
+// size); anywhere else it is corruption. Returns the last sequence number
+// seen (0 if the segment is empty) and the byte size of the intact
+// prefix.
+func scanSegment(path string, firstSeq uint64, tolerateTear bool) (lastSeq uint64, goodSize int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: open segment %s: %w", path, err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: stat segment: %w", err)
+	}
+	size := info.Size()
+	var off int64
+	want := firstSeq
+	for off < size {
+		seq, _, recLen, rerr := readRecord(f, off, size)
+		if rerr != nil {
+			if errors.Is(rerr, errTorn) && tolerateTear {
+				return want - 1, off, nil
+			}
+			if errors.Is(rerr, errTorn) {
+				return 0, 0, fmt.Errorf("%w: torn record in non-final segment %s at offset %d", ErrCorrupt, path, off)
+			}
+			return 0, 0, fmt.Errorf("%s at offset %d: %w", path, off, rerr)
+		}
+		if seq != want {
+			return 0, 0, fmt.Errorf("%w: %s holds seq %d where %d was expected", ErrCorrupt, path, seq, want)
+		}
+		want = seq + 1
+		off += recLen
+	}
+	return want - 1, off, nil
+}
+
+// errTorn marks an incomplete record at the end of a segment.
+var errTorn = errors.New("wal: torn record")
+
+// readRecord reads and validates the framed record at off.
+func readRecord(r io.ReaderAt, off, size int64) (seq uint64, m Mutation, recLen int64, err error) {
+	var hdr [frameHeader]byte
+	if off+frameHeader > size {
+		return 0, m, 0, errTorn
+	}
+	if _, err := r.ReadAt(hdr[:], off); err != nil {
+		return 0, m, 0, fmt.Errorf("wal: read header: %w", err)
+	}
+	crc := binary.LittleEndian.Uint32(hdr[0:4])
+	plen := binary.LittleEndian.Uint32(hdr[4:8])
+	if plen > 1+binary.MaxVarintLen64+uint32(4*(binary.MaxVarintLen32+maxFieldLen))+8 {
+		return 0, m, 0, fmt.Errorf("%w: absurd payload length %d", ErrCorrupt, plen)
+	}
+	recLen = frameHeader + int64(plen)
+	if off+recLen > size {
+		return 0, m, 0, errTorn
+	}
+	payload := make([]byte, plen)
+	if _, err := r.ReadAt(payload, off+frameHeader); err != nil {
+		return 0, m, 0, fmt.Errorf("wal: read payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return 0, m, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	seq, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return 0, m, 0, fmt.Errorf("%w: bad sequence varint", ErrCorrupt)
+	}
+	m, rest, err := decodeMutation(payload[k:])
+	if err != nil {
+		return 0, m, 0, err
+	}
+	if len(rest) != 0 {
+		return 0, m, 0, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(rest))
+	}
+	return seq, m, recLen, nil
+}
+
+// rotateLocked opens a fresh segment named by the next sequence number.
+// Caller holds w.mu (or is initializing).
+func (w *WAL) rotateLocked() error {
+	if w.active != nil {
+		if err := w.active.Sync(); err != nil {
+			return fmt.Errorf("wal: sync before rotate: %w", err)
+		}
+		if err := w.active.Close(); err != nil {
+			return fmt.Errorf("wal: close before rotate: %w", err)
+		}
+	}
+	seg := segment{path: filepath.Join(w.dir, segmentName(w.nextSeq)), firstSeq: w.nextSeq}
+	f, err := os.OpenFile(seg.path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	w.segments = append(w.segments, seg)
+	w.active = f
+	w.size = 0
+	syncDir(w.dir)
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so segment creations/removals
+// survive a crash.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// Append durably writes the batch: every mutation becomes one record with
+// a consecutive sequence number, the whole batch is written with a single
+// write call and (unless NoSync) a single fsync — the group-commit that
+// makes per-mutation durability affordable. Returns the first and last
+// sequence numbers assigned. An empty batch is a no-op.
+func (w *WAL) Append(muts []Mutation) (first, last uint64, err error) {
+	if len(muts) == 0 {
+		return 0, 0, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, 0, ErrClosed
+	}
+	if w.size >= w.opt.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, 0, err
+		}
+	}
+	first = w.nextSeq
+	buf := make([]byte, 0, 64*len(muts))
+	var payload []byte
+	for i, m := range muts {
+		payload = payload[:0]
+		payload = binary.AppendUvarint(payload, w.nextSeq+uint64(i))
+		payload, err = m.encode(payload)
+		if err != nil {
+			return 0, 0, err
+		}
+		var hdr [frameHeader]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(payload))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, payload...)
+	}
+	if _, err := w.active.Write(buf); err != nil {
+		// A short write leaves a torn tail. Roll the file back to the
+		// last good record so the next append rewrites cleanly.
+		_ = w.active.Truncate(w.size)
+		_, _ = w.active.Seek(w.size, io.SeekStart)
+		return 0, 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if !w.opt.NoSync {
+		if err := w.active.Sync(); err != nil {
+			return 0, 0, fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	w.size += int64(len(buf))
+	w.nextSeq += uint64(len(muts))
+	w.appended += uint64(len(muts))
+	return first, w.nextSeq - 1, nil
+}
+
+// NextSeq returns the sequence number the next appended record receives.
+func (w *WAL) NextSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq
+}
+
+// Replay calls fn for every record with seq >= from, in sequence order.
+// fn returning an error aborts the replay with that error.
+func (w *WAL) Replay(from uint64, fn func(seq uint64, m Mutation) error) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	// Flush the active segment so the scan sees every appended record.
+	if w.active != nil && !w.opt.NoSync {
+		if err := w.active.Sync(); err != nil {
+			w.mu.Unlock()
+			return fmt.Errorf("wal: sync before replay: %w", err)
+		}
+	}
+	segs := append([]segment(nil), w.segments...)
+	w.mu.Unlock()
+
+	for i, seg := range segs {
+		// Skip segments wholly below the replay point.
+		if i+1 < len(segs) && segs[i+1].firstSeq <= from {
+			continue
+		}
+		if err := replaySegment(seg, from, i == len(segs)-1, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment walks one segment invoking fn for records >= from.
+func replaySegment(seg segment, from uint64, last bool, fn func(uint64, Mutation) error) error {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: stat segment: %w", err)
+	}
+	size := info.Size()
+	var off int64
+	for off < size {
+		seq, m, recLen, err := readRecord(f, off, size)
+		if err != nil {
+			if errors.Is(err, errTorn) && last {
+				return nil
+			}
+			return fmt.Errorf("%s at offset %d: %w", seg.path, off, err)
+		}
+		if seq >= from {
+			if err := fn(seq, m); err != nil {
+				return err
+			}
+		}
+		off += recLen
+	}
+	return nil
+}
+
+// TruncateBefore removes whole segments whose records all have seq < seq
+// — the space reclamation after a checkpoint has made those records
+// redundant. The active segment is never removed. Returns the number of
+// segments deleted.
+func (w *WAL) TruncateBefore(seq uint64) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	removed := 0
+	for len(w.segments) > 1 && w.segments[1].firstSeq <= seq {
+		if err := os.Remove(w.segments[0].path); err != nil {
+			return removed, fmt.Errorf("wal: remove segment: %w", err)
+		}
+		w.segments = w.segments[1:]
+		removed++
+	}
+	if removed > 0 {
+		syncDir(w.dir)
+	}
+	return removed, nil
+}
+
+// Stats describes the WAL's physical state.
+type Stats struct {
+	Segments    int    // segment files on disk
+	NextSeq     uint64 // sequence number of the next record
+	Appended    uint64 // records appended by this process
+	ActiveBytes int64  // size of the active segment
+}
+
+// Stats returns current statistics.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Stats{Segments: len(w.segments), NextSeq: w.nextSeq, Appended: w.appended, ActiveBytes: w.size}
+}
+
+// Close syncs and releases the WAL. Further operations return ErrClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.active == nil {
+		return nil
+	}
+	if err := w.active.Sync(); err != nil {
+		w.active.Close()
+		return fmt.Errorf("wal: close sync: %w", err)
+	}
+	return w.active.Close()
+}
+
+// checkpointFile is the name of the epoch↔sequence checkpoint marker.
+const checkpointFile = "CHECKPOINT"
+
+// Checkpoint is the durable epoch↔sequence mapping: every record with
+// seq <= Seq is reflected in the durable community snapshot that was
+// published as Epoch. Replay after a crash starts at Seq+1.
+type Checkpoint struct {
+	Epoch uint64
+	Seq   uint64
+}
+
+// SaveCheckpoint atomically writes the checkpoint marker into dir
+// (write-to-temp, fsync, rename).
+func SaveCheckpoint(dir string, c Checkpoint) error {
+	tmp := filepath.Join(dir, checkpointFile+".tmp")
+	body := fmt.Sprintf("epoch=%d seq=%d\n", c.Epoch, c.Seq)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := f.WriteString(body); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, checkpointFile)); err != nil {
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// LoadCheckpoint reads the checkpoint marker from dir; ok is false when
+// none has been written yet.
+func LoadCheckpoint(dir string) (c Checkpoint, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, checkpointFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return Checkpoint{}, false, nil
+	}
+	if err != nil {
+		return Checkpoint{}, false, fmt.Errorf("wal: read checkpoint: %w", err)
+	}
+	if _, err := fmt.Sscanf(string(data), "epoch=%d seq=%d", &c.Epoch, &c.Seq); err != nil {
+		return Checkpoint{}, false, fmt.Errorf("%w: malformed checkpoint %q", ErrCorrupt, strings.TrimSpace(string(data)))
+	}
+	return c, true, nil
+}
