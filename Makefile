@@ -3,14 +3,14 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet test race cover bench fuzz fuzz-smoke experiments experiments-paper examples clean
+.PHONY: all build check fmt vet test race cover bench fuzz fuzz-smoke chaos chaos-short experiments experiments-paper examples clean
 
 all: build check
 
 # check is the CI gate: formatting, vet, the full test suite under the
-# race detector (the serving engine is exercised concurrently), and a
-# short fuzz smoke of the RDF parsers.
-check: fmt vet race fuzz-smoke
+# race detector (the serving engine is exercised concurrently), a short
+# fuzz smoke of the RDF parsers, and the short-mode chaos suite.
+check: fmt vet race fuzz-smoke chaos-short
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,18 @@ bench:
 	$(GO) test -run=^$$ -bench=. -benchmem \
 		./internal/engine/ ./internal/wal/ ./internal/ingest/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_engine.json
+
+# chaos drives the crawl → ingest → serve pipeline under deterministic
+# seed-driven transport and disk faults (internal/faultinject) and
+# asserts no deadlock, no corrupted snapshot, and byte-identical WAL
+# replay. Override the seed with CHAOS_SEED=N.
+CHAOS_SEED ?= 1117
+chaos:
+	$(GO) test -run TestChaos -v ./internal/faultinject/ -chaos.seed=$(CHAOS_SEED)
+
+# chaos-short is the scaled-down variant run as part of check.
+chaos-short:
+	$(GO) test -short -run TestChaos ./internal/faultinject/ -chaos.seed=$(CHAOS_SEED)
 
 # Short fuzz pass over the RDF parsers (see internal/rdf/fuzz_test.go).
 fuzz:

@@ -10,6 +10,7 @@
 //	swrecd [-addr 127.0.0.1:8080] [-in DIR | -scale small|paper -seed N]
 //	       [-metric appleseed|advogato|pathtrust|none] [-alpha 0.5]
 //	       [-warm] [-shutdown-timeout 10s] [-wal DIR]
+//	       [-request-budget 50ms] [-compute-budget 2s]
 //
 // With -wal the server opens the durable write path (internal/ingest):
 // POST/DELETE endpoints on /v1/agents accept first-party mutations,
@@ -70,6 +71,8 @@ func main() {
 	warm := flag.Bool("warm", true, "precompute all agent profiles and neighborhoods at startup")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	walDir := flag.String("wal", "", "write-ahead log directory; enables the durable write endpoints")
+	requestBudget := flag.Duration("request-budget", 0, "per-request deadline for read endpoints; misses serve a degraded cached answer or 504 (0 = unbounded)")
+	computeBudget := flag.Duration("compute-budget", 0, "cap on a detached cold-path computation after its request gave up (0 = unbounded)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "swrecd: ", log.LstdFlags)
@@ -127,7 +130,7 @@ func main() {
 		fatal(fmt.Errorf("unknown metric %q", *metric))
 	}
 
-	eng, err := engine.New(comm, opt, engine.Config{})
+	eng, err := engine.New(comm, opt, engine.Config{ComputeBudget: *computeBudget})
 	if err != nil {
 		fatal(err)
 	}
@@ -139,7 +142,8 @@ func main() {
 	// The ingest pipeline replays unapplied WAL records at Open and is
 	// the engine's only swapper; the API submits mutations through it.
 	var pipe *ingest.Pipeline
-	handler := api.New(eng)
+	apiCfg := api.Config{ReadBudget: *requestBudget}
+	handler := api.NewWithConfig(eng, nil, apiCfg)
 	if *walDir != "" {
 		pipe, err = ingest.Open(eng, *walDir, ingest.Config{})
 		if err != nil {
@@ -149,7 +153,7 @@ func main() {
 			epoch, seq := pipe.Applied()
 			logger.Printf("replayed %d WAL records (now epoch %d, seq %d)", n, epoch, seq)
 		}
-		handler = api.NewWritable(eng, pipe)
+		handler = api.NewWithConfig(eng, pipe, apiCfg)
 		logger.Printf("write endpoints enabled, WAL at %s", *walDir)
 	}
 

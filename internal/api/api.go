@@ -50,6 +50,7 @@
 package api
 
 import (
+	"context"
 	"errors"
 	"expvar"
 	"fmt"
@@ -82,20 +83,43 @@ type Writer interface {
 	Submit(m wal.Mutation) (uint64, error)
 }
 
+// QueueReporter is the optional Writer extension the overload path uses
+// to derive a Retry-After hint from the actual backlog instead of a
+// constant. *ingest.Pipeline satisfies it.
+type QueueReporter interface {
+	QueueStats() (depth, capacity int)
+}
+
+// Config tunes the server's resilience behavior.
+type Config struct {
+	// ReadBudget caps the server-side computation time of every read
+	// request, compounding with whatever deadline the client's own
+	// context carries (the tighter of the two wins). A request that
+	// misses the budget gets a degraded cached answer when one exists,
+	// else 504 deadline_exceeded. 0 means only the client's context
+	// bounds the request.
+	ReadBudget time.Duration
+}
+
 // Server is the HTTP handler layer over one serving engine.
 type Server struct {
 	eng    *engine.Engine
 	writer Writer // nil = read-only surface
+	cfg    Config
 	mux    *http.ServeMux
 }
 
 // New creates a read-only API server over an already validated engine.
-func New(eng *engine.Engine) *Server { return NewWritable(eng, nil) }
+func New(eng *engine.Engine) *Server { return NewWithConfig(eng, nil, Config{}) }
 
 // NewWritable creates the API server with the write endpoints backed by
 // w (normally the *ingest.Pipeline). A nil w yields a read-only server.
-func NewWritable(eng *engine.Engine, w Writer) *Server {
-	s := &Server{eng: eng, writer: w, mux: http.NewServeMux()}
+func NewWritable(eng *engine.Engine, w Writer) *Server { return NewWithConfig(eng, w, Config{}) }
+
+// NewWithConfig creates the API server with explicit resilience
+// configuration.
+func NewWithConfig(eng *engine.Engine, w Writer, cfg Config) *Server {
+	s := &Server{eng: eng, writer: w, cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
@@ -139,6 +163,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	apiStats.Add(fmt.Sprintf("status_%d", rec.status), 1)
 }
 
+// requestCtx derives the context bounding one read request: the
+// client's own context (disconnect, client-set deadline) tightened by
+// the server's ReadBudget when one is configured.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.ReadBudget > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.ReadBudget)
+	}
+	return r.Context(), func() {}
+}
+
+// deadlineHit reports whether err means the request ran out of time
+// rather than failing on its own terms.
+func deadlineHit(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
 // requireRead rejects write methods on read-only endpoints. With a
 // writer configured the global gate admits POST/DELETE, so each read
 // handler applies this guard.
@@ -168,11 +208,18 @@ type errorBody struct {
 
 // page is the uniform list envelope. Offset/Limit echo the effective
 // pagination window; endpoints without windowed pagination omit them.
+// Degraded marks answers served from caches after the request deadline
+// fired instead of the full pipeline: DegradedSource names the fallback
+// the engine used and DegradedEpoch the epoch that produced the data
+// (older than the current epoch when the answer is stale).
 type page struct {
-	Items  any  `json:"items"`
-	Total  int  `json:"total"`
-	Offset *int `json:"offset,omitempty"`
-	Limit  *int `json:"limit,omitempty"`
+	Items          any    `json:"items"`
+	Total          int    `json:"total"`
+	Offset         *int   `json:"offset,omitempty"`
+	Limit          *int   `json:"limit,omitempty"`
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedSource string `json:"degradedSource,omitempty"`
+	DegradedEpoch  uint64 `json:"degradedEpoch,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -193,6 +240,12 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 // writeList emits the items envelope without a pagination window.
 func writeList(w http.ResponseWriter, items any, total int) {
 	writeJSON(w, page{Items: items, Total: total})
+}
+
+// writeDegraded emits the items envelope marked as a degraded answer.
+func writeDegraded(w http.ResponseWriter, items any, total int, source string, epoch uint64) {
+	writeJSON(w, page{Items: items, Total: total,
+		Degraded: true, DegradedSource: source, DegradedEpoch: epoch})
 }
 
 // writePage emits the items envelope with its pagination window.
@@ -425,8 +478,20 @@ func (s *Server) serveNeighbors(w http.ResponseWriter, r *http.Request, snap *en
 		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
 		return
 	}
-	peers, err := snap.RankedPeers(id, ov)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	peers, err := snap.RankedPeersCtx(ctx, id, ov)
 	if err != nil {
+		if deadlineHit(err) {
+			if cached, source, epoch, ok := s.eng.DegradedPeers(id, ov); ok {
+				total := len(cached)
+				if n > 0 && len(cached) > n {
+					cached = cached[:n]
+				}
+				writeDegraded(w, cached, total, source, epoch)
+				return
+			}
+		}
 		writeEngineError(w, err)
 		return
 	}
@@ -443,7 +508,9 @@ func (s *Server) serveProfile(w http.ResponseWriter, r *http.Request, snap *engi
 		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
 		return
 	}
-	prof, err := snap.Profile(id)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	prof, err := snap.ProfileCtx(ctx, id)
 	if err != nil {
 		writeEngineError(w, err)
 		return
@@ -488,7 +555,16 @@ func (s *Server) serveRecommendations(w http.ResponseWriter, r *http.Request, sn
 	if theta > 0 && n > 0 {
 		fetchN = n * 5
 	}
-	recs, err := snap.Recommend(id, fetchN, ov)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	degradedSource, degradedEpoch := "", uint64(0)
+	recs, err := snap.RecommendCtx(ctx, id, fetchN, ov)
+	if err != nil && deadlineHit(err) {
+		if cached, source, epoch, ok := s.eng.DegradedRecommend(id, fetchN, ov); ok {
+			recs, err = cached, nil
+			degradedSource, degradedEpoch = source, epoch
+		}
+	}
 	if err != nil {
 		writeEngineError(w, err)
 		return
@@ -512,6 +588,10 @@ func (s *Server) serveRecommendations(w http.ResponseWriter, r *http.Request, sn
 			ro.Title = p.Title
 		}
 		items = append(items, ro)
+	}
+	if degradedSource != "" {
+		writeDegraded(w, items, len(items), degradedSource, degradedEpoch)
+		return
 	}
 	writeList(w, items, len(items))
 }
@@ -634,7 +714,7 @@ func (s *Server) submit(w http.ResponseWriter, snap *engine.Snapshot, m wal.Muta
 	}
 	seq, err := s.writer.Submit(m)
 	if err != nil {
-		writeSubmitError(w, err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -695,13 +775,33 @@ func (s *Server) serveUpsertAgent(w http.ResponseWriter, r *http.Request) {
 	s.submit(w, s.eng.Snapshot(), wal.Mutation{Op: wal.OpUpsertAgent, Agent: body.ID, Name: body.Name})
 }
 
+// retryAfter derives the Retry-After hint from the writer's queue
+// backlog: an almost-empty queue suggests a transient spike (retry in
+// 1s), a saturated one a real backlog (up to 8s). Writers that don't
+// report queue depth get the conservative 1s.
+func (s *Server) retryAfter() string {
+	qr, ok := s.writer.(QueueReporter)
+	if !ok {
+		return "1"
+	}
+	depth, capacity := qr.QueueStats()
+	if capacity <= 0 {
+		return "1"
+	}
+	secs := 1 + (7*depth+capacity/2)/capacity
+	if secs > 8 {
+		secs = 8
+	}
+	return strconv.Itoa(secs)
+}
+
 // writeSubmitError maps ingest pipeline errors onto the error envelope.
-func writeSubmitError(w http.ResponseWriter, err error) {
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ingest.ErrInvalid):
 		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
 	case errors.Is(err, ingest.ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeError(w, http.StatusServiceUnavailable, "overloaded", "ingest queue full, retry later")
 	case errors.Is(err, ingest.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "unavailable", "write pipeline is shut down")
@@ -717,6 +817,9 @@ func writeEngineError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusNotFound, "not_found", err.Error())
 	case errors.Is(err, engine.ErrNoTaxonomy):
 		writeError(w, http.StatusConflict, "no_taxonomy", err.Error())
+	case deadlineHit(err):
+		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded",
+			"request deadline exceeded before the computation finished")
 	default:
 		writeError(w, http.StatusInternalServerError, "internal", err.Error())
 	}

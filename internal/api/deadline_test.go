@@ -1,0 +1,187 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"swrec/internal/cf"
+	"swrec/internal/core"
+	"swrec/internal/engine"
+	"swrec/internal/ingest"
+	"swrec/internal/model"
+	"swrec/internal/wal"
+)
+
+// newSlowServer builds a read-only server whose recommendation pipeline
+// sleeps for the duration stored in delay (nanoseconds) at stage 1 — a
+// deterministic stand-in for an expensive cold-path computation — with
+// the given server-side read budget.
+func newSlowServer(t *testing.T, delay *atomic.Int64, budget time.Duration) (*Server, *model.Community, *engine.Engine) {
+	t.Helper()
+	comm := testCommunity(t, 30, 40)
+	opt := core.Options{CF: cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy}}
+	agents := comm.Agents()
+	opt.Candidates = func(model.AgentID) []model.AgentID {
+		if d := time.Duration(delay.Load()); d > 0 {
+			time.Sleep(d)
+		}
+		return agents
+	}
+	eng, err := engine.New(comm, opt, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWithConfig(eng, nil, Config{ReadBudget: budget}), comm, eng
+}
+
+// degradedPage decodes the list envelope including the degraded markers.
+type degradedPage struct {
+	Items          []json.RawMessage `json:"items"`
+	Total          int               `json:"total"`
+	Degraded       bool              `json:"degraded"`
+	DegradedSource string            `json:"degradedSource"`
+	DegradedEpoch  uint64            `json:"degradedEpoch"`
+}
+
+// TestColdCacheDeadline504 is the acceptance test for deadline
+// propagation: a cold-cache recommendation request under a 10ms budget
+// must come back 504 deadline_exceeded in roughly the budget, not after
+// the full computation.
+func TestColdCacheDeadline504(t *testing.T) {
+	var delay atomic.Int64
+	const compute = 150 * time.Millisecond
+	delay.Store(int64(compute))
+	s, comm, _ := newSlowServer(t, &delay, 10*time.Millisecond)
+	agent := comm.Agents()[0]
+
+	start := time.Now()
+	code := getError(t, s, agentPath(agent, "/recommendations"), http.StatusGatewayTimeout)
+	elapsed := time.Since(start)
+	if code != "deadline_exceeded" {
+		t.Fatalf("error code = %q, want deadline_exceeded", code)
+	}
+	if elapsed >= compute {
+		t.Fatalf("504 took %v — handler blocked on the computation", elapsed)
+	}
+
+	// Neighbors observe the budget through the same path. A different
+	// agent keeps its caches cold regardless of what the first request's
+	// detached flight warms later.
+	other := comm.Agents()[1]
+	if code := getError(t, s, agentPath(other, "/neighbors"), http.StatusGatewayTimeout); code != "deadline_exceeded" {
+		t.Fatalf("neighbors error code = %q", code)
+	}
+}
+
+// TestDegradedAnswerAfterSwap warms the caches at epoch 1, swaps in a
+// cold epoch, and asserts that a request missing its deadline is served
+// the previous epoch's cached answer with the degraded markers set.
+func TestDegradedAnswerAfterSwap(t *testing.T) {
+	var delay atomic.Int64
+	s, comm, eng := newSlowServer(t, &delay, 10*time.Millisecond)
+	agent := comm.Agents()[0]
+
+	// Fast pipeline: warm the recommendation and peer caches at epoch 1.
+	if _, err := eng.Snapshot().Recommend(agent, 10, engine.Overrides{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Snapshot().RankedPeers(agent, engine.Overrides{}); err != nil {
+		t.Fatal(err)
+	}
+	oldEpoch := eng.Epoch()
+
+	// Swap installs a cold epoch and the pipeline turns slow.
+	if _, err := eng.Swap(testCommunity(t, 30, 40)); err != nil {
+		t.Fatal(err)
+	}
+	delay.Store(int64(150 * time.Millisecond))
+
+	var out degradedPage
+	if code := get(t, s, agentPath(agent, "/recommendations"), &out); code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 degraded", code)
+	}
+	if !out.Degraded || out.DegradedSource != "prev-result-cache" || out.DegradedEpoch != oldEpoch {
+		t.Fatalf("degraded envelope = %+v, want prev-result-cache at epoch %d", out, oldEpoch)
+	}
+	if len(out.Items) == 0 {
+		t.Fatal("degraded answer is empty")
+	}
+
+	out = degradedPage{}
+	if code := get(t, s, agentPath(agent, "/neighbors"), &out); code != http.StatusOK {
+		t.Fatalf("neighbors status = %d, want 200 degraded", code)
+	}
+	if !out.Degraded || out.DegradedSource != "prev-peers-cache" || out.DegradedEpoch != oldEpoch {
+		t.Fatalf("neighbors degraded envelope = %+v", out)
+	}
+}
+
+// reportingWriter simulates a saturated pipeline that exposes its queue
+// backlog, so the server can derive Retry-After from fullness.
+type reportingWriter struct{ depth, capacity int }
+
+func (w reportingWriter) Submit(wal.Mutation) (uint64, error) { return 0, ingest.ErrOverloaded }
+func (w reportingWriter) QueueStats() (int, int)              { return w.depth, w.capacity }
+
+func TestRetryAfterDerivedFromQueueDepth(t *testing.T) {
+	_, comm, eng := newTestServer(t)
+	agent := comm.Agents()[0]
+	cases := []struct {
+		depth, capacity int
+		want            string
+	}{
+		{0, 64, "1"},    // empty queue: transient spike
+		{32, 64, "5"},   // half full: 1 + round(3.5)
+		{64, 64, "8"},   // saturated: full backoff
+		{9999, 64, "8"}, // clamped
+		{0, 0, "1"},     // degenerate capacity
+	}
+	for _, tc := range cases {
+		s := NewWritable(eng, reportingWriter{tc.depth, tc.capacity})
+		rec := do(t, s, http.MethodPost, agentPath(agent, "/trust"),
+			map[string]any{"peer": "http://x/b", "value": 0.5})
+		if code := wantErrorCode(t, rec, http.StatusServiceUnavailable); code != "overloaded" {
+			t.Fatalf("code = %q", code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != tc.want {
+			t.Fatalf("depth %d/%d: Retry-After = %q, want %q", tc.depth, tc.capacity, got, tc.want)
+		}
+	}
+}
+
+// TestConcurrentOverloadRetryAfter hammers a saturated writer from many
+// goroutines: every 503 must carry the backlog-derived Retry-After.
+func TestConcurrentOverloadRetryAfter(t *testing.T) {
+	_, comm, eng := newTestServer(t)
+	s := NewWritable(eng, reportingWriter{depth: 64, capacity: 64})
+	agent := comm.Agents()[0]
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := do(t, s, http.MethodPost, agentPath(agent, "/trust"),
+				map[string]any{"peer": fmt.Sprintf("http://x/peer%d", i), "value": 0.5})
+			if rec.Code != http.StatusServiceUnavailable {
+				errs <- fmt.Errorf("client %d: status %d", i, rec.Code)
+				return
+			}
+			if got := rec.Header().Get("Retry-After"); got != "8" {
+				errs <- fmt.Errorf("client %d: Retry-After %q, want 8", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -247,6 +248,16 @@ func (r *Recommender) Filter() *cf.Filter { return r.filter }
 
 // Neighborhood runs stage 1 for the active agent.
 func (r *Recommender) Neighborhood(active model.AgentID) (*trust.Neighborhood, error) {
+	return r.NeighborhoodCtx(context.Background(), active)
+}
+
+// NeighborhoodCtx is Neighborhood with cancellation. The Appleseed metric
+// checks ctx at every iteration boundary; the cheaper metrics check it
+// once on entry. Returns ctx.Err() when cancelled.
+func (r *Recommender) NeighborhoodCtx(ctx context.Context, active model.AgentID) (*trust.Neighborhood, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if r.opt.Candidates != nil {
 		nb := &trust.Neighborhood{Source: active}
 		for _, id := range r.opt.Candidates(active) {
@@ -271,7 +282,7 @@ func (r *Recommender) Neighborhood(active model.AgentID) (*trust.Neighborhood, e
 		}
 		return nb, nil
 	default:
-		return trust.Appleseed(net, active, r.opt.Appleseed)
+		return trust.AppleseedCtx(ctx, net, active, r.opt.Appleseed)
 	}
 }
 
@@ -279,10 +290,18 @@ func (r *Recommender) Neighborhood(active model.AgentID) (*trust.Neighborhood, e
 // and rank synthesization. The result is sorted by descending weight (ties
 // by agent ID).
 func (r *Recommender) RankedPeers(active model.AgentID) ([]PeerRank, error) {
+	return r.RankedPeersCtx(context.Background(), active)
+}
+
+// RankedPeersCtx is RankedPeers with cancellation: stage 1 inherits the
+// context, and the stage-2 similarity loop — which builds interest
+// profiles for cache-cold peers — checks it at per-peer boundaries.
+// Returns ctx.Err() when cancelled.
+func (r *Recommender) RankedPeersCtx(ctx context.Context, active model.AgentID) ([]PeerRank, error) {
 	if !r.comm.HasAgent(active) {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownAgent, active)
 	}
-	nb, err := r.Neighborhood(active)
+	nb, err := r.NeighborhoodCtx(ctx, active)
 	if err != nil {
 		return nil, err
 	}
@@ -297,7 +316,12 @@ func (r *Recommender) RankedPeers(active model.AgentID) ([]PeerRank, error) {
 	}
 	alpha := r.opt.alpha()
 	peers := make([]PeerRank, 0, len(nb.Ranks))
-	for _, rk := range nb.Ranks {
+	for i, rk := range nb.Ranks {
+		if i&15 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		tn := 0.0
 		if maxTrust > 0 {
 			tn = rk.Trust / maxTrust
@@ -342,11 +366,17 @@ func (r *Recommender) RankedPeers(active model.AgentID) ([]PeerRank, error) {
 // for the active agent (all scored products if n <= 0). Products the
 // active agent has already rated never appear.
 func (r *Recommender) Recommend(active model.AgentID, n int) ([]Recommendation, error) {
-	peers, err := r.RankedPeers(active)
+	return r.RecommendCtx(context.Background(), active, n)
+}
+
+// RecommendCtx is Recommend with cancellation threaded through every
+// pipeline stage. Returns ctx.Err() when cancelled.
+func (r *Recommender) RecommendCtx(ctx context.Context, active model.AgentID, n int) ([]Recommendation, error) {
+	peers, err := r.RankedPeersCtx(ctx, active)
 	if err != nil {
 		return nil, err
 	}
-	return r.RecommendFrom(active, peers, n)
+	return r.RecommendFromCtx(ctx, active, peers, n)
 }
 
 // RecommendFrom runs stage 4 only — the product vote — over an already
@@ -354,6 +384,13 @@ func (r *Recommender) Recommend(active model.AgentID, n int) ([]Recommendation, 
 // that cache neighborhoods across requests (internal/engine) use this to
 // skip stages 1-3 entirely on a warm cache.
 func (r *Recommender) RecommendFrom(active model.AgentID, peers []PeerRank, n int) ([]Recommendation, error) {
+	return r.RecommendFromCtx(context.Background(), active, peers, n)
+}
+
+// RecommendFromCtx is RecommendFrom with cancellation: the product vote
+// checks ctx at per-peer boundaries (each peer may contribute an entire
+// rating history). Returns ctx.Err() when cancelled.
+func (r *Recommender) RecommendFromCtx(ctx context.Context, active model.AgentID, peers []PeerRank, n int) ([]Recommendation, error) {
 	act := r.comm.Agent(active)
 	if act == nil {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownAgent, active)
@@ -369,7 +406,12 @@ func (r *Recommender) RecommendFrom(active model.AgentID, peers []PeerRank, n in
 		supporters int
 	}
 	votes := make(map[model.ProductID]*acc)
-	for _, p := range peers {
+	for i, p := range peers {
+		if i&15 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if p.Weight <= 0 {
 			continue
 		}
@@ -401,7 +443,10 @@ func (r *Recommender) RecommendFrom(active model.AgentID, peers []PeerRank, n in
 	// to the active agent's own taxonomy profile (hybrid filtering, §5).
 	var activeProfile sparse.Vector
 	if r.opt.ContentBoost > 0 {
-		activeProfile = r.gen.Profile(act, r.comm)
+		var err error
+		if activeProfile, err = r.gen.ProfileCtx(ctx, act, r.comm); err != nil {
+			return nil, err
+		}
 	}
 
 	out := make([]Recommendation, 0, len(votes))

@@ -16,14 +16,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand/v2"
 	"net/http"
+	"net/url"
 	"sync"
 	"time"
 
 	"swrec/internal/foaf"
 	"swrec/internal/model"
 	"swrec/internal/rdf"
+	"swrec/internal/resilience"
 	"swrec/internal/store"
 	"swrec/internal/taxonomy"
 )
@@ -35,6 +36,9 @@ const maxDocumentBytes = 16 << 20
 var (
 	// ErrNoSeeds is returned when Crawl is invoked without seed agents.
 	ErrNoSeeds = errors.New("crawler: no seed agents")
+	// ErrHostSuspended marks a fetch rejected because the host's circuit
+	// breaker is open: the host has been failing and is in cooldown.
+	ErrHostSuspended = errors.New("crawler: host suspended by circuit breaker")
 )
 
 // Crawler fetches and materializes a community. Zero-value fields take
@@ -60,13 +64,30 @@ type Crawler struct {
 	// fetches each host's /robots.txt once and honors its Disallow
 	// prefixes for homepage fetches.
 	IgnoreRobots bool
-	// Timeout bounds one fetch. Default 10s.
+	// Timeout bounds one fetch (homepage or robots.txt). Default 10s.
 	Timeout time.Duration
-	// RetryBackoff is the base delay before the single retry of a
-	// transiently failed fetch (timeout, connection error, or 5xx). The
-	// actual delay is jittered in [0.5, 1.5) of the base so a re-crawl
-	// does not hammer a recovering host in lockstep. Default 500ms.
+	// RetryBackoff is the base delay before the first retry of a
+	// transiently failed fetch (timeout, connection error, or 5xx);
+	// subsequent retries back off exponentially, each jittered in
+	// [0.5, 1.5) of its base so a re-crawl does not hammer a recovering
+	// host in lockstep. Default 500ms.
 	RetryBackoff time.Duration
+	// MaxRetries bounds re-attempts of a transiently failed fetch after
+	// the first try. 0 keeps the default of one retry; negative disables
+	// retrying entirely.
+	MaxRetries int
+	// DisableBreaker turns off the per-host circuit breakers. By default
+	// every fetch consults the host's breaker: a host whose recent
+	// fetches mostly failed is suspended for a cooldown instead of
+	// pinning workers on a dead peer (the Semantic Web treats
+	// unavailability as the normal case, not the exception).
+	DisableBreaker bool
+	// Breaker tunes the per-host circuit breakers; zero values take the
+	// resilience package defaults.
+	Breaker resilience.BreakerConfig
+
+	breakerOnce sync.Once
+	breakers    *resilience.Group
 }
 
 // Stats reports what one crawl did.
@@ -78,7 +99,8 @@ type Stats struct {
 	Skipped      int // agents not visited due to MaxAgents/MaxDepth bounds
 	RobotsDenied int // homepages skipped because robots.txt disallows them
 	Retried      int // transient fetch failures retried after backoff
-	StaleServed  int // fetches that failed twice but were answered from cache
+	StaleServed  int // fetches that failed but were answered from cache
+	BreakerOpen  int // fetches rejected because the host's breaker was open
 }
 
 // Result is a materialized community plus crawl statistics.
@@ -99,15 +121,17 @@ func etagKey(url string) string { return "etag\x00" + url }
 // per unchanged homepage.
 //
 // Failure protocol: a transient failure (timeout, connection error, 5xx)
-// is retried once after a jittered backoff; if the retry also fails and
-// a cached copy exists, the stale copy is served — the crawler "degrades
-// gracefully when parts of the Web are unreachable" instead of dropping
-// an agent it has seen before.
-func (c *Crawler) fetchDoc(ctx context.Context, url string, st *Stats, mu *sync.Mutex) ([]byte, error) {
+// is retried up to MaxRetries times with jittered exponential backoff;
+// if the retries exhaust and a cached copy exists, the stale copy is
+// served — the crawler "degrades gracefully when parts of the Web are
+// unreachable" instead of dropping an agent it has seen before. Every
+// fetch outcome feeds the host's circuit breaker; an open breaker
+// rejects the fetch up front (stale cache still applies).
+func (c *Crawler) fetchDoc(ctx context.Context, rawURL string, st *Stats, mu *sync.Mutex) ([]byte, error) {
 	var cached []byte
 	var cachedETag string
 	if c.Cache != nil {
-		if data, ok, err := c.Cache.Get(url); err == nil && ok {
+		if data, ok, err := c.Cache.Get(rawURL); err == nil && ok {
 			cached = data
 			if !c.Refresh {
 				mu.Lock()
@@ -115,24 +139,13 @@ func (c *Crawler) fetchDoc(ctx context.Context, url string, st *Stats, mu *sync.
 				mu.Unlock()
 				return data, nil
 			}
-			if tag, ok, err := c.Cache.Get(etagKey(url)); err == nil && ok {
+			if tag, ok, err := c.Cache.Get(etagKey(rawURL)); err == nil && ok {
 				cachedETag = string(tag)
 			}
 		}
 	}
-	data, transient, err := c.fetchOnce(ctx, url, cached, cachedETag, st, mu)
-	if err != nil && transient {
-		mu.Lock()
-		st.Retried++
-		mu.Unlock()
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(jitter(c.RetryBackoff)):
-		}
-		data, _, err = c.fetchOnce(ctx, url, cached, cachedETag, st, mu)
-	}
-	if err != nil {
+
+	serveStaleOr := func(err error) ([]byte, error) {
 		if cached != nil {
 			mu.Lock()
 			st.StaleServed++
@@ -141,15 +154,64 @@ func (c *Crawler) fetchDoc(ctx context.Context, url string, st *Stats, mu *sync.
 		}
 		return nil, err
 	}
+
+	br := c.breakerFor(rawURL)
+	if br != nil && !br.Allow() {
+		mu.Lock()
+		st.BreakerOpen++
+		mu.Unlock()
+		return serveStaleOr(fmt.Errorf("crawler: fetch %s: %w", rawURL, ErrHostSuspended))
+	}
+
+	attempts := 1 + c.MaxRetries
+	if c.MaxRetries == 0 {
+		attempts = 2 // default: one retry
+	} else if c.MaxRetries < 0 {
+		attempts = 1
+	}
+	var data []byte
+	retries, err := resilience.Retry(ctx, attempts, c.RetryBackoff, func() (bool, error) {
+		var transient bool
+		var ferr error
+		data, transient, ferr = c.fetchOnce(ctx, rawURL, cached, cachedETag, st, mu)
+		return transient, ferr
+	})
+	if retries > 0 {
+		mu.Lock()
+		st.Retried += retries
+		mu.Unlock()
+	}
+	if br != nil {
+		br.Record(err == nil)
+	}
+	if err != nil {
+		return serveStaleOr(err)
+	}
 	return data, nil
 }
 
-// jitter spreads the retry backoff uniformly over [0.5, 1.5) of base.
-func jitter(base time.Duration) time.Duration {
-	if base <= 0 {
-		base = 500 * time.Millisecond
+// breakerFor returns the circuit breaker guarding rawURL's host, or nil
+// when breakers are disabled or the URL has no host.
+func (c *Crawler) breakerFor(rawURL string) *resilience.Breaker {
+	if c.DisableBreaker {
+		return nil
 	}
-	return base/2 + time.Duration(rand.Int64N(int64(base)))
+	u, err := url.Parse(rawURL)
+	if err != nil || u.Host == "" {
+		return nil
+	}
+	c.breakerOnce.Do(func() { c.breakers = resilience.NewGroup(c.Breaker) })
+	return c.breakers.For(u.Host)
+}
+
+// BreakerStates snapshots the per-host breaker states accumulated so
+// far — the observability hook for operators watching a long crawl.
+// Hosts never fetched (or breakers disabled) yield an empty map.
+func (c *Crawler) BreakerStates() map[string]resilience.State {
+	if c.DisableBreaker || c.breakers == nil {
+		return map[string]resilience.State{}
+	}
+	return c.breakers.States()
 }
 
 // fetchOnce performs one fetch attempt. transient reports whether the
@@ -261,7 +323,7 @@ func (c *Crawler) Crawl(ctx context.Context, taxonomyURL, catalogURL string, see
 	}
 	var robots *robotsCache
 	if !c.IgnoreRobots {
-		robots = newRobotsCache(c.Client)
+		robots = newRobotsCache(c.Client, c.Timeout)
 	}
 	visited := map[model.AgentID]bool{}
 	frontier := make([]model.AgentID, 0, len(seeds))

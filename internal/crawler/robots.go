@@ -14,6 +14,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"time"
 )
 
 // robotsRules holds the Disallow prefixes applying to us on one host.
@@ -82,15 +83,21 @@ func parseRobots(doc string) *robotsRules {
 }
 
 // robotsCache lazily fetches and parses robots.txt per host for one
-// crawl. Safe for concurrent use.
+// crawl. Safe for concurrent use. Each robots.txt fetch gets its own
+// timeout so a hanging robots endpoint cannot stall the whole frontier
+// behind one host's policy check.
 type robotsCache struct {
-	client *http.Client
-	mu     sync.Mutex
-	rules  map[string]*robotsRules
+	client  *http.Client
+	timeout time.Duration
+	mu      sync.Mutex
+	rules   map[string]*robotsRules
 }
 
-func newRobotsCache(client *http.Client) *robotsCache {
-	return &robotsCache{client: client, rules: map[string]*robotsRules{}}
+func newRobotsCache(client *http.Client, timeout time.Duration) *robotsCache {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &robotsCache{client: client, timeout: timeout, rules: map[string]*robotsRules{}}
 }
 
 // allowed reports whether rawURL may be crawled under its host's rules.
@@ -112,11 +119,15 @@ func (rc *robotsCache) allowed(ctx context.Context, rawURL string) bool {
 }
 
 // fetch retrieves one host's robots.txt; any failure means "allow all".
+// The read is capped at maxDocumentBytes like any other untrusted
+// Semantic Web document.
 func (rc *robotsCache) fetch(ctx context.Context, scheme, host string) *robotsRules {
 	if scheme == "" {
 		scheme = "http"
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, scheme+"://"+host+"/robots.txt", nil)
+	fctx, cancel := context.WithTimeout(ctx, rc.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet, scheme+"://"+host+"/robots.txt", nil)
 	if err != nil {
 		return nil
 	}
@@ -132,7 +143,7 @@ func (rc *robotsCache) fetch(ctx context.Context, scheme, host string) *robotsRu
 	if resp.StatusCode != http.StatusOK {
 		return nil
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxDocumentBytes))
 	if err != nil {
 		return nil
 	}

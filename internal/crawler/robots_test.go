@@ -123,7 +123,7 @@ func TestCrawlHonorsRobots(t *testing.T) {
 func TestRobotsCacheFetchesOncePerHost(t *testing.T) {
 	in, site := publishWeb(t)
 	_ = site
-	rc := newRobotsCache(in.Client())
+	rc := newRobotsCache(in.Client(), 0)
 	ctx := context.Background()
 	// Multiple checks against the same host hit the network once; we
 	// can't count requests directly, but repeated calls must be

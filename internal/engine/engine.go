@@ -29,6 +29,7 @@
 package engine
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"runtime"
@@ -67,6 +68,15 @@ type Config struct {
 	// by (agent, n, overrides) — the snapshot is immutable, so the
 	// stage-4 vote is a pure function of that key (default 8192).
 	ResultCacheSize int
+	// ComputeBudget bounds each cold-path flight (neighborhood synthesis,
+	// profile generation, full recommendation) independently of the
+	// triggering request's deadline: a request that detaches leaves the
+	// computation running to warm the cache, but never longer than this.
+	// 0 means unbounded (the pre-deadline behavior).
+	ComputeBudget time.Duration
+	// DegradeBudget bounds the stage-4 vote a degraded-answer probe is
+	// allowed to run over an already cached neighborhood (default 25ms).
+	DegradeBudget time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +91,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ResultCacheSize <= 0 {
 		c.ResultCacheSize = 8192
+	}
+	if c.DegradeBudget <= 0 {
+		c.DegradeBudget = 25 * time.Millisecond
 	}
 	return c
 }
@@ -143,10 +156,11 @@ func (ov Overrides) apply(opt core.Options) core.Options {
 // plus every cache derived from it. All methods are safe for concurrent
 // use; returned slices and vectors are shared and must not be modified.
 type Snapshot struct {
-	epoch uint64
-	comm  *model.Community
-	opt   core.Options
-	rec   *core.Recommender
+	epoch  uint64
+	comm   *model.Community
+	opt    core.Options
+	rec    *core.Recommender
+	budget time.Duration // per-flight compute bound; 0 = none
 
 	// gen builds Eq. 3 profiles for the /profile endpoint and warmup;
 	// nil when the community carries no taxonomy.
@@ -179,6 +193,7 @@ func newSnapshot(epoch uint64, comm *model.Community, opt core.Options, cfg Conf
 		comm:     comm,
 		opt:      opt,
 		rec:      rec,
+		budget:   cfg.ComputeBudget,
 		profiles: newLRU[model.AgentID, sparse.Vector](cfg.ProfileCacheSize),
 		peers:    newLRU[string, []core.PeerRank](cfg.PeerCacheSize),
 		subtrees: newLRU[taxonomy.Topic, []model.ProductID](cfg.SubtreeCacheSize),
@@ -223,22 +238,51 @@ func (s *Snapshot) RecommenderFor(ov Overrides) (*core.Recommender, error) {
 	return rec, nil
 }
 
+// peersKey and resultKey build the cache keys shared by the serving and
+// degradation paths.
+func peersKey(active model.AgentID, ov Overrides) string {
+	return string(active) + "\x00" + ov.pipelineKey()
+}
+
+func resultKey(active model.AgentID, n int, ov Overrides) string {
+	return fmt.Sprintf("%s\x00%d\x00%s", active, n, ov.variantKey())
+}
+
+// flightCtx is the compute-budget context factory handed to cold-path
+// flights: independent of any caller's deadline, bounded by the engine's
+// ComputeBudget when one is configured.
+func (s *Snapshot) flightCtx() (context.Context, context.CancelFunc) {
+	if s.budget > 0 {
+		return context.WithTimeout(context.Background(), s.budget)
+	}
+	return noCancel()
+}
+
 // RankedPeers runs pipeline stages 1-3 for the active agent under the
 // given overrides, serving from the neighborhood cache when warm and
 // collapsing concurrent identical computations to one.
 func (s *Snapshot) RankedPeers(active model.AgentID, ov Overrides) ([]core.PeerRank, error) {
-	key := string(active) + "\x00" + ov.pipelineKey()
+	return s.RankedPeersCtx(context.Background(), active, ov)
+}
+
+// RankedPeersCtx is RankedPeers with a request deadline: a cache hit is
+// served unconditionally (it costs nothing), while a cold-path caller
+// waits only until ctx is done — detaching with ctx.Err() while the
+// computation continues under the engine's compute budget and fills the
+// cache for the next request.
+func (s *Snapshot) RankedPeersCtx(ctx context.Context, active model.AgentID, ov Overrides) ([]core.PeerRank, error) {
+	key := peersKey(active, ov)
 	if peers, ok := s.peers.get(key); ok {
 		stats.Add("peers_hit", 1)
 		return peers, nil
 	}
 	stats.Add("peers_miss", 1)
-	v, err, shared := s.flights.do("peers\x00"+key, func() (any, error) {
+	v, err, shared := s.flights.doCtx(ctx, "peers\x00"+key, s.flightCtx, func(fctx context.Context) (any, error) {
 		rec, err := s.RecommenderFor(ov)
 		if err != nil {
 			return nil, err
 		}
-		peers, err := rec.RankedPeers(active)
+		peers, err := rec.RankedPeersCtx(fctx, active)
 		if err != nil {
 			return nil, err
 		}
@@ -254,6 +298,12 @@ func (s *Snapshot) RankedPeers(active model.AgentID, ov Overrides) ([]core.PeerR
 	return v.([]core.PeerRank), nil
 }
 
+// CachedPeers peeks the neighborhood cache without computing anything —
+// the degradation probe's view of stages 1-3.
+func (s *Snapshot) CachedPeers(active model.AgentID, ov Overrides) ([]core.PeerRank, bool) {
+	return s.peers.get(peersKey(active, ov))
+}
+
 // Recommend runs the full pipeline for the active agent: cached
 // neighborhood (stages 1-3) plus the stage-4 vote. Because the snapshot
 // is immutable, the complete result is itself a pure function of
@@ -261,14 +311,21 @@ func (s *Snapshot) RankedPeers(active model.AgentID, ov Overrides) ([]core.PeerR
 // a repeated identical request costs O(answer), independent of community
 // size.
 func (s *Snapshot) Recommend(active model.AgentID, n int, ov Overrides) ([]core.Recommendation, error) {
-	key := fmt.Sprintf("%s\x00%d\x00%s", active, n, ov.variantKey())
+	return s.RecommendCtx(context.Background(), active, n, ov)
+}
+
+// RecommendCtx is Recommend with a request deadline; see RankedPeersCtx
+// for the detach semantics. The inner pipeline runs entirely under the
+// flight's compute-budget context, not the caller's.
+func (s *Snapshot) RecommendCtx(ctx context.Context, active model.AgentID, n int, ov Overrides) ([]core.Recommendation, error) {
+	key := resultKey(active, n, ov)
 	if recs, ok := s.results.get(key); ok {
 		stats.Add("results_hit", 1)
 		return recs, nil
 	}
 	stats.Add("results_miss", 1)
-	v, err, shared := s.flights.do("recs\x00"+key, func() (any, error) {
-		peers, err := s.RankedPeers(active, ov)
+	v, err, shared := s.flights.doCtx(ctx, "recs\x00"+key, s.flightCtx, func(fctx context.Context) (any, error) {
+		peers, err := s.RankedPeersCtx(fctx, active, ov)
 		if err != nil {
 			return nil, err
 		}
@@ -276,7 +333,7 @@ func (s *Snapshot) Recommend(active model.AgentID, n int, ov Overrides) ([]core.
 		if err != nil {
 			return nil, err
 		}
-		recs, err := rec.RecommendFrom(active, peers, n)
+		recs, err := rec.RecommendFromCtx(fctx, active, peers, n)
 		if err != nil {
 			return nil, err
 		}
@@ -292,9 +349,20 @@ func (s *Snapshot) Recommend(active model.AgentID, n int, ov Overrides) ([]core.
 	return v.([]core.Recommendation), nil
 }
 
+// CachedRecommend peeks the result cache without computing anything.
+func (s *Snapshot) CachedRecommend(active model.AgentID, n int, ov Overrides) ([]core.Recommendation, bool) {
+	return s.results.get(resultKey(active, n, ov))
+}
+
 // Profile returns the agent's Eq. 3 taxonomy profile from the cache,
 // computing and caching it on first touch.
 func (s *Snapshot) Profile(active model.AgentID) (sparse.Vector, error) {
+	return s.ProfileCtx(context.Background(), active)
+}
+
+// ProfileCtx is Profile with a request deadline; see RankedPeersCtx for
+// the detach semantics.
+func (s *Snapshot) ProfileCtx(ctx context.Context, active model.AgentID) (sparse.Vector, error) {
 	if s.gen == nil {
 		return nil, ErrNoTaxonomy
 	}
@@ -307,8 +375,11 @@ func (s *Snapshot) Profile(active model.AgentID) (sparse.Vector, error) {
 		return prof, nil
 	}
 	stats.Add("profile_miss", 1)
-	v, err, shared := s.flights.do("profile\x00"+string(active), func() (any, error) {
-		prof := s.gen.Profile(a, s.comm)
+	v, err, shared := s.flights.doCtx(ctx, "profile\x00"+string(active), s.flightCtx, func(fctx context.Context) (any, error) {
+		prof, err := s.gen.ProfileCtx(fctx, a, s.comm)
+		if err != nil {
+			return nil, err
+		}
 		s.profiles.add(active, prof)
 		return prof, nil
 	})
@@ -372,6 +443,10 @@ type Engine struct {
 
 	swapMu sync.Mutex // serializes Swap; epoch increments under it
 	snap   atomic.Pointer[Snapshot]
+	// prev retains the previously published snapshot: its caches are the
+	// last line of graceful degradation — a stale-but-instant answer beats
+	// a 504 when the current epoch is cold (§2 scalability under load).
+	prev atomic.Pointer[Snapshot]
 }
 
 // New validates the options against the community and installs epoch 1.
@@ -415,9 +490,89 @@ func (e *Engine) Swap(comm *model.Community) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.prev.Store(e.snap.Load())
 	e.snap.Store(snap)
 	stats.Add("swaps", 1)
 	return snap, nil
+}
+
+// Previous returns the snapshot published before the current one, or nil
+// before the first Swap. Degradation probes read its caches; new work is
+// never scheduled on it.
+func (e *Engine) Previous() *Snapshot { return e.prev.Load() }
+
+// DegradedPeers attempts a cheap partial answer for a neighborhood
+// request whose full computation missed its deadline: the current
+// snapshot's cache first, then the previous epoch's. Pure cache lookups —
+// no computation is started. epoch reports which snapshot answered.
+func (e *Engine) DegradedPeers(active model.AgentID, ov Overrides) (peers []core.PeerRank, source string, epoch uint64, ok bool) {
+	if s := e.Snapshot(); s != nil {
+		if peers, ok := s.CachedPeers(active, ov); ok {
+			stats.Add("degraded_served", 1)
+			return peers, "peers-cache", s.epoch, true
+		}
+	}
+	if p := e.Previous(); p != nil {
+		if peers, ok := p.CachedPeers(active, ov); ok {
+			stats.Add("degraded_served", 1)
+			stats.Add("degraded_stale", 1)
+			return peers, "prev-peers-cache", p.epoch, true
+		}
+	}
+	return nil, "", 0, false
+}
+
+// DegradedRecommend attempts a cheap partial answer for a recommendation
+// request whose full computation missed its deadline, probing in order of
+// decreasing fidelity:
+//
+//  1. the current snapshot's result cache (a concurrent flight may have
+//     just completed);
+//  2. a fresh stage-4 vote over the current snapshot's *cached*
+//     neighborhood, bounded by DegradeBudget;
+//  3. the previous epoch's result cache;
+//  4. a bounded vote over the previous epoch's cached neighborhood.
+//
+// No trust or similarity computation is ever started — probes only spend
+// what earlier requests already paid for. epoch reports which snapshot
+// answered; a stale epoch (< current) means the answer predates the last
+// swap.
+func (e *Engine) DegradedRecommend(active model.AgentID, n int, ov Overrides) (recs []core.Recommendation, source string, epoch uint64, ok bool) {
+	probe := func(s *Snapshot, prefix string) ([]core.Recommendation, string, bool) {
+		if s == nil {
+			return nil, "", false
+		}
+		if recs, ok := s.CachedRecommend(active, n, ov); ok {
+			return recs, prefix + "result-cache", true
+		}
+		peers, ok := s.CachedPeers(active, ov)
+		if !ok {
+			return nil, "", false
+		}
+		rec, err := s.RecommenderFor(ov)
+		if err != nil {
+			return nil, "", false
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), e.cfg.DegradeBudget)
+		defer cancel()
+		recs, err := rec.RecommendFromCtx(ctx, active, peers, n)
+		if err != nil {
+			return nil, "", false
+		}
+		return recs, prefix + "peers-vote", true
+	}
+	if recs, source, ok := probe(e.Snapshot(), ""); ok {
+		stats.Add("degraded_served", 1)
+		return recs, source, e.Snapshot().epoch, true
+	}
+	if p := e.Previous(); p != nil {
+		if recs, source, ok := probe(p, "prev-"); ok {
+			stats.Add("degraded_served", 1)
+			stats.Add("degraded_stale", 1)
+			return recs, source, p.epoch, true
+		}
+	}
+	return nil, "", 0, false
 }
 
 // WarmupResult reports what a Warmup pass touched.

@@ -1,45 +1,77 @@
 package engine
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flightGroup deduplicates concurrent computations of the same key: the
-// first caller runs fn, later callers for the same key block and share
-// the result. This is the classic singleflight pattern (stdlib has no
-// exported version, and the module is dependency-free), sized down to
-// what the engine needs: no channels, no forgotten-call API.
+// first caller starts fn, later callers for the same key share the
+// in-flight result. This is the classic singleflight pattern (stdlib has
+// no exported version, and the module is dependency-free), with one
+// deadline-era twist: fn runs on its own goroutine under a *flight*
+// context independent of any single caller, and every caller — including
+// the one that started the flight — waits with a select against its own
+// request context. A caller whose deadline fires detaches immediately
+// with ctx.Err() while the computation keeps running and completes the
+// cache fill, so the work already invested still warms the next request.
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flightCall
 }
 
 type flightCall struct {
-	wg  sync.WaitGroup
-	val any
-	err error
+	done chan struct{} // closed after val/err are set and the key is freed
+	val  any
+	err  error
 }
 
-// do runs fn once per concurrent set of callers sharing key. shared
-// reports whether this caller reused another caller's in-flight result.
-func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+// noCancel is the flight-context factory when no compute budget applies.
+func noCancel() (context.Context, context.CancelFunc) {
+	return context.Background(), func() {}
+}
+
+// doCtx runs fn once per concurrent set of callers sharing key. The
+// leader goroutine evaluates fn under a fresh context from newCtx (the
+// compute budget); each caller blocks until the flight finishes or its
+// own ctx is done, whichever comes first. shared reports whether this
+// caller joined a flight another caller started. On detach the returned
+// error is ctx.Err() and val is nil.
+func (g *flightGroup) doCtx(ctx context.Context, key string, newCtx func() (context.Context, context.CancelFunc), fn func(context.Context) (any, error)) (val any, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flightCall)
 	}
-	if c, ok := g.m[key]; ok {
-		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, c.err, true
+	c, joined := g.m[key]
+	if !joined {
+		c = &flightCall{done: make(chan struct{})}
+		g.m[key] = c
+		go func() {
+			fctx, cancel := newCtx()
+			defer cancel()
+			val, err := fn(fctx)
+			// Publish the result before freeing the key: a caller arriving
+			// after the delete must start a fresh flight, not read a
+			// half-written one.
+			c.val, c.err = val, err
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
 	}
-	c := &flightCall{}
-	c.wg.Add(1)
-	g.m[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
-	c.wg.Done()
+	select {
+	case <-c.done:
+		return c.val, c.err, joined
+	case <-ctx.Done():
+		return nil, ctx.Err(), joined
+	}
+}
 
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	return c.val, c.err, false
+// do is doCtx without caller cancellation or a compute budget: it always
+// waits for the flight to finish.
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	return g.doCtx(context.Background(), key, noCancel, func(context.Context) (any, error) { return fn() })
 }

@@ -1,0 +1,302 @@
+package faultinject
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"swrec/internal/api"
+	"swrec/internal/cf"
+	"swrec/internal/core"
+	"swrec/internal/crawler"
+	"swrec/internal/engine"
+	"swrec/internal/ingest"
+	"swrec/internal/model"
+	"swrec/internal/semweb"
+	"swrec/internal/taxonomy"
+	"swrec/internal/wal"
+)
+
+// defaultChaosSeed is the pinned seed `make chaos` runs with; any other
+// seed must still pass every invariant, it just explores different
+// interleavings of the same fault space.
+const defaultChaosSeed = 1117
+
+var chaosSeed = flag.Uint64("chaos.seed", defaultChaosSeed,
+	"seed for the chaos suite's fault decision streams")
+
+// publishChaosWeb builds one site hosting a trust chain of n agents with
+// ratings over a small catalog, the raw material for a faulty crawl.
+func publishChaosWeb(t *testing.T, n int) (*semweb.Internet, *semweb.Site) {
+	t.Helper()
+	tax := taxonomy.Fig1()
+	c := model.NewCommunity(tax)
+	fic, _ := tax.Lookup("Books/Fiction")
+	alg, _ := tax.Lookup("Books/Science/Mathematics/Pure/Algebra")
+	c.AddProduct(model.Product{ID: "urn:isbn:9780553380958", Title: "Snow Crash", Topics: []taxonomy.Topic{fic}})
+	c.AddProduct(model.Product{ID: "urn:isbn:9780521386326", Title: "Matrix Analysis", Topics: []taxonomy.Topic{alg}})
+	s := semweb.NewSite("chaos.example", c)
+	name := func(i int) model.AgentID { return s.AgentURL(fmt.Sprintf("a%d", i)) }
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	pids := []model.ProductID{"urn:isbn:9780553380958", "urn:isbn:9780521386326"}
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			must(c.SetTrust(name(i), name(i+1), 0.5+float64(i%5)/10))
+		}
+		if j := (i * 7) % n; j != i && j != i+1 {
+			must(c.SetTrust(name(i), name(j), 0.4))
+		}
+		must(c.SetRating(name(i), pids[i%len(pids)], float64(i%19)/9-1))
+	}
+	var in semweb.Internet
+	in.RegisterSite(s)
+	return &in, s
+}
+
+// chaosMutations fabricates n valid mutations against comm, mixing trust
+// upserts/retractions, ratings, and agent upserts deterministically.
+func chaosMutations(comm *model.Community, n int) []wal.Mutation {
+	ids := comm.Agents()
+	pids := comm.Products()
+	out := make([]wal.Mutation, 0, n)
+	for i := 0; len(out) < n; i++ {
+		src := ids[i%len(ids)]
+		dst := ids[(i+7)%len(ids)]
+		if src == dst {
+			dst = ids[(i+8)%len(ids)]
+		}
+		switch i % 5 {
+		case 0:
+			out = append(out, wal.Mutation{Op: wal.OpUpsertTrust, Agent: src, Peer: dst, Value: float64(i%20)/10 - 1})
+		case 1:
+			out = append(out, wal.Mutation{Op: wal.OpUpsertRating, Agent: src, Product: pids[i%len(pids)], Value: float64(i%19)/9 - 1})
+		case 2:
+			out = append(out, wal.Mutation{Op: wal.OpDeleteTrust, Agent: src, Peer: dst})
+		case 3:
+			out = append(out, wal.Mutation{Op: wal.OpUpsertAgent, Agent: model.AgentID(fmt.Sprintf("http://chaos.example/new/a%d", i)), Name: fmt.Sprintf("New %d", i)})
+		case 4:
+			out = append(out, wal.Mutation{Op: wal.OpDeleteRating, Agent: src, Product: pids[i%len(pids)]})
+		}
+	}
+	return out
+}
+
+// chaosDigest canonically serializes the statement state of a community
+// so two states compare byte-for-byte regardless of map iteration order.
+func chaosDigest(c *model.Community) string {
+	var b strings.Builder
+	ids := append([]model.AgentID(nil), c.Agents()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		a := c.Agent(id)
+		fmt.Fprintf(&b, "agent %s name=%q\n", id, a.Name)
+		for _, st := range a.TrustedPeers() {
+			fmt.Fprintf(&b, "  trust %s %.17g\n", st.Dst, st.Value)
+		}
+		for _, rt := range a.RatedProducts() {
+			fmt.Fprintf(&b, "  rating %s %.17g\n", rt.Product, rt.Value)
+		}
+	}
+	return b.String()
+}
+
+func chaosEngine(t *testing.T, comm *model.Community) *engine.Engine {
+	t.Helper()
+	eng, err := engine.New(comm, core.Options{
+		CF: cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy},
+	}, engine.Config{ComputeBudget: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func lazyIngest(inj *Injector) ingest.Config {
+	cfg := ingest.Config{SnapshotEvery: 1 << 30, SnapshotInterval: time.Hour}
+	if inj != nil {
+		cfg.WAL.WrapFile = func(f *os.File) wal.File { return inj.File(f) }
+	}
+	return cfg
+}
+
+// TestChaos drives the full crawl → ingest → serve pipeline under
+// seed-driven transport and disk faults and asserts the resilience
+// invariants: nothing deadlocks, served snapshots are never corrupted,
+// and WAL replay reproduces exactly the acknowledged mutations.
+func TestChaos(t *testing.T) {
+	seed := *chaosSeed
+	agents, muts, readers, reads := 24, 150, 8, 25
+	if testing.Short() {
+		agents, muts, readers, reads = 12, 60, 4, 10
+	}
+
+	// ---- Phase 1: crawl under transport faults ----
+	in, site := publishChaosWeb(t, agents)
+	tInj := New(Config{Seed: seed,
+		ErrorRate: 0.15, StatusRate: 0.1,
+		LatencyRate: 0.2, Latency: 5 * time.Millisecond})
+	cr := &crawler.Crawler{
+		Client:       &http.Client{Transport: tInj.Transport(in.Client().Transport)},
+		Timeout:      2 * time.Second,
+		RetryBackoff: time.Millisecond,
+		MaxRetries:   3,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, crawlErr := cr.Crawl(ctx, site.TaxonomyURL(), site.CatalogURL(),
+		[]model.AgentID{site.AgentURL("a0")})
+	if ctx.Err() != nil {
+		t.Fatal("crawl did not finish under faults — deadlock or unbounded retry")
+	}
+	if crawlErr != nil {
+		// Only the required global documents may fail the crawl outright.
+		t.Logf("crawl failed on global documents under faults (tolerated): %v", crawlErr)
+	} else {
+		// Whatever was crawled must be uncorrupted: every materialized
+		// statement matches the published source exactly.
+		src := site.Community()
+		for _, id := range res.Community.Agents() {
+			for _, st := range res.Community.Agent(id).TrustedPeers() {
+				if v, ok := src.Trust(id, st.Dst); !ok || v != st.Value {
+					t.Fatalf("crawled trust %s->%s = %v, source has %v,%v", id, st.Dst, st.Value, v, ok)
+				}
+			}
+			for _, rt := range res.Community.Agent(id).RatedProducts() {
+				if v, ok := src.Rating(id, rt.Product); !ok || v != rt.Value {
+					t.Fatalf("crawled rating %s/%s = %v, source has %v,%v", id, rt.Product, rt.Value, v, ok)
+				}
+			}
+		}
+		t.Logf("crawl: %+v breakers=%v", res.Stats, cr.BreakerStates())
+	}
+	t.Logf("transport faults injected: %+v", tInj.Counts())
+
+	// ---- Phase 2: ingest under disk faults while serving reads ----
+	base := site.Community()
+	eng := chaosEngine(t, base)
+	wInj := New(Config{Seed: seed + 1,
+		WriteErrorRate: 0.004, TornWriteRate: 0.004, SyncErrorRate: 0.002})
+	dir := t.TempDir()
+	pipe, err := ingest.Open(eng, dir, lazyIngest(wInj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := api.NewWithConfig(eng, pipe, api.Config{ReadBudget: 100 * time.Millisecond})
+
+	all := chaosMutations(base, muts)
+	var acked []wal.Mutation
+	var badStatus atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: submit until the WAL poisons (or all land)
+		defer wg.Done()
+		for _, m := range all {
+			if _, err := pipe.Submit(m); err != nil {
+				t.Logf("submit stopped after %d acks: %v", len(acked), err)
+				return
+			}
+			acked = append(acked, m)
+		}
+	}()
+	ids := base.Agents()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				id := string(ids[(r*reads+i)%len(ids)])
+				if i%7 == 6 {
+					id = "http://chaos.example/people/nobody" // exercise 404
+				}
+				path := "/v1/agents/" + url.PathEscape(id) + "/recommendations?n=5"
+				if i%2 == 1 {
+					path = "/v1/agents/" + url.PathEscape(id) + "/neighbors"
+				}
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				switch rec.Code {
+				case http.StatusOK, http.StatusNotFound, http.StatusGatewayTimeout:
+				default:
+					badStatus.Add(1)
+					t.Errorf("read %s returned %d: %s", path, rec.Code, rec.Body.String())
+				}
+			}
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("ingest/serve phase did not finish — deadlock")
+	}
+	if err := pipe.Flush(); err != nil {
+		t.Logf("flush after faults (tolerated): %v", err)
+	}
+	t.Logf("disk faults injected: %+v; %d/%d mutations acked", wInj.Counts(), len(acked), muts)
+	if seed == defaultChaosSeed && !testing.Short() && tInj.Counts().Total()+wInj.Counts().Total() == 0 {
+		t.Fatal("pinned seed injected no faults — the chaos run tested nothing")
+	}
+
+	// The clean run: the acked mutations applied over the same base with
+	// no faults define the one correct final state.
+	cleanEng := chaosEngine(t, base)
+	cleanPipe, err := ingest.Open(cleanEng, t.TempDir(), lazyIngest(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range acked {
+		if _, err := cleanPipe.Submit(m); err != nil {
+			t.Fatalf("clean run rejected acked mutation: %v", err)
+		}
+	}
+	if err := cleanPipe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := chaosDigest(cleanEng.Snapshot().Community())
+	if err := cleanPipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No corrupted snapshot: the engine that served through the faults
+	// ends at exactly the clean state once every ack is applied.
+	if got := chaosDigest(eng.Snapshot().Community()); got != want {
+		t.Fatalf("served snapshot diverged from clean run:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	if err := pipe.Close(); err != nil {
+		t.Logf("pipeline close after faults (tolerated): %v", err)
+	}
+
+	// ---- Phase 3: WAL replay is byte-identical to the acked set ----
+	eng2 := chaosEngine(t, base)
+	pipe2, err := ingest.Open(eng2, dir, lazyIngest(nil))
+	if err != nil {
+		t.Fatalf("reopen after faults: %v", err)
+	}
+	defer pipe2.Close()
+	if got := pipe2.Replayed(); got != len(acked) {
+		t.Fatalf("replayed %d records, want the %d acked", got, len(acked))
+	}
+	if got := chaosDigest(eng2.Snapshot().Community()); got != want {
+		t.Fatalf("replayed state differs from clean run:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	if badStatus.Load() != 0 {
+		t.Fatalf("%d reads returned a status outside {200,404,504}", badStatus.Load())
+	}
+}

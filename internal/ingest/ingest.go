@@ -267,6 +267,13 @@ func (p *Pipeline) Submit(m wal.Mutation) (uint64, error) {
 	return r.seq, r.err
 }
 
+// QueueStats reports the current backlog and capacity of the submission
+// queue; the API layer uses the ratio to derive Retry-After hints under
+// overload.
+func (p *Pipeline) QueueStats() (depth, capacity int) {
+	return len(p.queue), cap(p.queue)
+}
+
 // Flush forces application of every acknowledged mutation: it blocks
 // until the pending delta has been published via Engine.Swap.
 func (p *Pipeline) Flush() error { return p.request(p.flush) }

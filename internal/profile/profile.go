@@ -29,6 +29,7 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -156,13 +157,27 @@ func (g *Generator) pathDivisor(d taxonomy.Topic, path []taxonomy.Topic) float64
 // carrying no descriptors are skipped. The returned vector's entries sum
 // to (at most) Score; exactly Score when every liked product resolved.
 func (g *Generator) Profile(a *model.Agent, cat Catalog) sparse.Vector {
+	out, _ := g.ProfileCtx(context.Background(), a, cat)
+	return out
+}
+
+// ProfileCtx is Profile with cancellation: both the contribution scan and
+// the Eq. 3 propagation loop check ctx at per-product boundaries, so a
+// caller's deadline interrupts profile generation for agents with long
+// rating histories. Returns ctx.Err() (and a nil vector) when cancelled.
+func (g *Generator) ProfileCtx(ctx context.Context, a *model.Agent, cat Catalog) (sparse.Vector, error) {
 	type contrib struct {
 		topics []taxonomy.Topic
 		weight float64
 	}
 	var contribs []contrib
 	var totalWeight float64
-	for _, rs := range a.RatedProducts() {
+	for i, rs := range a.RatedProducts() {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if rs.Value <= 0 {
 			continue
 		}
@@ -179,20 +194,25 @@ func (g *Generator) Profile(a *model.Agent, cat Catalog) sparse.Vector {
 	}
 	out := sparse.New(len(contribs) * 8)
 	if totalWeight == 0 {
-		return out
+		return out, nil
 	}
 	score := g.Score
 	if score == 0 {
 		score = DefaultScore
 	}
-	for _, c := range contribs {
+	for i, c := range contribs {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		productShare := score * c.weight / totalWeight
 		descriptorShare := productShare / float64(len(c.topics))
 		for _, d := range c.topics {
 			g.PropagateLeaf(out, d, descriptorShare)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // ProductVector returns the agent's plain product-rating vector over the

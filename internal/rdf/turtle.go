@@ -278,6 +278,9 @@ func (p *turtleParser) prefixDecl() error {
 	}
 	iri := p.s[iriStart:p.i]
 	p.i++ // '>'
+	if iri == "" {
+		return p.errf("empty @prefix IRI")
+	}
 	p.skipWS()
 	if !p.eat('.') {
 		return p.errf("@prefix must end with '.'")

@@ -51,6 +51,7 @@ func TestParseTurtleErrors(t *testing.T) {
 		`foo:x foo:p foo:o .`,                            // undeclared prefix
 		`@prefix x: <http://x/> `,                        // missing dot
 		`@prefix x: nope .`,                              // prefix without IRI
+		`@prefix x: <> . x:y x:p x:o .`,                  // empty prefix IRI
 		`<http://x/a> <http://x/p> "unterminated .`,      // literal
 		`<http://x/a> <http://x/p> <http://x/o>`,         // missing dot
 		`"lit" <http://x/p> <http://x/o> .`,              // literal subject

@@ -1,0 +1,235 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func testBreaker(clk *fakeClock, cfg BreakerConfig) *Breaker {
+	return NewBreaker(cfg).WithClock(clk.now)
+}
+
+func TestBreakerTripsOnFailureRate(t *testing.T) {
+	clk := newClock()
+	b := testBreaker(clk, BreakerConfig{Window: 8, MinSamples: 4, FailureThreshold: 0.5, OpenFor: time.Minute})
+
+	// Three failures are below MinSamples: still closed.
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker must allow")
+		}
+		b.Record(false)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v before MinSamples, want closed", b.State())
+	}
+	// Fourth failure reaches MinSamples at 100% failure rate: trips.
+	b.Allow()
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must reject")
+	}
+}
+
+func TestBreakerStaysClosedOnMixedOutcomes(t *testing.T) {
+	clk := newClock()
+	b := testBreaker(clk, BreakerConfig{Window: 8, MinSamples: 4, FailureThreshold: 0.5, OpenFor: time.Minute})
+	// Alternate success/failure: 50% threshold not *reached* until rate ≥ 0.5;
+	// 1 failure in 4 is 0.25 — healthy.
+	outcomes := []bool{true, true, false, true, true, false, true, true}
+	for _, ok := range outcomes {
+		if !b.Allow() {
+			t.Fatal("closed breaker must allow")
+		}
+		b.Record(ok)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed at 25%% failures", b.State())
+	}
+}
+
+func TestBreakerWindowSlides(t *testing.T) {
+	clk := newClock()
+	b := testBreaker(clk, BreakerConfig{Window: 4, MinSamples: 4, FailureThreshold: 0.75, OpenFor: time.Minute})
+	// Two early failures scroll out of the 4-wide window as successes
+	// arrive; the rate never reaches 0.75 afterwards.
+	for _, ok := range []bool{false, false, true, true, true, true, false, true} {
+		b.Allow()
+		b.Record(ok)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed (old failures slid out)", b.State())
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	clk := newClock()
+	b := testBreaker(clk, BreakerConfig{Window: 4, MinSamples: 2, FailureThreshold: 0.5, OpenFor: 30 * time.Second, HalfOpenProbes: 2})
+	for i := 0; i < 2; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	if b.State() != Open {
+		t.Fatal("breaker should be open")
+	}
+
+	// Before the cooldown: rejected.
+	clk.advance(29 * time.Second)
+	if b.Allow() {
+		t.Fatal("still open before cooldown elapses")
+	}
+	// After the cooldown: half-open, admits exactly HalfOpenProbes probes.
+	clk.advance(2 * time.Second)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open must admit probes")
+	}
+	if b.Allow() {
+		t.Fatal("half-open must cap concurrent probes")
+	}
+	// Two clean probes close it.
+	b.Record(true)
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed after clean probes", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+	b.Record(true)
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := newClock()
+	b := testBreaker(clk, BreakerConfig{Window: 4, MinSamples: 2, FailureThreshold: 0.5, OpenFor: 10 * time.Second, HalfOpenProbes: 1})
+	b.Allow()
+	b.Record(false)
+	b.Allow()
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatal("breaker should be open")
+	}
+	clk.advance(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open must admit a probe")
+	}
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state = %v, want re-opened after failed probe", b.State())
+	}
+	// The re-open restarts the cooldown.
+	clk.advance(9 * time.Second)
+	if b.Allow() {
+		t.Fatal("re-opened breaker must reject during fresh cooldown")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe after second cooldown")
+	}
+	b.Record(true)
+}
+
+func TestGroupPerKeyIsolation(t *testing.T) {
+	clk := newClock()
+	g := NewGroup(BreakerConfig{Window: 4, MinSamples: 2, FailureThreshold: 0.5, OpenFor: time.Minute}).WithClock(clk.now)
+	bad, good := g.For("dead.example"), g.For("fine.example")
+	if bad == good {
+		t.Fatal("distinct keys must get distinct breakers")
+	}
+	for i := 0; i < 2; i++ {
+		bad.Allow()
+		bad.Record(false)
+		good.Allow()
+		good.Record(true)
+	}
+	if bad.State() != Open {
+		t.Fatal("dead host breaker should be open")
+	}
+	if good.State() != Closed {
+		t.Fatal("healthy host breaker must stay closed")
+	}
+	states := g.States()
+	if states["dead.example"] != Open || states["fine.example"] != Closed {
+		t.Fatalf("States() = %v", states)
+	}
+	if g.For("dead.example") != bad {
+		t.Fatal("For must memoize per key")
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	perm := errors.New("permanent")
+	calls := 0
+	retries, err := Retry(context.Background(), 5, time.Microsecond, func() (bool, error) {
+		calls++
+		return false, perm
+	})
+	if !errors.Is(err, perm) || calls != 1 || retries != 0 {
+		t.Fatalf("calls=%d retries=%d err=%v", calls, retries, err)
+	}
+}
+
+func TestRetryBoundedAttempts(t *testing.T) {
+	transient := errors.New("transient")
+	calls := 0
+	retries, err := Retry(context.Background(), 3, time.Microsecond, func() (bool, error) {
+		calls++
+		return true, transient
+	})
+	if !errors.Is(err, transient) || calls != 3 || retries != 2 {
+		t.Fatalf("calls=%d retries=%d err=%v", calls, retries, err)
+	}
+}
+
+func TestRetryEventualSuccess(t *testing.T) {
+	calls := 0
+	retries, err := Retry(context.Background(), 4, time.Microsecond, func() (bool, error) {
+		calls++
+		if calls < 3 {
+			return true, errors.New("flaky")
+		}
+		return false, nil
+	})
+	if err != nil || calls != 3 || retries != 2 {
+		t.Fatalf("calls=%d retries=%d err=%v", calls, retries, err)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	_, err := Retry(ctx, 10, time.Hour, func() (bool, error) {
+		calls++
+		return true, errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancelled before backoff)", calls)
+	}
+}
+
+func TestJitterRange(t *testing.T) {
+	base := 100 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		d := Jitter(base)
+		if d < base/2 || d >= base+base/2 {
+			t.Fatalf("jitter %v outside [%v, %v)", d, base/2, base+base/2)
+		}
+	}
+	if d := Jitter(0); d < DefaultBackoff/2 {
+		t.Fatalf("zero base must default, got %v", d)
+	}
+}

@@ -1,0 +1,45 @@
+package resilience
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// DefaultBackoff is the base retry delay used when none is given.
+const DefaultBackoff = 500 * time.Millisecond
+
+// Jitter spreads a backoff delay uniformly over [0.5, 1.5) of base so
+// retrying clients do not hammer a recovering host in lockstep. A
+// non-positive base takes DefaultBackoff.
+func Jitter(base time.Duration) time.Duration {
+	if base <= 0 {
+		base = DefaultBackoff
+	}
+	return base/2 + time.Duration(rand.Int64N(int64(base)))
+}
+
+// Retry runs op up to attempts times, sleeping a jittered exponential
+// backoff (base, 2·base, 4·base, ...) between tries. op reports whether
+// its failure is transient; permanent failures and successes return
+// immediately. The context bounds the whole loop including backoff
+// sleeps. retries is the number of re-attempts performed (0 when the
+// first try settled it).
+func Retry(ctx context.Context, attempts int, base time.Duration, op func() (transient bool, err error)) (retries int, err error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	delay := base
+	for i := 0; ; i++ {
+		transient, err := op()
+		if err == nil || !transient || i+1 >= attempts {
+			return i, err
+		}
+		select {
+		case <-ctx.Done():
+			return i, ctx.Err()
+		case <-time.After(Jitter(delay)):
+		}
+		delay *= 2
+	}
+}

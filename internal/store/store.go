@@ -48,11 +48,35 @@ const (
 	headerFixed = 5
 )
 
+// File is the handle the store reads and appends through. *os.File
+// satisfies it; the indirection exists so tests can interpose
+// fault-injecting wrappers (internal/faultinject) on the I/O path.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Close() error
+}
+
 // Options configure a Store.
 type Options struct {
 	// SyncEveryPut fsyncs after every append. Slow but safest; off by
 	// default (the crawler can always re-fetch).
 	SyncEveryPut bool
+	// WrapFile, when set, wraps the data file (and Compact's temp file) as
+	// it is opened — the fault-injection seam. Nil uses the raw *os.File.
+	WrapFile func(*os.File) File
+}
+
+// wrap applies the WrapFile seam to a freshly opened data file.
+func (o Options) wrap(f *os.File) File {
+	if o.WrapFile != nil {
+		return o.WrapFile(f)
+	}
+	return f
 }
 
 // indexEntry locates the current version of one key in the data file.
@@ -66,7 +90,7 @@ type indexEntry struct {
 type Store struct {
 	mu     sync.RWMutex
 	path   string
-	f      *os.File
+	f      File
 	opt    Options
 	index  map[string]indexEntry
 	offset int64 // append position
@@ -86,7 +110,7 @@ func Open(path string, opt Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", path, err)
 	}
-	s := &Store{path: path, f: f, opt: opt, index: make(map[string]indexEntry)}
+	s := &Store{path: path, f: opt.wrap(f), opt: opt, index: make(map[string]indexEntry)}
 	if err := s.rebuild(); err != nil {
 		f.Close()
 		return nil, err
@@ -322,10 +346,11 @@ func (s *Store) Compact() error {
 		return ErrClosed
 	}
 	tmpPath := s.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	raw, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
+	tmp := s.opt.wrap(raw)
 	defer os.Remove(tmpPath) // no-op after successful rename
 
 	// Deterministic order keeps compacted files byte-identical for

@@ -1,6 +1,7 @@
 package trust
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -131,6 +132,14 @@ type appleseedEdge struct {
 // directly distrusted by the source are additionally removed from the
 // result.
 func Appleseed(net Network, source model.AgentID, opt AppleseedOptions) (*Neighborhood, error) {
+	return AppleseedCtx(context.Background(), net, source, opt)
+}
+
+// AppleseedCtx is Appleseed with cancellation: the iteration loop checks
+// ctx at every pass boundary, so a caller's deadline interrupts a long
+// spreading-activation run within one pass rather than after
+// MaxIterations. Returns ctx.Err() when cancelled.
+func AppleseedCtx(ctx context.Context, net Network, source model.AgentID, opt AppleseedOptions) (*Neighborhood, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -200,6 +209,9 @@ func Appleseed(net Network, source model.AgentID, opt AppleseedOptions) (*Neighb
 	d := opt.SpreadingFactor
 	iterations := 0
 	for ; iterations < opt.MaxIterations; iterations++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		maxDelta := 0.0
 		// Snapshot length: nodes discovered during this pass only start
 		// receiving energy now and are processed next pass.

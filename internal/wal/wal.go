@@ -53,6 +53,12 @@ var (
 	// ErrBadMutation is returned when appending a mutation that cannot be
 	// encoded (unknown op).
 	ErrBadMutation = errors.New("wal: bad mutation")
+	// ErrPoisoned is returned by Append after a group commit has failed:
+	// once a write or fsync error leaves durability in doubt, no further
+	// appends are acknowledged — acknowledging them would break the
+	// contract that every acked record survives a crash. The WAL must be
+	// reopened (re-scanning the segments) to resume writing.
+	ErrPoisoned = errors.New("wal: poisoned by failed group commit")
 )
 
 // Op enumerates the mutation types the log can carry.
@@ -210,6 +216,17 @@ func decodeMutation(b []byte) (Mutation, []byte, error) {
 // payload = uvarint seq + mutation wire form.
 const frameHeader = 8
 
+// File is the handle the WAL appends through. *os.File satisfies it; the
+// indirection exists so tests can interpose fault-injecting wrappers
+// (internal/faultinject) on the write path.
+type File interface {
+	io.Writer
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
 // Options configure a WAL.
 type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this size
@@ -218,6 +235,10 @@ type Options struct {
 	// NoSync skips fsync after appends. Only for tests and benchmarks:
 	// it voids the durability guarantee.
 	NoSync bool
+	// WrapFile, when set, wraps each active segment file as it is opened —
+	// the fault-injection seam. Nil uses the raw *os.File. The read path
+	// (Replay, Open scans) is never wrapped.
+	WrapFile func(*os.File) File
 }
 
 func (o Options) withDefaults() Options {
@@ -225,6 +246,14 @@ func (o Options) withDefaults() Options {
 		o.SegmentBytes = 4 << 20
 	}
 	return o
+}
+
+// wrap applies the WrapFile seam to a freshly opened active segment.
+func (o Options) wrap(f *os.File) File {
+	if o.WrapFile != nil {
+		return o.WrapFile(f)
+	}
+	return f
 }
 
 // segment is one immutable (or active) log file.
@@ -253,10 +282,11 @@ type WAL struct {
 	dir      string
 	opt      Options
 	segments []segment // sorted by firstSeq; last is active
-	active   *os.File
+	active   File
 	size     int64  // active segment size
 	nextSeq  uint64 // sequence number the next record receives
 	appended uint64 // records appended in this process, for Stats
+	poisoned bool   // a group commit failed; no further appends acked
 	closed   bool
 }
 
@@ -305,17 +335,18 @@ func Open(dir string, opt Options) (*WAL, error) {
 		if err != nil {
 			return nil, fmt.Errorf("wal: open segment: %w", err)
 		}
+		active := opt.wrap(f)
 		// scanSegment already truncated a torn tail logically; make it
 		// physical so appends land right after the last good record.
-		if err := f.Truncate(w.size); err != nil {
-			f.Close()
+		if err := active.Truncate(w.size); err != nil {
+			active.Close()
 			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
 		}
-		if _, err := f.Seek(w.size, io.SeekStart); err != nil {
-			f.Close()
+		if _, err := active.Seek(w.size, io.SeekStart); err != nil {
+			active.Close()
 			return nil, fmt.Errorf("wal: seek: %w", err)
 		}
-		w.active = f
+		w.active = active
 	}
 	return w, nil
 }
@@ -417,7 +448,7 @@ func (w *WAL) rotateLocked() error {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
 	w.segments = append(w.segments, seg)
-	w.active = f
+	w.active = w.opt.wrap(f)
 	w.size = 0
 	syncDir(w.dir)
 	return nil
@@ -446,8 +477,14 @@ func (w *WAL) Append(muts []Mutation) (first, last uint64, err error) {
 	if w.closed {
 		return 0, 0, ErrClosed
 	}
+	if w.poisoned {
+		return 0, 0, ErrPoisoned
+	}
 	if w.size >= w.opt.SegmentBytes {
 		if err := w.rotateLocked(); err != nil {
+			// The sync-and-close of the outgoing segment failed, so even
+			// previously acked records are of uncertain durability.
+			w.poisoned = true
 			return 0, 0, err
 		}
 	}
@@ -468,14 +505,16 @@ func (w *WAL) Append(muts []Mutation) (first, last uint64, err error) {
 		buf = append(buf, payload...)
 	}
 	if _, err := w.active.Write(buf); err != nil {
-		// A short write leaves a torn tail. Roll the file back to the
-		// last good record so the next append rewrites cleanly.
-		_ = w.active.Truncate(w.size)
-		_, _ = w.active.Seek(w.size, io.SeekStart)
+		w.poisonLocked()
 		return 0, 0, fmt.Errorf("wal: append: %w", err)
 	}
 	if !w.opt.NoSync {
 		if err := w.active.Sync(); err != nil {
+			// The kernel may have flushed any prefix of the batch — or
+			// nothing. Durability of this batch is unknowable, so it must
+			// not be acked, and the segment is rolled back to the last
+			// acked record so a later Replay sees exactly the acked set.
+			w.poisonLocked()
 			return 0, 0, fmt.Errorf("wal: sync: %w", err)
 		}
 	}
@@ -483,6 +522,16 @@ func (w *WAL) Append(muts []Mutation) (first, last uint64, err error) {
 	w.nextSeq += uint64(len(muts))
 	w.appended += uint64(len(muts))
 	return first, w.nextSeq - 1, nil
+}
+
+// poisonLocked marks the log append-dead after a failed group commit and
+// rolls the active segment back to the last acknowledged record: a short
+// write leaves a torn tail, and an unacked intact record would replay a
+// mutation the caller was told failed. Caller holds w.mu.
+func (w *WAL) poisonLocked() {
+	w.poisoned = true
+	_ = w.active.Truncate(w.size)
+	_, _ = w.active.Seek(w.size, io.SeekStart)
 }
 
 // NextSeq returns the sequence number the next appended record receives.
@@ -500,8 +549,10 @@ func (w *WAL) Replay(from uint64, fn func(seq uint64, m Mutation) error) error {
 		w.mu.Unlock()
 		return ErrClosed
 	}
-	// Flush the active segment so the scan sees every appended record.
-	if w.active != nil && !w.opt.NoSync {
+	// Flush the active segment so the scan sees every appended record. A
+	// poisoned log skips this: its file already holds exactly the acked
+	// records, and its sync path is what failed in the first place.
+	if w.active != nil && !w.opt.NoSync && !w.poisoned {
 		if err := w.active.Sync(); err != nil {
 			w.mu.Unlock()
 			return fmt.Errorf("wal: sync before replay: %w", err)
@@ -583,13 +634,14 @@ type Stats struct {
 	NextSeq     uint64 // sequence number of the next record
 	Appended    uint64 // records appended by this process
 	ActiveBytes int64  // size of the active segment
+	Poisoned    bool   // a group commit failed; appends are refused
 }
 
 // Stats returns current statistics.
 func (w *WAL) Stats() Stats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return Stats{Segments: len(w.segments), NextSeq: w.nextSeq, Appended: w.appended, ActiveBytes: w.size}
+	return Stats{Segments: len(w.segments), NextSeq: w.nextSeq, Appended: w.appended, ActiveBytes: w.size, Poisoned: w.poisoned}
 }
 
 // Close syncs and releases the WAL. Further operations return ErrClosed.
@@ -602,6 +654,11 @@ func (w *WAL) Close() error {
 	w.closed = true
 	if w.active == nil {
 		return nil
+	}
+	if w.poisoned {
+		// Already rolled back to the acked set; the sync path is broken,
+		// so just release the handle.
+		return w.active.Close()
 	}
 	if err := w.active.Sync(); err != nil {
 		w.active.Close()
