@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+// TestAnalyzerSet pins the multichecker's registered analyzer set:
+// the CI gate's strength is exactly this list, so adding or dropping
+// an analyzer must be visible as a test change.
+func TestAnalyzerSet(t *testing.T) {
+	want := []string{
+		"ctxflow",
+		"detrand",
+		"durableerr",
+		"expvarname",
+		"goleak",
+		"snapshotpin",
+	}
+	if len(analyzers) != len(want) {
+		t.Fatalf("registered %d analyzers, want %d", len(analyzers), len(want))
+	}
+	seen := make(map[string]bool)
+	for i, a := range analyzers {
+		if a == nil {
+			t.Fatalf("analyzer %d is nil", i)
+		}
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q (keep the set sorted)", i, a.Name, want[i])
+		}
+		if seen[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}

@@ -1,3 +1,8 @@
 module swrec
 
 go 1.22
+
+// Lint-time only: cmd/swrecvet and internal/analysis build on the
+// go/analysis framework. Vendored; nothing on the serving path
+// imports it.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,18 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"swrec/internal/analysis/analyzertest"
+	"swrec/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analyzertest.Run(t, ctxflow.Analyzer, "swrec/internal/core")
+}
+
+// TestOutOfScopePackage guards the false-positive direction: the same
+// shapes in a package off the cold path produce no diagnostics.
+func TestOutOfScopePackage(t *testing.T) {
+	analyzertest.Run(t, ctxflow.Analyzer, "swrec/cmd/tool")
+}

@@ -1,0 +1,17 @@
+// Package context is a fixture stub: go/types identity is path-based,
+// so this stands in for the real package without source-importing it.
+package context
+
+type Context interface{ Done() <-chan struct{} }
+
+type emptyCtx struct{}
+
+func (emptyCtx) Done() <-chan struct{} { return nil }
+
+func Background() Context { return emptyCtx{} }
+
+func TODO() Context { return emptyCtx{} }
+
+type CancelFunc func()
+
+func WithCancel(parent Context) (Context, CancelFunc) { return parent, func() {} }

@@ -1,0 +1,10 @@
+// Fixture guard: cmd/ packages are edges that legitimately mint root
+// contexts; ctxflow must stay silent here.
+package tool
+
+import "context"
+
+func Main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,51 @@
+// Fixture for ctxflow: shapes drawn from the real cold-path entry
+// points in internal/core and internal/engine.
+package core
+
+import "context"
+
+type Recommender struct{}
+
+// RecommendCtx is the invariant-carrying entry point.
+func (r *Recommender) RecommendCtx(ctx context.Context, n int) int { return n }
+
+// Recommend is the documented compat-delegation shape: minting the
+// root context in the non-ctx wrapper is allowed without suppression.
+func (r *Recommender) Recommend(n int) int {
+	return r.RecommendCtx(context.Background(), n)
+}
+
+// rank mints a root mid-computation: the canonical violation.
+func (r *Recommender) rank(n int) int {
+	ctx := context.Background() // want `detaches the cold path from the caller's deadline`
+	_ = ctx
+	return n
+}
+
+// sweep hides the root inside an argument list: still a violation.
+func (r *Recommender) sweep() int {
+	return r.RecommendCtx(context.TODO(), 1) // want `detaches the cold path from the caller's deadline`
+}
+
+// delegateWrongName forwards to a Ctx function that is not its own
+// sibling, so the delegation exemption must not apply.
+func (r *Recommender) delegateWrongName(n int) int {
+	return r.RecommendCtx(context.Background(), n) // want `detaches the cold path from the caller's deadline`
+}
+
+// detachedWarmup carries a justified suppression: allowed, audited.
+func (r *Recommender) detachedWarmup() {
+	ctx := context.Background() //nolint:ctxflow -- warmup flight deliberately outlives any caller
+	_ = ctx
+}
+
+// unjustified suppressions are inert: the diagnostic still fires.
+func (r *Recommender) unjustified() {
+	ctx := context.Background() //nolint:ctxflow // want `detaches the cold path from the caller's deadline`
+	_ = ctx
+}
+
+// threaded takes and passes a context: the compliant shape.
+func (r *Recommender) threaded(ctx context.Context, n int) int {
+	return r.RecommendCtx(ctx, n)
+}

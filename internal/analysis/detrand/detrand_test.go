@@ -1,0 +1,19 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"swrec/internal/analysis/analyzertest"
+	"swrec/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analyzertest.Run(t, detrand.Analyzer, "swrec/internal/faultinject")
+}
+
+// TestOutOfScopePackage guards the false-positive direction: the
+// serving engine may read the wall clock freely (warmup timing,
+// degrade budgets); only the seed-deterministic packages are scoped.
+func TestOutOfScopePackage(t *testing.T) {
+	analyzertest.Run(t, detrand.Analyzer, "swrec/internal/engine")
+}

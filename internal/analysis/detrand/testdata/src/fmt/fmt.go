@@ -1,0 +1,10 @@
+// Package fmt is a fixture stub (path-based type identity).
+package fmt
+
+func Println(a ...any) (int, error) { return 0, nil }
+
+func Printf(format string, a ...any) (int, error) { return 0, nil }
+
+func Sprintf(format string, a ...any) string { return "" }
+
+func Fprintf(w any, format string, a ...any) (int, error) { return 0, nil }

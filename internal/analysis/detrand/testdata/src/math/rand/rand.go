@@ -1,0 +1,26 @@
+// Package rand is a fixture stub for math/rand (path-based type
+// identity). Package-level draws hit the stand-in for global state;
+// methods on *Rand are the seeded, replayable path.
+package rand
+
+type Source interface{ Int63() int64 }
+
+type Rand struct{ src Source }
+
+func New(src Source) *Rand { return &Rand{src: src} }
+
+func NewSource(seed int64) Source { return nil }
+
+func (r *Rand) Intn(n int) int { return 0 }
+
+func (r *Rand) Float64() float64 { return 0 }
+
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {}
+
+func Intn(n int) int { return 0 }
+
+func Float64() float64 { return 0 }
+
+func Shuffle(n int, swap func(i, j int)) {}
+
+func Perm(n int) []int { return nil }

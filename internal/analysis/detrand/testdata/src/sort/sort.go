@@ -1,0 +1,4 @@
+// Package sort is a fixture stub (path-based type identity).
+package sort
+
+func Strings(x []string) {}

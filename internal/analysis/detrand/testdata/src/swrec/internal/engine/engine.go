@@ -1,0 +1,9 @@
+// Fixture guard: wall-clock reads outside the deterministic packages
+// are legitimate (warmup duration, cache-age accounting).
+package engine
+
+import "time"
+
+func warmupDuration(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,63 @@
+// Fixture for detrand: nondeterminism shapes in the packages behind
+// the chaos suite's byte-identical-replay assertion.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// schedule reads the wall clock: two runs with one seed diverge.
+func schedule() time.Time {
+	return time.Now() // want `time\.Now\(\) in a seed-deterministic package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since\(\) in a seed-deterministic package`
+}
+
+// jitter draws from the global generator: unreplayable.
+func jitter(n int) int {
+	return rand.Intn(n) // want `rand\.Intn\(\) uses the global generator`
+}
+
+func shuffleHosts(hosts []string) {
+	rand.Shuffle(len(hosts), func(i, j int) { // want `rand\.Shuffle\(\) uses the global generator`
+		hosts[i], hosts[j] = hosts[j], hosts[i]
+	})
+}
+
+// seeded draws from an explicit generator: the replayable shape.
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) {})
+	return rng.Intn(n)
+}
+
+// dumpStats prints per-iteration from a map range: output bytes
+// depend on randomized map order.
+func dumpStats(stats map[string]int) {
+	for host, n := range stats {
+		fmt.Printf("%s=%d\n", host, n) // want `fmt\.Printf inside a map iteration`
+	}
+}
+
+// dumpSorted collects, sorts, then prints: the deterministic shape.
+func dumpSorted(stats map[string]int) {
+	keys := make([]string, 0, len(stats))
+	for host := range stats {
+		keys = append(keys, host)
+	}
+	sort.Strings(keys)
+	for _, host := range keys {
+		fmt.Printf("%s=%d\n", host, stats[host])
+	}
+}
+
+// measureLatency justifies its wall-clock read: wall time is the
+// measured quantity, not replayed state.
+func measureLatency() time.Time {
+	return time.Now() //nolint:detrand -- wall-clock latency is the experiment's measured output
+}

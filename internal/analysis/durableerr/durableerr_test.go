@@ -1,0 +1,19 @@
+package durableerr_test
+
+import (
+	"testing"
+
+	"swrec/internal/analysis/analyzertest"
+	"swrec/internal/analysis/durableerr"
+)
+
+func TestDurableerr(t *testing.T) {
+	analyzertest.Run(t, durableerr.Analyzer, "swrec/internal/wal")
+}
+
+// TestOffDurablePath guards the false-positive direction: identical
+// dropped errors outside internal/wal and internal/store are another
+// package's concern.
+func TestOffDurablePath(t *testing.T) {
+	analyzertest.Run(t, durableerr.Analyzer, "swrec/internal/crawler")
+}

@@ -1,0 +1,12 @@
+// Fixture guard: the crawler drops Close errors on response bodies all
+// day; only internal/wal and internal/store are the durable path.
+package crawler
+
+type body struct{}
+
+func (b *body) Close() error { return nil }
+func (b *body) Sync() error  { return nil }
+
+func fetch(b *body) {
+	b.Close()
+}

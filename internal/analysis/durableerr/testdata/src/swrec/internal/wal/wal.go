@@ -1,0 +1,63 @@
+// Fixture for durableerr: dropped-error shapes on the durable path,
+// drawn from the WAL's rotation/group-commit code. The file type
+// carries Sync() so it reads as a durable handle; buffer does not, so
+// its dropped Write errors stay out of scope.
+package wal
+
+type file struct{}
+
+func (f *file) Write(p []byte) (int, error)        { return len(p), nil }
+func (f *file) Sync() error                        { return nil }
+func (f *file) Close() error                       { return nil }
+func (f *file) Truncate(size int64) error          { return nil }
+func (f *file) Seek(o int64, w int) (int64, error) { return o, nil }
+
+type buffer struct{}
+
+func (b *buffer) Write(p []byte) (int, error) { return len(p), nil }
+func (b *buffer) Close() error                { return nil }
+
+func rotate(f *file) {
+	f.Close()         // want `Close error dropped on the durable path`
+	defer f.Sync()    // want `Sync error dropped by defer on the durable path`
+	go f.Sync()       // want `Sync error dropped by go statement on the durable path`
+	_ = f.Truncate(0) // want `Truncate error assigned to _ on the durable path`
+}
+
+func groupCommit(f *file, p []byte) {
+	n, _ := f.Write(p) // want `Write error assigned to _ on the durable path`
+	_ = n
+}
+
+func checked(f *file, p []byte) error {
+	if _, err := f.Write(p); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// bestEffortCleanup documents its discard: the justified suppression
+// is the auditable exception path.
+func bestEffortCleanup(f *file) error {
+	err := f.Sync()
+	if err != nil {
+		_ = f.Close() //nolint:durableerr -- already failing; the Sync error is the one reported
+		return err
+	}
+	return f.Close()
+}
+
+// hashers and buffers have no Sync: their structurally-nil Write
+// errors are out of scope (false-positive guard).
+func hashFrame(b *buffer, p []byte) {
+	b.Write(p)
+	b.Close()
+}
+
+// Seek is not a durable verb (false-positive guard).
+func reposition(f *file) {
+	f.Seek(0, 0)
+}

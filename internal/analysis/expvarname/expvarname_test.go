@@ -1,0 +1,18 @@
+package expvarname_test
+
+import (
+	"testing"
+
+	"swrec/internal/analysis/analyzertest"
+	"swrec/internal/analysis/expvarname"
+)
+
+func TestExpvarname(t *testing.T) {
+	analyzertest.Run(t, expvarname.Analyzer, "swrec/internal/resilience")
+}
+
+// TestOutOfScopePackage guards the false-positive direction: code
+// outside swrec/internal (cmd/, examples/) may publish what it likes.
+func TestOutOfScopePackage(t *testing.T) {
+	analyzertest.Run(t, expvarname.Analyzer, "swrec/cmd/tool")
+}

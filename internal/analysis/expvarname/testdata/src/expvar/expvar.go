@@ -1,0 +1,26 @@
+// Package expvar is a fixture stub (path-based type identity).
+package expvar
+
+type Var interface{ String() string }
+
+type Map struct{}
+
+func (m *Map) Add(key string, delta int64) {}
+
+func (m *Map) String() string { return "" }
+
+type Int struct{}
+
+func (i *Int) Add(delta int64) {}
+
+func (i *Int) String() string { return "" }
+
+func NewMap(name string) *Map { return &Map{} }
+
+func NewInt(name string) *Int { return &Int{} }
+
+func NewFloat(name string) *Int { return &Int{} }
+
+func NewString(name string) *Int { return &Int{} }
+
+func Publish(name string, v Var) {}

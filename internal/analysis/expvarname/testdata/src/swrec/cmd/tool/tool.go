@@ -1,0 +1,6 @@
+// Fixture guard: binaries are outside the swrec_ naming convention.
+package tool
+
+import "expvar"
+
+var uptime = expvar.NewInt("uptime_seconds")

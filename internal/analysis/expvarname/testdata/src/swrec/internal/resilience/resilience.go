@@ -1,0 +1,32 @@
+// Fixture for expvarname: published-name shapes from the engine,
+// ingest, and resilience metric maps behind /v1/metrics.
+package resilience
+
+import "expvar"
+
+var stats = expvar.NewMap("swrec_resilience")
+
+var stray = expvar.NewMap("resilience") // want `expvar name "resilience" lacks the "swrec_" prefix`
+
+var depth = expvar.NewInt("queue_depth") // want `expvar name "queue_depth" lacks the "swrec_" prefix`
+
+var okInt = expvar.NewInt("swrec_queue_depth")
+
+func publishAll() {
+	expvar.Publish("breaker_states", stats) // want `expvar name "breaker_states" lacks the "swrec_" prefix`
+	expvar.Publish("swrec_breaker_states", stats)
+}
+
+// legacyName keeps a pre-convention dashboard alive: justified
+// suppression is the audit trail.
+var legacyName = expvar.NewMap("edbtw_compat") //nolint:expvarname -- pre-v1 dashboard scrapes this exact name
+
+// dynamicName is out of static reach (false-positive guard).
+func dynamicName(component string) *expvar.Map {
+	return expvar.NewMap(component)
+}
+
+// keysInsideAMap are not published names (false-positive guard).
+func count() {
+	stats.Add("retries", 1)
+}

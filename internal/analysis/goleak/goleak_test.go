@@ -1,0 +1,19 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"swrec/internal/analysis/analyzertest"
+	"swrec/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analyzertest.Run(t, goleak.Analyzer, "swrec/internal/engine")
+}
+
+// TestOutOfScopePackage guards the false-positive direction: cmd/ and
+// examples/ are callers, not library code; their goroutines die with
+// the process.
+func TestOutOfScopePackage(t *testing.T) {
+	analyzertest.Run(t, goleak.Analyzer, "swrec/cmd/tool")
+}

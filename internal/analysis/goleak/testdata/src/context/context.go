@@ -1,0 +1,10 @@
+// Package context is a fixture stub (path-based type identity).
+package context
+
+type Context interface{ Done() <-chan struct{} }
+
+type emptyCtx struct{}
+
+func (emptyCtx) Done() <-chan struct{} { return nil }
+
+func Background() Context { return emptyCtx{} }

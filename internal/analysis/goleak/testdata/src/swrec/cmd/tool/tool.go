@@ -1,0 +1,9 @@
+// Fixture guard: binaries may fire-and-forget; goleak scopes library
+// code only.
+package tool
+
+func Main() {
+	go func() {
+		select {}
+	}()
+}

@@ -1,0 +1,110 @@
+// Fixture for goleak: goroutine-lifecycle shapes drawn from the real
+// engine singleflight, ingest applier, and crawler worker pool.
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"swrec/internal/logsink"
+)
+
+type pipeline struct {
+	queue chan int
+	done  chan struct{}
+}
+
+// nakedSpawn is the canonical violation: nothing can join or cancel it.
+func nakedSpawn() {
+	go func() { // want `goroutine has no observable lifecycle`
+		work()
+	}()
+}
+
+// spawnMethodLeak spawns a same-package method whose body carries no
+// lifecycle either: resolved and flagged.
+func (p *pipeline) spawnMethodLeak() {
+	go p.leak() // want `goroutine has no observable lifecycle`
+}
+
+func (p *pipeline) leak() {
+	for {
+		work()
+	}
+}
+
+// spawnForeign calls into another package with no lifecycle argument:
+// unresolvable, so it must carry evidence in the args — it does not.
+func spawnForeign() {
+	go logsink.Drain() // want `goroutine has no observable lifecycle`
+}
+
+// fireAndForget documents itself: the justified suppression is the
+// audit trail for true fire-and-forget spawns.
+func fireAndForget() {
+	go func() { //nolint:goleak -- metrics flush; process-lifetime goroutine by design
+		work()
+	}()
+}
+
+// waitGroupPool is the crawler-worker shape: joined via WaitGroup.
+func waitGroupPool(jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// doneChannel is the singleflight shape: the goroutine publishes its
+// completion by closing a channel.
+func doneChannel() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	return done
+}
+
+// drainLoop is the ingest-applier shape: `go p.run()` resolves to a
+// body that ranges over the pipeline's queue channel.
+func (p *pipeline) drainLoop() {
+	go p.run()
+}
+
+func (p *pipeline) run() {
+	for item := range p.queue {
+		_ = item
+	}
+}
+
+// ctxWorker receives its cancellation signal as a context.
+func ctxWorker(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// foreignWithCtx passes the lifecycle into the opaque callee: the
+// arguments carry the evidence.
+func foreignWithCtx(ctx context.Context) {
+	go logsink.DrainCtx(ctx)
+}
+
+// selectWorker waits on its stop channel via select.
+func (p *pipeline) selectWorker() {
+	go func() {
+		select {
+		case <-p.done:
+		case item := <-p.queue:
+			_ = item
+		}
+	}()
+}
+
+func work() {}

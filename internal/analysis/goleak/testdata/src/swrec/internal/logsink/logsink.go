@@ -1,0 +1,9 @@
+// Fixture dependency: an out-of-package callee whose body goleak
+// cannot see — lifecycle evidence must come from the call's arguments.
+package logsink
+
+import "context"
+
+func Drain() {}
+
+func DrainCtx(ctx context.Context) {}

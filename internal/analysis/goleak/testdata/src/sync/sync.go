@@ -1,0 +1,16 @@
+// Package sync is a fixture stub (path-based type identity).
+package sync
+
+type WaitGroup struct{ n int }
+
+func (wg *WaitGroup) Add(delta int) {}
+
+func (wg *WaitGroup) Done() {}
+
+func (wg *WaitGroup) Wait() {}
+
+type Mutex struct{ locked bool }
+
+func (m *Mutex) Lock() {}
+
+func (m *Mutex) Unlock() {}

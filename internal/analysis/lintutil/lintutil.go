@@ -1,0 +1,138 @@
+// Package lintutil carries the plumbing shared by the swrecvet
+// analyzers (internal/analysis/...): package scoping, test/generated
+// file exclusion, and the auditable suppression comments.
+//
+// Suppression grammar — every exception must carry a justification so
+// it is auditable rather than invisible:
+//
+//	//nolint:ctxflow -- reason the rule does not apply here
+//	//nolint:ctxflow,durableerr -- reason covering both analyzers
+//	//swrecvet:disable detrand -- file-scoped reason
+//
+// A line suppression covers diagnostics on its own line and on the
+// line directly below (so it can sit above a long statement). The
+// file-scoped form disables one analyzer for the whole file. A
+// suppression without a "-- reason" clause is inert: the diagnostic
+// still fires, which keeps unexplained exceptions visible in review.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// PkgMatch reports whether path is covered by the comma-separated
+// import-path prefix list in patterns: an exact match, or a match of a
+// "prefix/" path segment boundary.
+func PkgMatch(path, patterns string) bool {
+	for _, p := range strings.Split(patterns, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether file was parsed from a _test.go file. The
+// swrecvet invariants govern library code; tests may simulate clocks,
+// drop errors, and spawn throwaway goroutines freely.
+func IsTestFile(pass *analysis.Pass, file *ast.File) bool {
+	name := pass.Fset.Position(file.Package).Filename
+	return strings.HasSuffix(name, "_test.go")
+}
+
+var (
+	nolintRe  = regexp.MustCompile(`^//\s*nolint:([a-z0-9_,\s]+?)(?:\s*--\s*(\S.*))?$`)
+	disableRe = regexp.MustCompile(`^//\s*swrecvet:disable\s+([a-z0-9_,\s]+?)(?:\s*--\s*(\S.*))?$`)
+)
+
+// Suppressions indexes the nolint / swrecvet:disable comments of one
+// pass for one analyzer. Build it once per Run with New, then route
+// every diagnostic through Report.
+type Suppressions struct {
+	pass     *analysis.Pass
+	analyzer string
+	files    map[string]bool         // filename -> file-scoped disable
+	lines    map[string]map[int]bool // filename -> line -> suppressed
+}
+
+// New scans the pass's files for suppression comments naming analyzer.
+func New(pass *analysis.Pass, analyzer string) *Suppressions {
+	s := &Suppressions{
+		pass:     pass,
+		analyzer: analyzer,
+		files:    make(map[string]bool),
+		lines:    make(map[string]map[int]bool),
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Package).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s.record(name, c)
+			}
+		}
+	}
+	return s
+}
+
+func (s *Suppressions) record(filename string, c *ast.Comment) {
+	text := strings.TrimSpace(c.Text)
+	if m := disableRe.FindStringSubmatch(text); m != nil {
+		if names(m[1], s.analyzer) && m[2] != "" {
+			s.files[filename] = true
+		}
+		return
+	}
+	// Trailing nolint comments share a line with code, so only the
+	// part starting at the comment is matched.
+	if i := strings.Index(text, "//nolint:"); i > 0 {
+		text = text[i:]
+	}
+	if m := nolintRe.FindStringSubmatch(text); m != nil {
+		if !names(m[1], s.analyzer) || m[2] == "" {
+			return // other analyzer, or unjustified: inert
+		}
+		line := s.pass.Fset.Position(c.Pos()).Line
+		if s.lines[filename] == nil {
+			s.lines[filename] = make(map[int]bool)
+		}
+		s.lines[filename][line] = true
+		s.lines[filename][line+1] = true
+	}
+}
+
+func names(list, want string) bool {
+	for _, n := range strings.Split(list, ",") {
+		if strings.TrimSpace(n) == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Suppressed reports whether a diagnostic at pos is covered by a
+// justified suppression.
+func (s *Suppressions) Suppressed(pos token.Pos) bool {
+	p := s.pass.Fset.Position(pos)
+	if s.files[p.Filename] {
+		return true
+	}
+	return s.lines[p.Filename][p.Line]
+}
+
+// Report emits a diagnostic at pos unless a justified suppression
+// covers it.
+func (s *Suppressions) Report(pos token.Pos, msg string) {
+	if s.Suppressed(pos) {
+		return
+	}
+	s.pass.Report(analysis.Diagnostic{Pos: pos, Message: msg})
+}

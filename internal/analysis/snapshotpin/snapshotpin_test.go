@@ -1,0 +1,18 @@
+package snapshotpin_test
+
+import (
+	"testing"
+
+	"swrec/internal/analysis/analyzertest"
+	"swrec/internal/analysis/snapshotpin"
+)
+
+func TestSnapshotpin(t *testing.T) {
+	analyzertest.Run(t, snapshotpin.Analyzer, "swrec/internal/api")
+}
+
+// TestAllowedPackage guards the false-positive direction: the engine
+// itself pins communities by design and must stay unflagged.
+func TestAllowedPackage(t *testing.T) {
+	analyzertest.Run(t, snapshotpin.Analyzer, "swrec/internal/engine")
+}

@@ -1,0 +1,46 @@
+// Fixture for snapshotpin: retention shapes outside the epoch-owning
+// packages, drawn from the kinds of handler/session caches that would
+// silently serve a dead epoch after Engine.Swap.
+package api
+
+import (
+	"swrec/internal/engine"
+	"swrec/internal/model"
+)
+
+type Server struct {
+	comm *model.Community // want `struct field pins swrec/internal/model\.Community`
+	name string
+}
+
+type sessionCache struct {
+	bySession map[string]*model.Community // want `struct field pins swrec/internal/model\.Community`
+}
+
+type snapHolder struct {
+	snap *engine.Snapshot // want `struct field pins swrec/internal/engine\.Snapshot`
+}
+
+type byValue struct {
+	comm model.Community // want `struct field pins swrec/internal/model\.Community`
+}
+
+type sliceHolder struct {
+	epochs []*model.Community // want `struct field pins swrec/internal/model\.Community`
+}
+
+// perSnapshotView is a legitimate bounded-lifetime owner: the
+// justified suppression is the audit trail.
+type perSnapshotView struct {
+	comm *model.Community //nolint:snapshotpin -- owned by the snapshot that builds it; never outlives its epoch
+}
+
+// okServer holds only identifiers and re-resolves the community per
+// request: the compliant shape.
+type okServer struct {
+	active model.AgentID
+	names  []string
+}
+
+// passThrough uses the community as a parameter, not a field: fine.
+func passThrough(c *model.Community) string { return c.Name() }

@@ -1,0 +1,13 @@
+// Package engine is a fixture stub for swrec/internal/engine — both
+// the definition site of the Snapshot handle and an allowlisted
+// package that may pin communities (it owns the epoch lifecycle).
+package engine
+
+import "swrec/internal/model"
+
+type Snapshot struct {
+	comm  *model.Community // allowed: engine owns the swap
+	epoch uint64
+}
+
+func (s *Snapshot) Community() *model.Community { return s.comm }

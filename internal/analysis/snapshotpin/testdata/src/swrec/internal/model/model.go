@@ -1,0 +1,11 @@
+// Package model is a fixture stub for swrec/internal/model: path-based
+// type identity makes it indistinguishable from the real package.
+package model
+
+type AgentID string
+
+type Community struct {
+	name string
+}
+
+func (c *Community) Name() string { return c.name }

@@ -88,7 +88,7 @@ type Options struct {
 // Filter computes and caches interest profiles and pairwise similarities
 // over one community. It is safe for concurrent use after construction.
 type Filter struct {
-	comm *model.Community
+	comm *model.Community //nolint:snapshotpin -- owned by the core.Recommender built for one snapshot; never outlives its epoch
 	opt  Options
 	gen  *profile.Generator
 

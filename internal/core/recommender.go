@@ -196,7 +196,7 @@ type Recommendation struct {
 
 // Recommender ties the pipeline together over one community view.
 type Recommender struct {
-	comm   *model.Community
+	comm   *model.Community //nolint:snapshotpin -- constructed per community view; engine.Snapshot owns it and discards it at Swap
 	opt    Options
 	filter *cf.Filter
 	gen    *profile.Generator // content-boost affinity; nil without taxonomy

@@ -105,7 +105,7 @@ type Stats struct {
 
 // Result is a materialized community plus crawl statistics.
 type Result struct {
-	Community *model.Community
+	Community *model.Community //nolint:snapshotpin -- freshly assembled crawl output on its way INTO Engine.Swap, not a retained snapshot view
 	Stats     Stats
 }
 

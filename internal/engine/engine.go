@@ -253,7 +253,7 @@ func resultKey(active model.AgentID, n int, ov Overrides) string {
 // ComputeBudget when one is configured.
 func (s *Snapshot) flightCtx() (context.Context, context.CancelFunc) {
 	if s.budget > 0 {
-		return context.WithTimeout(context.Background(), s.budget)
+		return context.WithTimeout(context.Background(), s.budget) //nolint:ctxflow -- the flight context is detached by design: the leader keeps warming the cache after every caller detaches (ComputeBudget is the bound)
 	}
 	return noCancel()
 }
@@ -553,7 +553,7 @@ func (e *Engine) DegradedRecommend(active model.AgentID, n int, ov Overrides) (r
 		if err != nil {
 			return nil, "", false
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), e.cfg.DegradeBudget)
+		ctx, cancel := context.WithTimeout(context.Background(), e.cfg.DegradeBudget) //nolint:ctxflow -- degraded-path probe: the caller's deadline has already expired, so the probe runs on its own small budget
 		defer cancel()
 		recs, err := rec.RecommendFromCtx(ctx, active, peers, n)
 		if err != nil {

@@ -28,7 +28,7 @@ type flightCall struct {
 
 // noCancel is the flight-context factory when no compute budget applies.
 func noCancel() (context.Context, context.CancelFunc) {
-	return context.Background(), func() {}
+	return context.Background(), func() {} //nolint:ctxflow -- the flight context is detached by design: the leader outlives any single caller and completes the cache fill
 }
 
 // doCtx runs fn once per concurrent set of callers sharing key. The

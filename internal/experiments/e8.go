@@ -118,7 +118,7 @@ type simFilter interface {
 // arbitrary propagation mode.
 type modeFilter struct {
 	gen  *profile.Generator
-	comm *model.Community
+	comm *model.Community //nolint:snapshotpin -- experiment-owned community; no serving engine (and no Swap) exists in the harness
 	memo map[model.AgentID]sparse.Vector
 }
 

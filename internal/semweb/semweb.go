@@ -47,7 +47,7 @@ const (
 // "http://<host>/people/<name>" for their homepages to be routable.
 type Site struct {
 	host string
-	comm *model.Community
+	comm *model.Community //nolint:snapshotpin -- the simulated site's authoritative source community; it feeds crawls and never reads from an engine snapshot
 	// Robots, when non-empty, is served verbatim as /robots.txt; by
 	// default the site serves an allow-all file. Tests and experiments
 	// use it to verify the crawler's robots compliance.

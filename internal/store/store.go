@@ -112,8 +112,7 @@ func Open(path string, opt Options) (*Store, error) {
 	}
 	s := &Store{path: path, f: opt.wrap(f), opt: opt, index: make(map[string]indexEntry)}
 	if err := s.rebuild(); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	return s, nil
 }
@@ -367,31 +366,29 @@ func (s *Store) Compact() error {
 		e := s.index[k]
 		_, v, _, _, err := readRecord(s.f, e.offset, e.offset+e.size)
 		if err != nil {
-			tmp.Close()
-			return fmt.Errorf("store: compact read %q: %w", k, err)
+			return fmt.Errorf("store: compact read %q: %w", k, errors.Join(err, tmp.Close()))
 		}
 		recLen, err := next.appendRecord(k, v, 0)
 		if err != nil {
-			tmp.Close()
-			return err
+			return errors.Join(err, tmp.Close())
 		}
 		newIndex[k] = indexEntry{offset: next.offset, size: recLen}
 		next.offset += recLen
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: compact sync: %w", err)
+		return fmt.Errorf("store: compact sync: %w", errors.Join(err, tmp.Close()))
 	}
 	if err := os.Rename(tmpPath, s.path); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: compact rename: %w", err)
+		return fmt.Errorf("store: compact rename: %w", errors.Join(err, tmp.Close()))
 	}
 	old := s.f
 	s.f = tmp
 	s.index = newIndex
 	s.offset = next.offset
 	s.dead = 0
-	old.Close()
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("store: compact close pre-compact file: %w", err)
+	}
 	return nil
 }
 
@@ -404,8 +401,7 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	if err := s.f.Sync(); err != nil {
-		s.f.Close()
-		return fmt.Errorf("store: close sync: %w", err)
+		return fmt.Errorf("store: close sync: %w", errors.Join(err, s.f.Close()))
 	}
 	return s.f.Close()
 }

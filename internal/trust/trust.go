@@ -40,7 +40,9 @@ type Network interface {
 }
 
 // communityNet adapts a materialized community to the Network interface.
-type communityNet struct{ c *model.Community }
+type communityNet struct { //nolint:snapshotpin -- request-scoped adapter: built, walked by one Appleseed run, and dropped
+	c *model.Community
+}
 
 // FromCommunity exposes a community's trust edges as a Network.
 func FromCommunity(c *model.Community) Network { return communityNet{c} }
