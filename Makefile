@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet lint lint-note test race cover bench fuzz fuzz-smoke chaos chaos-short experiments experiments-paper examples clean
+.PHONY: all build check fmt vet lint lint-note test race cover bench bench-diff bench-diff-short profile fuzz fuzz-smoke chaos chaos-short experiments experiments-paper examples clean
 
 all: build check
 
@@ -12,9 +12,10 @@ all: build check
 # analyzers (lint runs before race so an invariant regression fails
 # fast, without waiting out the race-detector suite), the full test
 # suite under the race detector (the serving engine is exercised
-# concurrently), a short fuzz smoke of the RDF parsers, and the
-# short-mode chaos suite.
-check: fmt vet lint race fuzz-smoke chaos-short
+# concurrently), a short fuzz smoke of the RDF parsers, the short-mode
+# chaos suite, and a short benchmark-regression probe of the serving
+# hot path.
+check: fmt vet lint race fuzz-smoke chaos-short bench-diff-short
 
 # lint builds the swrecvet multichecker once and drives it through
 # go vet, so the project analyzers (ctxflow, detrand, durableerr,
@@ -62,6 +63,34 @@ bench:
 	$(GO) test -run=^$$ -bench=. -benchmem \
 		./internal/engine/ ./internal/wal/ ./internal/ingest/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_engine.json
+
+# bench-diff reruns the benchmark suite and fails when any benchmark
+# regresses more than 20% in ns/op or allocs/op against the committed
+# BENCH_engine.json baseline.
+bench-diff:
+	$(GO) test -run=^$$ -bench=. -benchmem \
+		./internal/engine/ ./internal/wal/ ./internal/ingest/ \
+		| $(GO) run ./cmd/benchjson -diff BENCH_engine.json
+
+# bench-diff-short is the quick form run as part of check: only the
+# cold-path serving benchmark, few iterations, and a deliberately loose
+# 100% threshold — at -benchtime=100x single-run noise reaches ~1.8x,
+# while losing the compiled-substrate speedup shows as ~7x, so the gate
+# catches that class of regression without flaking on scheduler jitter.
+bench-diff-short:
+	$(GO) test -run=^$$ -bench='BenchmarkServePerRequestNew$$' -benchmem -benchtime=100x \
+		./internal/engine/ \
+		| $(GO) run ./cmd/benchjson -diff BENCH_engine.json -threshold 1.0
+
+# profile captures CPU and allocation profiles of the cold-path serving
+# benchmark into bin/ and prints the top-10 hotspots of each — the
+# entry point for performance work (see README "Performance").
+profile:
+	@mkdir -p bin
+	$(GO) test -run=^$$ -bench='BenchmarkServePerRequestNew$$' -benchtime=200x \
+		-cpuprofile bin/cpu.prof -memprofile bin/mem.prof -o bin/engine.test ./internal/engine/
+	$(GO) tool pprof -top -nodecount=10 bin/engine.test bin/cpu.prof
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space bin/engine.test bin/mem.prof
 
 # chaos drives the crawl → ingest → serve pipeline under deterministic
 # seed-driven transport and disk faults (internal/faultinject) and

@@ -5,6 +5,15 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson -out BENCH_engine.json
+//	go test -bench=. -benchmem ./... | benchjson -diff BENCH_engine.json
+//
+// With -diff, the parsed results are compared against the archived
+// baseline instead of written out: every benchmark present in both is
+// reported with its ns/op and allocs/op ratios, and the process exits 1
+// when any ratio exceeds 1+threshold (-threshold, default 0.20) — the
+// regression gate behind `make bench-diff`. Benchmarks new to this run
+// or missing from it are noted but never fail the gate, so partial runs
+// (the short form in `make check`) stay usable.
 //
 // The bench output is echoed to stdout unchanged, so piping through
 // benchjson costs no visibility. Lines that are not benchmark results
@@ -44,6 +53,8 @@ type report struct {
 
 func main() {
 	out := flag.String("out", "", "write the JSON report here (default stdout only)")
+	diff := flag.String("diff", "", "compare against this baseline JSON instead of writing; exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.20, "with -diff: allowed fractional ns/op and allocs/op growth before failing")
 	flag.Parse()
 
 	rep := report{Benchmarks: []result{}}
@@ -73,6 +84,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *diff != "" {
+		if !diffAgainst(rep, *diff, *threshold) {
+			os.Exit(1)
+		}
+		return
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -88,6 +106,77 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// diffAgainst compares the run's results to the baseline file and
+// reports per-benchmark ns/op and allocs/op ratios. Returns false when
+// any benchmark present in both regressed beyond 1+threshold. New and
+// missing benchmarks are informational only: the gate must stay usable
+// for partial runs.
+func diffAgainst(rep report, baselinePath string, threshold float64) bool {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		return false
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+		return false
+	}
+	byKey := make(map[string]result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byKey[b.Package+"\x00"+b.Name] = b
+	}
+
+	fmt.Printf("\nbenchjson diff vs %s (threshold %+.0f%%)\n", baselinePath, threshold*100)
+	ok, compared := true, 0
+	seen := make(map[string]bool, len(rep.Benchmarks))
+	for _, r := range rep.Benchmarks {
+		key := r.Package + "\x00" + r.Name
+		seen[key] = true
+		b, found := byKey[key]
+		if !found {
+			fmt.Printf("  NEW   %-52s %12.0f ns/op %8d allocs/op (no baseline)\n", r.Name, r.NsPerOp, r.AllocsOp)
+			continue
+		}
+		compared++
+		nsRatio := ratio(r.NsPerOp, b.NsPerOp)
+		allocRatio := ratio(float64(r.AllocsOp), float64(b.AllocsOp))
+		verdict := "ok"
+		if nsRatio > 1+threshold || allocRatio > 1+threshold {
+			verdict = "REGRESSION"
+			ok = false
+		}
+		fmt.Printf("  %-5s %-52s ns/op %.0f -> %.0f (%.2fx)  allocs/op %d -> %d (%.2fx)\n",
+			verdict, r.Name, b.NsPerOp, r.NsPerOp, nsRatio, b.AllocsOp, r.AllocsOp, allocRatio)
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Package+"\x00"+b.Name] {
+			fmt.Printf("  SKIP  %-52s (in baseline, not in this run)\n", b.Name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark overlapped the baseline")
+		return false
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: regression beyond %+.0f%% against %s\n", threshold*100, baselinePath)
+	}
+	return ok
+}
+
+// ratio guards the division: a zero baseline compares as neutral unless
+// the new value is nonzero, in which case it is an unbounded regression
+// only when meaningful (allocs going 0 -> n).
+func ratio(cur, old float64) float64 {
+	if old == 0 {
+		if cur == 0 {
+			return 1
+		}
+		return cur // vs 0: treat the raw value as the factor
+	}
+	return cur / old
 }
 
 // parseBench parses one benchmark result line:

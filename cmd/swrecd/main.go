@@ -69,6 +69,7 @@ func main() {
 	metric := flag.String("metric", "appleseed", "trust metric: appleseed | advogato | pathtrust | none")
 	alpha := flag.Float64("alpha", 0.5, "rank synthesization blend")
 	warm := flag.Bool("warm", true, "precompute all agent profiles and neighborhoods at startup")
+	warmupWorkers := flag.Int("warmup-workers", 0, "warmup worker pool size (0 = GOMAXPROCS)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	walDir := flag.String("wal", "", "write-ahead log directory; enables the durable write endpoints")
 	requestBudget := flag.Duration("request-budget", 0, "per-request deadline for read endpoints; misses serve a degraded cached answer or 504 (0 = unbounded)")
@@ -134,8 +135,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	if *warm {
-		res := eng.Warmup(0)
+		// Bounded by the shutdown context: a signal during warmup stops
+		// the pass instead of grinding through the remaining corpus.
+		res := eng.WarmupCtx(ctx, *warmupWorkers)
 		logger.Printf("warmed %d agents in %v", res.Agents, res.Duration.Round(time.Millisecond))
 	}
 
@@ -176,9 +183,6 @@ func main() {
 	logger.Printf("listening on http://%s", ln.Addr())
 	logger.Printf("  try: curl http://%s/v1/healthz", ln.Addr())
 	logger.Printf("  try: curl 'http://%s/v1/agents/%s/recommendations?n=5'", ln.Addr(), sample)
-
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -16,12 +16,15 @@
 package cf
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
 	"swrec/internal/model"
 	"swrec/internal/profile"
+	"swrec/internal/profmat"
 	"swrec/internal/sparse"
 )
 
@@ -95,6 +98,16 @@ type Filter struct {
 	mu       sync.Mutex
 	profiles map[model.AgentID]sparse.Vector
 	prodDims map[model.ProductID]int32
+	// mat is the compiled CSR profile matrix (internal/profmat), built
+	// once per filter for taxonomy-space representations and consulted by
+	// every similarity before the map-based fallback. Guarded by mu; nil
+	// until the first Compile/Similarity. The Product representation
+	// never compiles (its dimension space grows with interning).
+	mat *profmat.Matrix
+	// scratch pools *profmat.Scratch instances for batch scans: the
+	// active row is scattered into a dense image once, then every peer
+	// costs a single pass over its own postings.
+	scratch sync.Pool
 }
 
 // New creates a filter over the community. Taxonomy-based representations
@@ -161,18 +174,150 @@ func (f *Filter) ProfileOf(id model.AgentID) sparse.Vector {
 }
 
 // Invalidate drops the cached profile of id (call after its ratings
-// change).
+// change). The compiled matrix, if any, is dropped wholesale and rebuilt
+// on next use — mutating communities in place is the exception (eval
+// harnesses); serving snapshots are immutable and use CompileDelta.
 func (f *Filter) Invalidate(id model.AgentID) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	delete(f.profiles, id)
+	f.mat = nil
+}
+
+// batchWorkers sizes the batch-similarity fan-out: roughly one worker
+// per 128 peers, bounded by GOMAXPROCS. Batches too small to amortize
+// goroutine startup run inline.
+func batchWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if m := (n + 127) / 128; w > m {
+		w = m
+	}
+	return w
+}
+
+// Compilable reports whether the filter's representation admits a
+// compiled profile matrix: taxonomy-space representations do, the
+// Product representation (whose dimension space grows with product
+// interning) does not.
+func (f *Filter) Compilable() bool { return f.opt.Representation != Product }
+
+// Compile builds the compiled profile matrix for every agent of the
+// community, after which similarities run as zero-allocation merge-joins.
+// Idempotent; concurrent callers serialize on the filter lock. No-op for
+// the Product representation.
+func (f *Filter) Compile(ctx context.Context) error {
+	return f.CompileDelta(ctx, nil, nil)
+}
+
+// CompileDelta is Compile carrying over the rows of prev for agents dirty
+// reports false on — the epoch-swap fast path (internal/engine). A nil
+// prev or dirty compiles from scratch. On ctx expiry the filter is left
+// uncompiled and the next call retries.
+func (f *Filter) CompileDelta(ctx context.Context, prev *profmat.Matrix, dirty func(model.AgentID) bool) error {
+	if !f.Compilable() {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.mat != nil {
+		return nil
+	}
+	mat, err := profmat.BuildDelta(ctx, f.comm, f.gen, f.gen.Taxonomy().Len(), 0, prev, dirty)
+	if err != nil {
+		return err
+	}
+	f.mat = mat
+	return nil
+}
+
+// Matrix returns the compiled profile matrix, or nil before Compile (and
+// always for the Product representation). The matrix is immutable; the
+// engine's delta swap feeds it back through CompileDelta.
+func (f *Filter) Matrix() *profmat.Matrix {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mat
+}
+
+// matrix returns the compiled matrix, building it on first use for
+// compilable representations. Returns nil when the representation cannot
+// compile or the build was cancelled.
+func (f *Filter) matrix(ctx context.Context) *profmat.Matrix {
+	if !f.Compilable() {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.mat == nil {
+		mat, err := profmat.BuildDelta(ctx, f.comm, f.gen, f.gen.Taxonomy().Len(), 0, nil, nil)
+		if err != nil {
+			return nil
+		}
+		f.mat = mat
+	}
+	return f.mat
+}
+
+// emptyRow stands in for unknown agents on the compiled path, yielding
+// the same undefined-similarity result the empty map vector does.
+var emptyRow = &profmat.Row{}
+
+// rowOf returns the compiled row for id, or an empty row for agents the
+// matrix does not know.
+func rowOf(mat *profmat.Matrix, id model.AgentID) *profmat.Row {
+	if r := mat.Row(id); r != nil {
+		return r
+	}
+	return emptyRow
+}
+
+// similarityRows computes the configured measure over two compiled rows.
+func (f *Filter) similarityRows(a, b *profmat.Row) (float64, bool) {
+	switch f.opt.Measure {
+	case Cosine:
+		return profmat.Cosine(a, b)
+	default:
+		return profmat.Pearson(a, b)
+	}
+}
+
+// getScratch returns a pooled dense scratch covering the taxonomy
+// dimension space; return it with f.scratch.Put when done.
+func (f *Filter) getScratch() *profmat.Scratch {
+	dims := f.gen.Taxonomy().Len()
+	if sc, ok := f.scratch.Get().(*profmat.Scratch); ok && sc.Dims() >= dims {
+		return sc
+	}
+	return profmat.NewScratch(dims)
+}
+
+// similarityScratch computes the configured measure of the scratch's
+// loaded row against b.
+func (f *Filter) similarityScratch(sc *profmat.Scratch, b *profmat.Row) (float64, bool) {
+	switch f.opt.Measure {
+	case Cosine:
+		return sc.CosineTo(b)
+	default:
+		return sc.PearsonTo(b)
+	}
 }
 
 // Similarity returns the similarity of a and b under the configured
 // measure; ok is false when the measure is undefined for the pair (the
 // profile-overlap failure the taxonomy representation is designed to
-// avoid).
+// avoid). Compilable representations serve from the compiled matrix
+// (building it on first use); Product falls back to the map vectors.
 func (f *Filter) Similarity(a, b model.AgentID) (float64, bool) {
+	//nolint:ctxflow -- compatibility entry point without cancellation; ctx-aware callers use SimilarityCtx
+	return f.SimilarityCtx(context.Background(), a, b)
+}
+
+// SimilarityCtx is Similarity with cancellation of the one-time compile
+// step (the per-pair kernel itself is microseconds).
+func (f *Filter) SimilarityCtx(ctx context.Context, a, b model.AgentID) (float64, bool) {
+	if mat := f.matrix(ctx); mat != nil {
+		return f.similarityRows(rowOf(mat, a), rowOf(mat, b))
+	}
 	va, vb := f.ProfileOf(a), f.ProfileOf(b)
 	switch f.opt.Measure {
 	case Cosine:
@@ -180,6 +325,78 @@ func (f *Filter) Similarity(a, b model.AgentID) (float64, bool) {
 	default:
 		return sparse.Pearson(va, vb)
 	}
+}
+
+// SimResult is one entry of a batch similarity scan.
+type SimResult struct {
+	Sim float64
+	OK  bool
+}
+
+// Similarities computes the similarity of active against every peer in
+// one scan, writing into out (which must be at least len(peers) long).
+// On the compiled path the scan is embarrassingly parallel over immutable
+// rows and fans out across a bounded worker pool when enough peers and
+// CPUs make it worthwhile; the fallback path runs sequentially under the
+// profile cache lock. Checks ctx at chunk boundaries; on cancellation out
+// is partial and ctx.Err() is returned.
+func (f *Filter) Similarities(ctx context.Context, active model.AgentID, peers []model.AgentID, out []SimResult) error {
+	mat := f.matrix(ctx)
+	if mat == nil {
+		for i, p := range peers {
+			if i&15 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			s, ok := f.Similarity(active, p)
+			out[i] = SimResult{Sim: s, OK: ok}
+		}
+		return ctx.Err()
+	}
+	ar := rowOf(mat, active)
+	sc := f.getScratch()
+	sc.Load(ar)
+	defer f.scratch.Put(sc)
+	workers := batchWorkers(len(peers))
+	if workers <= 1 {
+		for i, p := range peers {
+			if i&63 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			s, ok := f.similarityScratch(sc, rowOf(mat, p))
+			out[i] = SimResult{Sim: s, OK: ok}
+		}
+		return ctx.Err()
+	}
+	// The loaded scratch is read-only across workers after Load.
+	var wg sync.WaitGroup
+	chunk := (len(peers) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(peers) {
+			hi = len(peers)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if (i-lo)&63 == 0 && ctx.Err() != nil {
+					return
+				}
+				s, ok := f.similarityScratch(sc, rowOf(mat, peers[i]))
+				out[i] = SimResult{Sim: s, OK: ok}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 // Neighbor is one similarity-ranked peer.

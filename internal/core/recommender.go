@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"swrec/internal/cf"
@@ -329,11 +330,26 @@ func (r *Recommender) RankedPeersCtx(ctx context.Context, active model.AgentID) 
 		if tn < r.opt.TrustThreshold {
 			continue
 		}
-		p := PeerRank{Agent: rk.Agent, Trust: tn}
-		if s, ok := r.filter.Similarity(active, rk.Agent); ok {
-			p.Sim, p.SimOK = s, true
+		peers = append(peers, PeerRank{Agent: rk.Agent, Trust: tn})
+	}
+	// Stage 2 as one batched scan: the filter computes every peer
+	// similarity over the compiled profile matrix (merge-joins over
+	// sorted postings), fanning out across workers when the peer set and
+	// CPU count warrant it.
+	if len(peers) > 0 {
+		ids := make([]model.AgentID, len(peers))
+		for i := range peers {
+			ids[i] = peers[i].Agent
 		}
-		peers = append(peers, p)
+		sims := make([]cf.SimResult, len(peers))
+		if err := r.filter.Similarities(ctx, active, ids, sims); err != nil {
+			return nil, err
+		}
+		for i := range peers {
+			if sims[i].OK {
+				peers[i].Sim, peers[i].SimOK = sims[i].Sim, true
+			}
+		}
 	}
 
 	switch r.opt.Merge {
@@ -350,11 +366,19 @@ func (r *Recommender) RankedPeersCtx(ctx context.Context, active model.AgentID) 
 			peers[i].Weight = alpha*peers[i].Trust + (1-alpha)*simNorm
 		}
 	}
-	sort.Slice(peers, func(i, j int) bool {
-		if peers[i].Weight != peers[j].Weight {
-			return peers[i].Weight > peers[j].Weight
+	slices.SortFunc(peers, func(a, b PeerRank) int {
+		switch {
+		case a.Weight > b.Weight:
+			return -1
+		case a.Weight < b.Weight:
+			return 1
+		case a.Agent < b.Agent:
+			return -1
+		case a.Agent > b.Agent:
+			return 1
+		default:
+			return 0
 		}
-		return peers[i].Agent < peers[j].Agent
 	})
 	if r.opt.MaxNeighbors > 0 && len(peers) > r.opt.MaxNeighbors {
 		peers = peers[:r.opt.MaxNeighbors]
@@ -401,11 +425,31 @@ func (r *Recommender) RecommendFromCtx(ctx context.Context, active model.AgentID
 		touched = r.touchedTopics(act)
 	}
 
+	// Vote accumulators live in one slab indexed through a flat
+	// per-product vote table — the community assigns every product a
+	// dense ordinal, so the vote loop does no hashing at all: votes[ord]
+	// holds 0 (unseen), -1 (rated by the active agent), or the
+	// accumulator index + 1. Peers vote through the community's memoized
+	// positive-rating lists, which carry resolved product pointers.
 	type acc struct {
+		prod       *model.Product
 		score      float64
 		supporters int
 	}
-	votes := make(map[model.ProductID]*acc)
+	votes := make([]int32, r.comm.NumProducts())
+	// Size for the realistic candidate pool — roughly half the catalog
+	// shows up as a positively-rated novel product across a large peer
+	// set — so the slab doesn't re-grow mid-vote.
+	accs := make([]acc, 0, r.comm.NumProducts()/2+16)
+	// Sentinel entries for the active agent's own history. Products the
+	// active agent rated but the catalog does not know need no sentinel —
+	// peers' votes resolve through the same catalog, so they can never
+	// become candidates.
+	for _, rs := range act.RatedProducts() {
+		if p := r.comm.Product(rs.Product); p != nil {
+			votes[p.Ord()] = -1
+		}
+	}
 	for i, p := range peers {
 		if i&15 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -419,23 +463,23 @@ func (r *Recommender) RecommendFromCtx(ctx context.Context, active model.AgentID
 		if peer == nil {
 			continue
 		}
-		for prod, v := range peer.Ratings {
-			if v <= 0 {
-				continue // peers vote for "appreciated products" only
+		for _, pr := range r.comm.PositiveRatings(peer) {
+			prod := pr.Product
+			o := prod.Ord()
+			ai := votes[o]
+			if ai < 0 {
+				continue // active already rated it (sentinel)
 			}
-			if _, seen := act.Ratings[prod]; seen {
+			if touched != nil && !r.isNovelProduct(prod, touched) {
 				continue
 			}
-			if touched != nil && !r.isNovel(prod, touched) {
-				continue
+			if ai == 0 {
+				accs = append(accs, acc{prod: prod})
+				ai = int32(len(accs))
+				votes[o] = ai
 			}
-			a := votes[prod]
-			if a == nil {
-				a = &acc{}
-				votes[prod] = a
-			}
-			a.score += p.Weight * v
-			a.supporters++
+			accs[ai-1].score += p.Weight * pr.Value
+			accs[ai-1].supporters++
 		}
 	}
 
@@ -449,19 +493,28 @@ func (r *Recommender) RecommendFromCtx(ctx context.Context, active model.AgentID
 		}
 	}
 
-	out := make([]Recommendation, 0, len(votes))
-	for prod, a := range votes {
+	out := make([]Recommendation, 0, len(accs))
+	for i := range accs {
+		a := &accs[i]
 		score := a.score
 		if r.opt.ContentBoost > 0 {
-			score *= 1 + r.opt.ContentBoost*r.contentMatch(activeProfile, prod)
+			score *= 1 + r.opt.ContentBoost*r.contentMatch(activeProfile, a.prod)
 		}
-		out = append(out, Recommendation{Product: prod, Score: score, Supporters: a.supporters})
+		out = append(out, Recommendation{Product: a.prod.ID, Score: score, Supporters: a.supporters})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	slices.SortFunc(out, func(a, b Recommendation) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		case a.Product < b.Product:
+			return -1
+		case a.Product > b.Product:
+			return 1
+		default:
+			return 0
 		}
-		return out[i].Product < out[j].Product
 	})
 	if n > 0 && len(out) > n {
 		out = out[:n]
@@ -523,8 +576,7 @@ func bordaMerge(peers []PeerRank, alpha float64) {
 
 // contentMatch returns the cosine affinity in [0,1] between the active
 // profile and the product's propagated descriptor vector.
-func (r *Recommender) contentMatch(activeProfile sparse.Vector, prod model.ProductID) float64 {
-	p := r.comm.Product(prod)
+func (r *Recommender) contentMatch(activeProfile sparse.Vector, p *model.Product) float64 {
 	if p == nil || len(p.Topics) == 0 || len(activeProfile) == 0 {
 		return 0
 	}
@@ -566,10 +618,9 @@ func (r *Recommender) touchedTopics(act *model.Agent) map[taxonomy.Topic]bool {
 	return touched
 }
 
-// isNovel reports whether every descriptor of prod lies outside the
+// isNovelProduct reports whether every descriptor of p lies outside the
 // touched set (ignoring the root, which every path shares).
-func (r *Recommender) isNovel(prod model.ProductID, touched map[taxonomy.Topic]bool) bool {
-	p := r.comm.Product(prod)
+func (r *Recommender) isNovelProduct(p *model.Product, touched map[taxonomy.Topic]bool) bool {
 	if p == nil || len(p.Topics) == 0 {
 		return false
 	}

@@ -469,6 +469,7 @@ func InjectSybils(comm *model.Community, victim model.AgentID, count int, pushPr
 			s.Ratings[p] = val
 		}
 		s.Ratings[pushProduct] = 1
+		s.MarkDirty()
 	}
 	for i := range ids {
 		if err := comm.SetTrust(ids[i], ids[(i+1)%count], 1); err != nil && count > 1 {

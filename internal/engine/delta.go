@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"swrec/internal/model"
+)
+
+// Delta describes what changed between the community a snapshot currently
+// serves and the community about to be published — the write path's
+// summary of its applied mutation batch. SwapDelta uses it to carry every
+// cache entry whose dependency fingerprint is untouched into the new
+// epoch instead of starting cold.
+//
+// The fingerprint rule, per cached artifact:
+//
+//   - a compiled profile row / cached Eq. 3 profile depends on the
+//     agent's own ratings (the taxonomy and product topics are immutable
+//     under ingest — rating an uncataloged product registers a bare,
+//     topic-less entry that contributes nothing to any profile);
+//   - a cached trust neighborhood depends on the trust statements of
+//     every agent its exploration can reach (any forward trust path from
+//     the active agent), plus the profiles of the active agent and every
+//     ranked peer (the similarity weights);
+//   - a cached recommendation list depends on its neighborhood plus the
+//     ranked peers' ratings — and a carried neighborhood already implies
+//     no ranked peer's ratings changed, so a result entry is valid
+//     exactly when its neighborhood entry is;
+//   - the topic index and subtree listings depend only on the catalog;
+//   - the trust-out agent directory ordering depends on the agent set
+//     and every out-degree.
+//
+// All fields are conservative: over-marking costs recomputation, never
+// correctness. A nil *Delta means "assume everything changed".
+type Delta struct {
+	// RatingsChanged holds agents whose rating set changed (upserts and
+	// deletes alike).
+	RatingsChanged map[model.AgentID]bool
+	// TrustChanged holds agents whose outgoing trust statements changed.
+	TrustChanged map[model.AgentID]bool
+	// AgentsAdded reports whether any agent record was created (directly
+	// or materialized as a trust/rating endpoint).
+	AgentsAdded bool
+	// ProductsChanged reports whether the catalog gained entries.
+	ProductsChanged bool
+}
+
+// NewDelta returns an empty delta ready for marking.
+func NewDelta() *Delta {
+	return &Delta{
+		RatingsChanged: make(map[model.AgentID]bool),
+		TrustChanged:   make(map[model.AgentID]bool),
+	}
+}
+
+// Empty reports whether the delta marks no changes at all.
+func (d *Delta) Empty() bool {
+	return d != nil && len(d.RatingsChanged) == 0 && len(d.TrustChanged) == 0 &&
+		!d.AgentsAdded && !d.ProductsChanged
+}
+
+// trustDirtySet expands the trust-mutation sources to every agent whose
+// neighborhood exploration could observe one of them: a neighborhood is
+// computed by walking trust edges forward from its active agent, so an
+// agent is affected exactly when a forward path from it reaches a source.
+// That is a reverse-BFS from the sources, taken over the union of the old
+// and new trust graphs — an edge present in either generation can have
+// carried the influence.
+func trustDirtySet(oldC, newC *model.Community, sources map[model.AgentID]bool) map[model.AgentID]bool {
+	if len(sources) == 0 {
+		return nil
+	}
+	rev := make(map[model.AgentID][]model.AgentID)
+	for _, c := range []*model.Community{oldC, newC} {
+		if c == nil {
+			continue
+		}
+		for _, id := range c.Agents() {
+			for _, ts := range c.Agent(id).TrustedPeers() {
+				rev[ts.Dst] = append(rev[ts.Dst], id)
+			}
+		}
+	}
+	dirty := make(map[model.AgentID]bool, len(sources))
+	queue := make([]model.AgentID, 0, len(sources))
+	for s := range sources {
+		dirty[s] = true
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, p := range rev[x] {
+			if !dirty[p] {
+				dirty[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return dirty
+}

@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"testing"
+
+	"fmt"
+
+	"swrec/internal/core"
+	"swrec/internal/model"
+	"swrec/internal/taxonomy"
+)
+
+// warmAll fills the snapshot's result (and thereby peers/profile) caches
+// for every agent, plus the catalog index and the agent directory.
+func warmAll(t *testing.T, snap *Snapshot, n int) {
+	t.Helper()
+	for _, id := range snap.Community().Agents() {
+		if _, err := snap.Recommend(id, n, Overrides{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap.TopicIndex()
+	snap.AgentsByTrustOut()
+}
+
+// sameRecs compares two recommendation lists as score maps with an FP
+// tolerance, the established idiom for cross-pipeline-instance equality.
+func sameRecs(t *testing.T, id model.AgentID, got, want []core.Recommendation) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("agent %s: %d recs, want %d", id, len(got), len(want))
+	}
+	wantScore := make(map[string]core.Recommendation, len(want))
+	for _, rc := range want {
+		wantScore[string(rc.Product)] = rc
+	}
+	for _, rc := range got {
+		w, ok := wantScore[string(rc.Product)]
+		if !ok {
+			t.Fatalf("agent %s: unexpected product %s", id, rc.Product)
+		}
+		if rc.Supporters != w.Supporters || rc.Score-w.Score > 1e-9 || w.Score-rc.Score > 1e-9 {
+			t.Fatalf("agent %s product %s: %+v != %+v", id, rc.Product, rc, w)
+		}
+	}
+}
+
+// TestSwapDeltaMatchesFromScratchRebuild is the delta-carry correctness
+// gate: after a delta-aware swap, every agent's recommendations —
+// carried-from-cache and recomputed alike — must equal a from-scratch
+// core.New pipeline over the published community.
+func TestSwapDeltaMatchesFromScratchRebuild(t *testing.T) {
+	comm := testCommunity(t, 40, 60)
+	opt := testOptions()
+	e, err := New(comm, opt, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmAll(t, e.Snapshot(), 8)
+
+	ids := comm.Agents()
+	pids := comm.Products()
+	clone := comm.Clone()
+	rater, truster, trustee := ids[3], ids[7], ids[11]
+	if err := clone.SetRating(rater, pids[0], 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.SetTrust(truster, trustee, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDelta()
+	d.RatingsChanged[rater] = true
+	d.TrustChanged[truster] = true
+
+	snap2, err := e.SwapDelta(clone, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := core.New(clone, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range clone.Agents() {
+		got, err := snap2.Recommend(id, 8, Overrides{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := rec.Recommend(id, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRecs(t, id, got, want)
+	}
+}
+
+// clusteredCommunity hand-builds two trust-disjoint five-agent clusters
+// ("a*" and "b*", each a trust ring rating its own half of the catalog),
+// so a mutation inside one cluster provably cannot reach the other —
+// the partitioned structure the delta carry exploits at corpus scale,
+// where trust neighborhoods cover a small fraction of the agent set.
+func clusteredCommunity(t *testing.T) *model.Community {
+	t.Helper()
+	tax := taxonomy.New("Root")
+	topics := make([]taxonomy.Topic, 8)
+	for i := range topics {
+		d, err := tax.Add(taxonomy.Root, fmt.Sprintf("t%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		topics[i] = d
+	}
+	c := model.NewCommunity(tax)
+	for i := 0; i < 12; i++ {
+		c.AddProduct(model.Product{
+			ID:     model.ProductID(fmt.Sprintf("p%d", i)),
+			Topics: []taxonomy.Topic{topics[i%len(topics)]},
+		})
+	}
+	pids := c.Products()
+	for cl, prefix := range []string{"a", "b"} {
+		for i := 0; i < 5; i++ {
+			c.AddAgent(model.AgentID(fmt.Sprintf("%s%d", prefix, i)))
+		}
+		for i := 0; i < 5; i++ {
+			src := model.AgentID(fmt.Sprintf("%s%d", prefix, i))
+			dst := model.AgentID(fmt.Sprintf("%s%d", prefix, (i+1)%5))
+			if err := c.SetTrust(src, dst, 0.9); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 4; j++ {
+				if err := c.SetRating(src, pids[cl*6+(i+j)%6], 0.8); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// TestSwapDeltaCarriesCleanAgentState pins the carry mechanics of a
+// rating-only delta in a partitioned community: only the dirty agent's
+// compiled row is rebuilt, the dirty cluster's cached results are
+// dropped, the clean cluster is served straight from the carried result
+// cache, and the catalog index and agent directory survive by pointer.
+func TestSwapDeltaCarriesCleanAgentState(t *testing.T) {
+	comm := clusteredCommunity(t)
+	e, err := New(comm, testOptions(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap1 := e.Snapshot()
+	warmAll(t, snap1, 8)
+
+	clone := comm.Clone()
+	rater := model.AgentID("a0")
+	if err := clone.SetRating(rater, comm.Products()[0], 0.3); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDelta()
+	d.RatingsChanged[rater] = true
+
+	snap2, err := e.SwapDelta(clone, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compiled substrate: exactly the dirty agent recompiled.
+	mat := snap2.Recommender().Filter().Matrix()
+	if mat == nil {
+		t.Fatal("delta swap did not compile the profile matrix")
+	}
+	if mat.Len() != clone.NumAgents() || mat.Built() != 1 {
+		t.Fatalf("matrix len=%d built=%d, want len=%d built=1", mat.Len(), mat.Built(), clone.NumAgents())
+	}
+
+	// The dirty agent's result entry must not survive.
+	if _, ok := snap2.CachedRecommend(rater, 8, Overrides{}); ok {
+		t.Fatal("dirty agent's recommendation carried across the swap")
+	}
+	// The other cluster never sees the mutated agent, so every one of its
+	// entries carries and serves as a hit — no recompute after the swap.
+	for i := 0; i < 5; i++ {
+		id := model.AgentID(fmt.Sprintf("b%d", i))
+		if _, ok := snap2.CachedRecommend(id, 8, Overrides{}); !ok {
+			t.Fatalf("clean agent %s lost its cached recommendation", id)
+		}
+	}
+	hits := counter("results_hit")
+	if _, err := snap2.Recommend("b0", 8, Overrides{}); err != nil {
+		t.Fatal(err)
+	}
+	if counter("results_hit") != hits+1 {
+		t.Fatal("carried entry did not serve as a cache hit")
+	}
+
+	// No product was added, no trust changed: catalog and directory
+	// artifacts carry by pointer.
+	if snap1.TopicIndex() != snap2.TopicIndex() {
+		t.Fatal("topic index rebuilt despite unchanged catalog")
+	}
+	if &snap1.AgentsByTrustOut()[0] != &snap2.AgentsByTrustOut()[0] {
+		t.Fatal("agent directory rebuilt despite unchanged agents and trust")
+	}
+}
+
+// TestSwapWithoutDeltaStartsCold pins the fallback: a plain Swap (no
+// delta information) must not carry any cached result.
+func TestSwapWithoutDeltaStartsCold(t *testing.T) {
+	comm := testCommunity(t, 20, 30)
+	e, err := New(comm, testOptions(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmAll(t, e.Snapshot(), 5)
+	snap2, err := e.Swap(comm.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range comm.Agents() {
+		if _, ok := snap2.CachedRecommend(id, 5, Overrides{}); ok {
+			t.Fatalf("agent %s carried a result through a delta-less swap", id)
+		}
+	}
+}
+
+// TestTrustDirtySet pins the reverse-reachability rule: every agent with
+// a forward trust path to a mutated source is dirty, nobody else is.
+func TestTrustDirtySet(t *testing.T) {
+	c := model.NewCommunity(nil)
+	for _, id := range []model.AgentID{"a", "b", "c", "d", "e"} {
+		c.AddAgent(id)
+	}
+	// a -> b -> c, e -> c, d isolated.
+	for _, edge := range [][2]model.AgentID{{"a", "b"}, {"b", "c"}, {"e", "c"}} {
+		if err := c.SetTrust(edge[0], edge[1], 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirty := trustDirtySet(c, c, map[model.AgentID]bool{"c": true})
+	for _, id := range []model.AgentID{"a", "b", "c", "e"} {
+		if !dirty[id] {
+			t.Fatalf("agent %s can reach the mutated source but is not dirty", id)
+		}
+	}
+	if dirty["d"] {
+		t.Fatal("isolated agent marked dirty")
+	}
+	// A source with no inbound paths dirties only itself.
+	dirty = trustDirtySet(c, c, map[model.AgentID]bool{"a": true})
+	if len(dirty) != 1 || !dirty["a"] {
+		t.Fatalf("dirty set for source-only mutation = %v", dirty)
+	}
+}

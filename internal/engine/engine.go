@@ -43,6 +43,7 @@ import (
 	"swrec/internal/index"
 	"swrec/internal/model"
 	"swrec/internal/profile"
+	"swrec/internal/profmat"
 	"swrec/internal/sparse"
 	"swrec/internal/taxonomy"
 )
@@ -126,13 +127,17 @@ func (ov Overrides) pipelineKey() string {
 	return key
 }
 
+// contentKey identifies the stage-4 content-mode override.
+func (ov Overrides) contentKey() string {
+	if ov.Content != nil {
+		return fmt.Sprintf("c%d", *ov.Content)
+	}
+	return ""
+}
+
 // variantKey identifies the full recommender configuration.
 func (ov Overrides) variantKey() string {
-	key := ov.pipelineKey()
-	if ov.Content != nil {
-		key += fmt.Sprintf("c%d", *ov.Content)
-	}
-	return key
+	return ov.pipelineKey() + ov.contentKey()
 }
 
 // apply merges the overrides into a copy of the base options.
@@ -167,15 +172,15 @@ type Snapshot struct {
 	gen *profile.Generator
 
 	profiles *lruCache[model.AgentID, sparse.Vector]
-	peers    *lruCache[string, []core.PeerRank]
+	peers    *lruCache[peerKey, []core.PeerRank]
 	subtrees *lruCache[taxonomy.Topic, []model.ProductID]
-	results  *lruCache[string, []core.Recommendation]
+	results  *lruCache[recKey, []core.Recommendation]
 
 	ixOnce sync.Once
-	ix     *index.TopicIndex
+	ix     atomic.Pointer[index.TopicIndex]
 
 	agentsOnce    sync.Once
-	agentsByTrust []model.AgentID
+	agentsByTrust atomic.Pointer[[]model.AgentID]
 
 	variantMu sync.Mutex
 	variants  map[string]*core.Recommender
@@ -183,7 +188,18 @@ type Snapshot struct {
 	flights flightGroup
 }
 
+// newSnapshot builds a cold snapshot: every cache starts empty.
 func newSnapshot(epoch uint64, comm *model.Community, opt core.Options, cfg Config) (*Snapshot, error) {
+	return newSnapshotDelta(epoch, comm, opt, cfg, nil, nil)
+}
+
+// newSnapshotDelta builds a snapshot over comm and, when prev and d are
+// both non-nil, carries over every artifact of the previous epoch whose
+// dependency fingerprint (see Delta) the applied mutations left
+// untouched: compiled profile rows, cached Eq. 3 profiles, synthesized
+// neighborhoods, complete recommendation lists, the topic index with its
+// subtree listings, and the trust-out agent ordering.
+func newSnapshotDelta(epoch uint64, comm *model.Community, opt core.Options, cfg Config, prev *Snapshot, d *Delta) (*Snapshot, error) {
 	rec, err := core.New(comm, opt)
 	if err != nil {
 		return nil, err
@@ -195,13 +211,98 @@ func newSnapshot(epoch uint64, comm *model.Community, opt core.Options, cfg Conf
 		rec:      rec,
 		budget:   cfg.ComputeBudget,
 		profiles: newLRU[model.AgentID, sparse.Vector](cfg.ProfileCacheSize),
-		peers:    newLRU[string, []core.PeerRank](cfg.PeerCacheSize),
+		peers:    newLRU[peerKey, []core.PeerRank](cfg.PeerCacheSize),
 		subtrees: newLRU[taxonomy.Topic, []model.ProductID](cfg.SubtreeCacheSize),
-		results:  newLRU[string, []core.Recommendation](cfg.ResultCacheSize),
+		results:  newLRU[recKey, []core.Recommendation](cfg.ResultCacheSize),
 		variants: make(map[string]*core.Recommender),
 	}
 	if tax := comm.Taxonomy(); tax != nil {
 		s.gen = profile.New(tax)
+	}
+
+	delta := prev != nil && d != nil
+	// Compile the similarity substrate eagerly — the first request should
+	// find warm rows, not pay the build. On a delta swap only the dirty
+	// agents' rows are recompiled; the rest alias the previous arenas.
+	if f := rec.Filter(); f.Compilable() {
+		var prevMat *profmat.Matrix
+		var dirtyRow func(model.AgentID) bool
+		if delta {
+			prevMat = prev.rec.Filter().Matrix()
+			dirtyRow = func(id model.AgentID) bool { return d.RatingsChanged[id] }
+		}
+		//nolint:ctxflow -- snapshot construction runs at New/Swap time, not on a request path; there is no caller deadline to thread
+		if err := f.CompileDelta(context.Background(), prevMat, dirtyRow); err != nil {
+			return nil, err
+		}
+		if mat := f.Matrix(); mat != nil && delta {
+			stats.Add("carried_rows", int64(mat.Len()-mat.Built()))
+		}
+	}
+	if !delta {
+		return s, nil
+	}
+
+	trustDirty := trustDirtySet(prev.comm, comm, d.TrustChanged)
+	stats.Add("swap_delta", 1)
+	stats.Add("dirty_agents", int64(len(trustDirty)+len(d.RatingsChanged)))
+
+	// Eq. 3 profiles: invalidated only by the agent's own ratings.
+	for _, e := range prev.profiles.entries() {
+		if !d.RatingsChanged[e.key] {
+			s.profiles.add(e.key, e.val)
+			stats.Add("carried_profiles", 1)
+		}
+	}
+	// Neighborhoods: the active agent must be clean of trust influence
+	// and rating changes, and every ranked peer's profile (its ratings)
+	// must be untouched — those are the similarity weights.
+	carried := make(map[peerKey]bool)
+	for _, e := range prev.peers.entries() {
+		if trustDirty[e.key.agent] || d.RatingsChanged[e.key.agent] {
+			continue
+		}
+		ok := true
+		for _, pr := range e.val {
+			if d.RatingsChanged[pr.Agent] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		s.peers.add(e.key, e.val)
+		carried[e.key] = true
+		stats.Add("carried_peers", 1)
+	}
+	// Results: the stage-4 vote reads the neighborhood plus the ranked
+	// peers' positive ratings, the active agent's rated set, and (for
+	// content filtering) the active profile — all of which a carried
+	// neighborhood entry already certifies clean. Entries whose
+	// neighborhood was evicted or dropped recompute.
+	for _, e := range prev.results.entries() {
+		if carried[peerKey{agent: e.key.agent, pipe: e.key.pipe}] {
+			s.results.add(e.key, e.val)
+			stats.Add("carried_results", 1)
+		}
+	}
+	// Catalog-derived artifacts survive any mutation batch that added no
+	// products (the ingest path never mutates existing entries).
+	if !d.ProductsChanged {
+		if ix := prev.ix.Load(); ix != nil {
+			s.ix.Store(ix)
+		}
+		for _, e := range prev.subtrees.entries() {
+			s.subtrees.add(e.key, e.val)
+		}
+	}
+	// The trust-out directory ordering depends on the agent set and every
+	// out-degree.
+	if !d.AgentsAdded && len(d.TrustChanged) == 0 {
+		if ids := prev.agentsByTrust.Load(); ids != nil {
+			s.agentsByTrust.Store(ids)
+		}
 	}
 	return s, nil
 }
@@ -238,14 +339,41 @@ func (s *Snapshot) RecommenderFor(ov Overrides) (*core.Recommender, error) {
 	return rec, nil
 }
 
-// peersKey and resultKey build the cache keys shared by the serving and
-// degradation paths.
-func peersKey(active model.AgentID, ov Overrides) string {
-	return string(active) + "\x00" + ov.pipelineKey()
+// peerKey identifies a cached neighborhood: the active agent and the
+// stages-1-3 configuration. Structured (not string-concatenated) so the
+// delta-swap carry can reason about each component without parsing.
+type peerKey struct {
+	agent model.AgentID
+	pipe  string
 }
 
-func resultKey(active model.AgentID, n int, ov Overrides) string {
-	return fmt.Sprintf("%s\x00%d\x00%s", active, n, ov.variantKey())
+// flight returns the singleflight key for the neighborhood computation.
+func (k peerKey) flight() string { return "peers\x00" + string(k.agent) + "\x00" + k.pipe }
+
+// recKey identifies a cached recommendation list: the active agent, the
+// answer size, and the full variant split into its pipeline and content
+// parts — the pipeline part ties a result to the neighborhood it was
+// voted from.
+type recKey struct {
+	agent   model.AgentID
+	n       int
+	pipe    string
+	content string
+}
+
+// flight returns the singleflight key for the recommendation computation.
+func (k recKey) flight() string {
+	return fmt.Sprintf("recs\x00%s\x00%d\x00%s\x00%s", k.agent, k.n, k.pipe, k.content)
+}
+
+// peersKey and resultKey build the cache keys shared by the serving and
+// degradation paths.
+func peersKey(active model.AgentID, ov Overrides) peerKey {
+	return peerKey{agent: active, pipe: ov.pipelineKey()}
+}
+
+func resultKey(active model.AgentID, n int, ov Overrides) recKey {
+	return recKey{agent: active, n: n, pipe: ov.pipelineKey(), content: ov.contentKey()}
 }
 
 // flightCtx is the compute-budget context factory handed to cold-path
@@ -277,7 +405,7 @@ func (s *Snapshot) RankedPeersCtx(ctx context.Context, active model.AgentID, ov 
 		return peers, nil
 	}
 	stats.Add("peers_miss", 1)
-	v, err, shared := s.flights.doCtx(ctx, "peers\x00"+key, s.flightCtx, func(fctx context.Context) (any, error) {
+	v, err, shared := s.flights.doCtx(ctx, key.flight(), s.flightCtx, func(fctx context.Context) (any, error) {
 		rec, err := s.RecommenderFor(ov)
 		if err != nil {
 			return nil, err
@@ -324,7 +452,7 @@ func (s *Snapshot) RecommendCtx(ctx context.Context, active model.AgentID, n int
 		return recs, nil
 	}
 	stats.Add("results_miss", 1)
-	v, err, shared := s.flights.doCtx(ctx, "recs\x00"+key, s.flightCtx, func(fctx context.Context) (any, error) {
+	v, err, shared := s.flights.doCtx(ctx, key.flight(), s.flightCtx, func(fctx context.Context) (any, error) {
 		peers, err := s.RankedPeersCtx(fctx, active, ov)
 		if err != nil {
 			return nil, err
@@ -393,10 +521,14 @@ func (s *Snapshot) ProfileCtx(ctx context.Context, active model.AgentID) (sparse
 }
 
 // TopicIndex returns the snapshot's catalog index, building it on first
-// use.
+// use — unless the delta swap already carried the previous epoch's index
+// across an unchanged catalog.
 func (s *Snapshot) TopicIndex() *index.TopicIndex {
-	s.ixOnce.Do(func() { s.ix = index.Build(s.comm) })
-	return s.ix
+	if ix := s.ix.Load(); ix != nil {
+		return ix
+	}
+	s.ixOnce.Do(func() { s.ix.Store(index.Build(s.comm)) })
+	return s.ix.Load()
 }
 
 // Subtree returns the deduplicated, sorted products of a taxonomy branch
@@ -420,6 +552,9 @@ func (s *Snapshot) Subtree(d taxonomy.Topic) []model.ProductID {
 // agent directory endpoint pages through. The slice is shared; callers
 // must not modify it.
 func (s *Snapshot) AgentsByTrustOut() []model.AgentID {
+	if ids := s.agentsByTrust.Load(); ids != nil {
+		return *ids
+	}
 	s.agentsOnce.Do(func() {
 		ids := append([]model.AgentID(nil), s.comm.Agents()...)
 		deg := func(id model.AgentID) int { return len(s.comm.Agent(id).Trust) }
@@ -430,9 +565,9 @@ func (s *Snapshot) AgentsByTrustOut() []model.AgentID {
 			}
 			return ids[i] < ids[j]
 		})
-		s.agentsByTrust = ids
+		s.agentsByTrust.Store(&ids)
 	})
-	return s.agentsByTrust
+	return *s.agentsByTrust.Load()
 }
 
 // Engine owns the current snapshot and the swap discipline around it.
@@ -484,13 +619,25 @@ func (e *Engine) Uptime() time.Duration { return time.Since(e.start) }
 // snapshot. On error (e.g. the new community is incompatible with the
 // engine's options) the current snapshot remains in place.
 func (e *Engine) Swap(comm *model.Community) (*Snapshot, error) {
+	return e.SwapDelta(comm, nil)
+}
+
+// SwapDelta is Swap informed by what actually changed: the write path
+// summarizes its applied mutation batch in d, and the new snapshot starts
+// with every still-valid artifact of the previous epoch — compiled
+// profile rows, cached profiles, neighborhoods and results whose
+// dependency fingerprints the batch left untouched — instead of cold
+// caches. A nil d degrades to a full cold swap. Correctness does not
+// depend on d being minimal, only on it covering every change.
+func (e *Engine) SwapDelta(comm *model.Community, d *Delta) (*Snapshot, error) {
 	e.swapMu.Lock()
 	defer e.swapMu.Unlock()
-	snap, err := newSnapshot(e.snap.Load().epoch+1, comm, e.opt, e.cfg)
+	cur := e.snap.Load()
+	snap, err := newSnapshotDelta(cur.epoch+1, comm, e.opt, e.cfg, cur, d)
 	if err != nil {
 		return nil, err
 	}
-	e.prev.Store(e.snap.Load())
+	e.prev.Store(cur)
 	e.snap.Store(snap)
 	stats.Add("swaps", 1)
 	return snap, nil
@@ -587,6 +734,15 @@ type WarmupResult struct {
 // from warm caches. Errors on individual agents are skipped: warming is
 // best-effort and the serving path recomputes on demand.
 func (e *Engine) Warmup(workers int) WarmupResult {
+	return e.WarmupCtx(context.Background(), workers)
+}
+
+// WarmupCtx is Warmup bounded by ctx: no new agent is dispatched after
+// ctx is done, in-flight per-agent work observes the cancellation at its
+// internal checkpoints, and the result reports how many agents were
+// actually warmed. A server shutting down mid-warmup stops promptly
+// instead of grinding through the remaining corpus.
+func (e *Engine) WarmupCtx(ctx context.Context, workers int) WarmupResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -600,19 +756,28 @@ func (e *Engine) Warmup(workers int) WarmupResult {
 		go func() {
 			defer wg.Done()
 			for id := range jobs {
-				_, _ = snap.RankedPeers(id, Overrides{})
+				_, _ = snap.RankedPeersCtx(ctx, id, Overrides{})
 				if snap.gen != nil {
-					_, _ = snap.Profile(id)
+					_, _ = snap.ProfileCtx(ctx, id)
 				}
 			}
 		}()
 	}
+	warmed := 0
+dispatch:
 	for _, id := range ids {
-		jobs <- id
+		select {
+		case jobs <- id:
+			warmed++
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	snap.TopicIndex()
-	stats.Add("warmed_agents", int64(len(ids)))
-	return WarmupResult{Agents: len(ids), Duration: time.Since(start)}
+	if ctx.Err() == nil {
+		snap.TopicIndex()
+	}
+	stats.Add("warmed_agents", int64(warmed))
+	return WarmupResult{Agents: warmed, Duration: time.Since(start)}
 }

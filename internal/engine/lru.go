@@ -62,6 +62,26 @@ func (c *lruCache[K, V]) add(k K, v V) {
 	}
 }
 
+// kv is one cache entry as reported by entries.
+type kv[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// entries snapshots the cache contents in least-to-most recently used
+// order, so replaying them through add into a fresh cache reproduces the
+// recency ordering — the epoch-swap carry-over path.
+func (c *lruCache[K, V]) entries() []kv[K, V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]kv[K, V], 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*lruEntry[K, V])
+		out = append(out, kv[K, V]{key: e.key, val: e.val})
+	}
+	return out
+}
+
 // len reports the live entry count.
 func (c *lruCache[K, V]) len() int {
 	c.mu.Lock()

@@ -126,14 +126,17 @@ func LeaveOneOut(comm *model.Community, factory RecommenderFactory, topN, maxTri
 		held := liked[rng.Intn(len(liked))]
 		heldVal := a.Ratings[held]
 		delete(a.Ratings, held)
+		a.MarkDirty()
 
 		rec, err := factory(comm)
 		if err != nil {
 			a.Ratings[held] = heldVal
+			a.MarkDirty()
 			return res, fmt.Errorf("eval: factory: %w", err)
 		}
 		recs, err := rec.Recommend(id, topN)
 		a.Ratings[held] = heldVal // restore before error handling
+		a.MarkDirty()
 		if err != nil {
 			return res, fmt.Errorf("eval: recommend for %s: %w", id, err)
 		}
@@ -313,10 +316,12 @@ func PrecisionRecall(comm *model.Community, factory RecommenderFactory, ns []int
 			saved[p] = a.Ratings[p]
 			delete(a.Ratings, p)
 		}
+		a.MarkDirty()
 		restore := func() {
 			for p, v := range saved {
 				a.Ratings[p] = v
 			}
+			a.MarkDirty()
 		}
 
 		rec, err := factory(comm)

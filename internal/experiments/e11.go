@@ -83,20 +83,24 @@ func E11(w io.Writer, p Params) (E11Result, error) {
 			a := comm.Agent(tr.agent)
 			heldVal := a.Ratings[tr.held]
 			delete(a.Ratings, tr.held)
+			a.MarkDirty()
 			rec, err := core.New(comm, core.Options{
 				CF: cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy},
 			})
 			if err != nil {
 				a.Ratings[tr.held] = heldVal
+				a.MarkDirty()
 				return res, err
 			}
 			cands, err := rec.Recommend(tr.agent, candidates)
 			if err != nil {
 				a.Ratings[tr.held] = heldVal
+				a.MarkDirty()
 				return res, err
 			}
 			list := rec.Diversify(cands, topN, theta)
 			a.Ratings[tr.held] = heldVal
+			a.MarkDirty()
 
 			for _, rc := range list {
 				served[rc.Product] = true

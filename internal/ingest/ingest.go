@@ -207,13 +207,14 @@ func (p *Pipeline) replay(from uint64) error {
 	if len(muts) == 0 {
 		return nil
 	}
+	d := deltaOf(p.base, muts)
 	clone := p.base.Clone()
 	for _, m := range muts {
 		if err := Apply(clone, m); err != nil {
 			stats.Add("apply_errors", 1)
 		}
 	}
-	snap, err := p.eng.Swap(clone)
+	snap, err := p.eng.SwapDelta(clone, d)
 	if err != nil {
 		return fmt.Errorf("ingest: replay swap: %w", err)
 	}
@@ -404,13 +405,14 @@ func (p *Pipeline) snapshot() error {
 	if len(p.delta) == 0 {
 		return nil
 	}
+	d := deltaOf(p.base, p.delta)
 	clone := p.base.Clone()
 	for _, m := range p.delta {
 		if err := Apply(clone, m); err != nil {
 			stats.Add("apply_errors", 1)
 		}
 	}
-	snap, err := p.eng.Swap(clone)
+	snap, err := p.eng.SwapDelta(clone, d)
 	if err != nil {
 		// The delta stays pending; a later snapshot retries. This only
 		// happens when a mutation made the community incompatible with
@@ -497,6 +499,43 @@ func (p *Pipeline) drainAppending() {
 			return
 		}
 	}
+}
+
+// deltaOf summarizes a mutation batch against the pre-application base
+// community as an engine.Delta, so the epoch swap can carry over every
+// cache entry the batch cannot have invalidated. Marks are conservative:
+// an upsert that restates the existing value still marks its agent dirty,
+// which costs recomputation but never staleness.
+func deltaOf(base *model.Community, muts []wal.Mutation) *engine.Delta {
+	d := engine.NewDelta()
+	for _, m := range muts {
+		switch m.Op {
+		case wal.OpUpsertAgent:
+			if base.Agent(m.Agent) == nil {
+				d.AgentsAdded = true
+			}
+		case wal.OpUpsertTrust:
+			d.TrustChanged[m.Agent] = true
+			// SetTrust materializes both endpoints.
+			if base.Agent(m.Agent) == nil || base.Agent(m.Peer) == nil {
+				d.AgentsAdded = true
+			}
+		case wal.OpDeleteTrust:
+			d.TrustChanged[m.Agent] = true
+		case wal.OpUpsertRating:
+			d.RatingsChanged[m.Agent] = true
+			if base.Agent(m.Agent) == nil {
+				d.AgentsAdded = true
+			}
+			// Rating an uncataloged product registers a bare entry.
+			if base.Product(m.Product) == nil {
+				d.ProductsChanged = true
+			}
+		case wal.OpDeleteRating:
+			d.RatingsChanged[m.Agent] = true
+		}
+	}
+	return d
 }
 
 // LoadBase loads the community a WAL directory's checkpoint describes.

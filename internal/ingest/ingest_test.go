@@ -566,3 +566,68 @@ func TestConcurrentSubmitWithReaders(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFlushDeltaMatchesFromScratchPipeline is the end-to-end delta-swap
+// correctness gate: after Submit + Flush publish a mutation batch via
+// SwapDelta, every agent's recommendations — whether carried from the
+// previous epoch's caches or recomputed — must equal a from-scratch
+// core.New pipeline over the published community.
+func TestFlushDeltaMatchesFromScratchPipeline(t *testing.T) {
+	comm := testCommunity(t, 40, 60)
+	eng := testEngine(t, comm)
+	p, err := Open(eng, t.TempDir(), lazyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Warm every agent so the swap has state worth carrying.
+	warm := eng.Snapshot()
+	for _, id := range comm.Agents() {
+		if _, err := warm.Recommend(id, 8, engine.Overrides{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range testMutations(comm, 25) {
+		if _, err := p.Submit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := eng.Snapshot()
+	rec, err := core.New(snap.Community(), core.Options{
+		CF: cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range snap.Community().Agents() {
+		got, err := snap.Recommend(id, 8, engine.Overrides{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := rec.Recommend(id, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("agent %s: %d recs, want %d", id, len(got), len(want))
+		}
+		wantScore := make(map[model.ProductID]core.Recommendation, len(want))
+		for _, rc := range want {
+			wantScore[rc.Product] = rc
+		}
+		for _, rc := range got {
+			w, ok := wantScore[rc.Product]
+			if !ok {
+				t.Fatalf("agent %s: unexpected product %s", id, rc.Product)
+			}
+			if rc.Supporters != w.Supporters || rc.Score-w.Score > 1e-9 || w.Score-rc.Score > 1e-9 {
+				t.Fatalf("agent %s product %s: %+v != %+v", id, rc.Product, rc, w)
+			}
+		}
+	}
+}

@@ -22,7 +22,8 @@ package model
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"sync/atomic"
 
 	"swrec/internal/taxonomy"
 )
@@ -74,7 +75,15 @@ type Product struct {
 	Title  string
 	ISBN   string // optional; set for books
 	Topics []taxonomy.Topic
+	// ord is the product's dense per-community ordinal in [0,
+	// NumProducts), assigned at first AddProduct (products are never
+	// deleted). Flat request-scoped accumulators index by it instead of
+	// hashing product IDs.
+	ord int32
 }
+
+// Ord returns the product's dense per-community ordinal (see ord).
+func (p *Product) Ord() int32 { return p.ord }
 
 // Agent is the materialized state of one agent: its partial trust function
 // t_i (map absence = ⊥) and its partial rating function r_i.
@@ -83,6 +92,50 @@ type Agent struct {
 	Name    string // optional display name (foaf:name)
 	Trust   map[AgentID]float64
 	Ratings map[ProductID]float64
+	// peersMemo and ratingsMemo cache the sorted statement views
+	// (TrustedPeers, RatedProducts), which the trust metrics and profile
+	// generation walk once per agent per request. Atomic so concurrent
+	// readers of an immutable snapshot may race on first build: every
+	// build produces the identical sorted slice, so last-store-wins is
+	// benign. Mutators going through the Community setters invalidate;
+	// code that writes the maps directly must call MarkDirty.
+	peersMemo   atomic.Pointer[[]TrustStatement]
+	ratingsMemo atomic.Pointer[[]RatingStatement]
+	posMemo     atomic.Pointer[[]PositiveRating]
+	refsMemo    atomic.Pointer[[]TrustRef]
+	// ord is the agent's dense per-community ordinal in [0, NumAgents),
+	// assigned at materialization (agents are never deleted). Graph
+	// walks index flat tables by it instead of hashing agent IDs.
+	ord int32
+}
+
+// Ord returns the agent's dense per-community ordinal (see ord).
+func (a *Agent) Ord() int32 { return a.ord }
+
+// TrustRef is one trust statement with its target resolved to the
+// community's agent record — the unit trust-graph walks traverse without
+// paying a string-keyed lookup per edge.
+type TrustRef struct {
+	Peer  *Agent
+	Value float64
+}
+
+// PositiveRating is one positively rated, catalog-resolved product of an
+// agent — the unit of profile generation (§3.3), with the product
+// pre-resolved so the hot path pays no catalog lookup.
+type PositiveRating struct {
+	Product *Product
+	Value   float64
+}
+
+// MarkDirty drops the agent's cached derived views. The Community
+// setters call it automatically; callers mutating Trust or Ratings maps
+// directly (evaluation harnesses) must call it themselves afterwards.
+func (a *Agent) MarkDirty() {
+	a.peersMemo.Store(nil)
+	a.ratingsMemo.Store(nil)
+	a.posMemo.Store(nil)
+	a.refsMemo.Store(nil)
 }
 
 // newAgent allocates an empty agent record.
@@ -95,34 +148,108 @@ func newAgent(id AgentID) *Agent {
 }
 
 // TrustedPeers returns the peers a directly trusts or distrusts, sorted by
-// descending value (ties broken by ID for determinism).
+// descending value (ties broken by ID for determinism). The slice is
+// memoized until the agent's trust function changes and must not be
+// modified by the caller.
 func (a *Agent) TrustedPeers() []TrustStatement {
+	if m := a.peersMemo.Load(); m != nil {
+		return *m
+	}
 	out := make([]TrustStatement, 0, len(a.Trust))
 	for dst, v := range a.Trust {
 		out = append(out, TrustStatement{Src: a.ID, Dst: dst, Value: v})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Value != out[j].Value {
-			return out[i].Value > out[j].Value
+	slices.SortFunc(out, func(x, y TrustStatement) int {
+		switch {
+		case x.Value > y.Value:
+			return -1
+		case x.Value < y.Value:
+			return 1
+		case x.Dst < y.Dst:
+			return -1
+		case x.Dst > y.Dst:
+			return 1
+		default:
+			return 0
 		}
-		return out[i].Dst < out[j].Dst
 	})
+	a.peersMemo.Store(&out)
 	return out
 }
 
 // RatedProducts returns the agent's ratings sorted by descending value
-// (ties broken by product ID).
+// (ties broken by product ID). Positive ratings form a prefix, so
+// "appreciated products" scans stop at the first non-positive value. The
+// slice is memoized until the agent's rating function changes and must
+// not be modified by the caller.
 func (a *Agent) RatedProducts() []RatingStatement {
+	if m := a.ratingsMemo.Load(); m != nil {
+		return *m
+	}
 	out := make([]RatingStatement, 0, len(a.Ratings))
 	for p, v := range a.Ratings {
 		out = append(out, RatingStatement{Agent: a.ID, Product: p, Value: v})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Value != out[j].Value {
-			return out[i].Value > out[j].Value
+	slices.SortFunc(out, func(x, y RatingStatement) int {
+		switch {
+		case x.Value > y.Value:
+			return -1
+		case x.Value < y.Value:
+			return 1
+		case x.Product < y.Product:
+			return -1
+		case x.Product > y.Product:
+			return 1
+		default:
+			return 0
 		}
-		return out[i].Product < out[j].Product
 	})
+	a.ratingsMemo.Store(&out)
+	return out
+}
+
+// PositiveRatings returns agent a's positive ratings with their catalog
+// entries resolved, in RatedProducts order (descending value, ties by
+// product ID). Ratings referencing products missing from this catalog
+// are skipped. The slice is memoized on the agent until its ratings
+// change and must not be modified; the product pointers stay valid
+// across catalog metadata refreshes because AddProduct updates records
+// in place.
+func (c *Community) PositiveRatings(a *Agent) []PositiveRating {
+	if m := a.posMemo.Load(); m != nil {
+		return *m
+	}
+	out := make([]PositiveRating, 0, len(a.Ratings))
+	for _, rs := range a.RatedProducts() {
+		if rs.Value <= 0 {
+			break // positives form a prefix
+		}
+		if p := c.products[rs.Product]; p != nil {
+			out = append(out, PositiveRating{Product: p, Value: rs.Value})
+		}
+	}
+	a.posMemo.Store(&out)
+	return out
+}
+
+// TrustRefs returns agent a's trust statements with the targets resolved
+// to this community's agent records, in TrustedPeers order (descending
+// value, ties by ID). Targets are always materialized — SetTrust and
+// Merge register both endpoints — so every statement resolves; a target
+// missing anyway (direct map mutation bypassing the invariant) is
+// skipped. Memoized on the agent until its trust function changes; the
+// slice must not be modified.
+func (c *Community) TrustRefs(a *Agent) []TrustRef {
+	if m := a.refsMemo.Load(); m != nil {
+		return *m
+	}
+	out := make([]TrustRef, 0, len(a.Trust))
+	for _, st := range a.TrustedPeers() {
+		if p := c.agents[st.Dst]; p != nil {
+			out = append(out, TrustRef{Peer: p, Value: st.Value})
+		}
+	}
+	a.refsMemo.Store(&out)
 	return out
 }
 
@@ -166,6 +293,7 @@ func (c *Community) AddAgent(id AgentID) *Agent {
 		return a
 	}
 	a := newAgent(id)
+	a.ord = int32(len(c.agentIDs))
 	c.agents[id] = a
 	c.agentIDs = append(c.agentIDs, id)
 	return a
@@ -185,10 +313,13 @@ func (c *Community) Agents() []AgentID { return c.agentIDs }
 // its metadata (catalogs get refreshed by crawls).
 func (c *Community) AddProduct(p Product) *Product {
 	if old, ok := c.products[p.ID]; ok {
+		ord := old.ord
 		*old = p
+		old.ord = ord // the dense ordinal survives metadata refreshes
 		return old
 	}
 	cp := p
+	cp.ord = int32(len(c.prodIDs))
 	c.products[p.ID] = &cp
 	c.prodIDs = append(c.prodIDs, p.ID)
 	return &cp
@@ -212,7 +343,10 @@ func (c *Community) SetTrust(src, dst AgentID, v float64) error {
 		return fmt.Errorf("%w: trust(%s,%s) = %v", ErrValueRange, src, dst, v)
 	}
 	c.AddAgent(dst)
-	c.AddAgent(src).Trust[dst] = v
+	a := c.AddAgent(src)
+	a.Trust[dst] = v
+	a.peersMemo.Store(nil)
+	a.refsMemo.Store(nil)
 	return nil
 }
 
@@ -235,7 +369,10 @@ func (c *Community) SetRating(agent AgentID, product ProductID, v float64) error
 	if _, ok := c.products[product]; !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownProduct, product)
 	}
-	c.AddAgent(agent).Ratings[product] = v
+	a := c.AddAgent(agent)
+	a.Ratings[product] = v
+	a.ratingsMemo.Store(nil)
+	a.posMemo.Store(nil)
 	return nil
 }
 
@@ -255,6 +392,8 @@ func (c *Community) Rating(agent AgentID, product ProductID) (v float64, ok bool
 func (c *Community) DeleteTrust(src, dst AgentID) {
 	if a := c.agents[src]; a != nil {
 		delete(a.Trust, dst)
+		a.peersMemo.Store(nil)
+		a.refsMemo.Store(nil)
 	}
 }
 
@@ -263,6 +402,8 @@ func (c *Community) DeleteTrust(src, dst AgentID) {
 func (c *Community) DeleteRating(agent AgentID, product ProductID) {
 	if a := c.agents[agent]; a != nil {
 		delete(a.Ratings, product)
+		a.ratingsMemo.Store(nil)
+		a.posMemo.Store(nil)
 	}
 }
 
@@ -286,6 +427,7 @@ func (c *Community) Clone() *Community {
 			Name:    a.Name,
 			Trust:   make(map[AgentID]float64, len(a.Trust)),
 			Ratings: make(map[ProductID]float64, len(a.Ratings)),
+			ord:     a.ord,
 		}
 		for peer, v := range a.Trust {
 			cp.Trust[peer] = v
@@ -409,5 +551,6 @@ func (c *Community) Merge(other *Community) {
 			}
 			dst.Ratings[p] = v
 		}
+		dst.MarkDirty()
 	}
 }

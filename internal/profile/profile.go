@@ -90,17 +90,108 @@ type Generator struct {
 	// splits evenly ("mentioned" books are implicit unit votes), so the
 	// default is false; explicit-rating communities may prefer true.
 	WeightByRating bool
-	// divisor caches, per topic, the Eq. 3 normalization term
-	// Σ_m Π_{j>m} 1/(sib(p_j)+1) for the topic's primary path. Guarded by
-	// divisorMu so one Generator can serve concurrent profile builds (the
-	// serving engine shares a Generator across request goroutines).
-	divisorMu sync.Mutex
-	divisor   map[taxonomy.Topic]float64
+	// tables holds the per-topic primary paths and Eq. 3 normalization
+	// divisors, flattened into shared arenas and built once on first use
+	// (the taxonomy is immutable by the time profiles are generated).
+	// Before these tables existed, every propagation re-derived the path —
+	// one slice allocation per descriptor per product, the single largest
+	// allocation source on the cold serving path.
+	tablesOnce sync.Once
+	pathOff    []int32          // per topic: start of its path in pathArena
+	pathArena  []taxonomy.Topic // concatenated primary paths, root first
+	coeffArena []float64        // per path node: Eq. 3 share coefficient, aligned with pathArena
+	divisors   []float64        // per topic: Eq. 3 path divisor
 }
 
 // New creates a generator over the given taxonomy.
 func New(tax *taxonomy.Taxonomy) *Generator {
-	return &Generator{tax: tax, Score: DefaultScore, divisor: make(map[taxonomy.Topic]float64)}
+	return &Generator{tax: tax, Score: DefaultScore}
+}
+
+// propTables is the flattened path/coefficient table set of one taxonomy
+// at one structural version. Tables are pure functions of the taxonomy
+// structure, so every Generator over the same (unchanged) taxonomy shares
+// one instance — a recommender pipeline built per request no longer pays
+// the O(topics × depth) table derivation.
+type propTables struct {
+	version    uint64
+	pathOff    []int32
+	pathArena  []taxonomy.Topic
+	coeffArena []float64
+	divisors   []float64
+}
+
+var (
+	tablesMu    sync.Mutex
+	tablesCache = map[*taxonomy.Taxonomy]*propTables{}
+)
+
+// tablesCacheBound flushes the shared table cache when it accumulates
+// this many distinct taxonomies — harnesses that build thousands of
+// short-lived taxonomies (datagen sweeps) must not pin them all.
+const tablesCacheBound = 64
+
+// tablesFor returns the shared tables for tax, building them when absent
+// or stale (taxonomy structurally changed since they were derived).
+func tablesFor(tax *taxonomy.Taxonomy) *propTables {
+	tablesMu.Lock()
+	defer tablesMu.Unlock()
+	if t, ok := tablesCache[tax]; ok && t.version == tax.Version() {
+		return t
+	}
+	n := tax.Len()
+	t := &propTables{
+		version:  tax.Version(),
+		pathOff:  make([]int32, n+1),
+		divisors: make([]float64, n),
+	}
+	var scratch []float64
+	for d := 0; d < n; d++ {
+		path := tax.PrimaryPath(taxonomy.Topic(d))
+		t.pathOff[d] = int32(len(t.pathArena))
+		t.pathArena = append(t.pathArena, path...)
+		total, factor := 1.0, 1.0
+		scratch = append(scratch[:0], make([]float64, len(path))...)
+		scratch[len(path)-1] = 1
+		for i := len(path) - 1; i > 0; i-- {
+			factor /= float64(tax.Siblings(path[i]) + 1)
+			scratch[i-1] = factor
+			total += factor
+		}
+		t.divisors[d] = total
+		// The coefficient of path node i is its attenuation factor
+		// over the whole-path divisor: an increment of share units at
+		// descriptor d contributes share·coeff to node i, and the
+		// coefficients of one path sum to 1.
+		for _, f := range scratch {
+			t.coeffArena = append(t.coeffArena, f/total)
+		}
+	}
+	t.pathOff[n] = int32(len(t.pathArena))
+	if len(tablesCache) >= tablesCacheBound {
+		clear(tablesCache)
+	}
+	tablesCache[tax] = t
+	return t
+}
+
+// ensureTables binds the shared flattened path and divisor tables of the
+// generator's taxonomy. The taxonomy must not change afterwards
+// (snapshots freeze it before serving).
+func (g *Generator) ensureTables() {
+	g.tablesOnce.Do(func() {
+		t := tablesFor(g.tax)
+		g.pathOff = t.pathOff
+		g.pathArena = t.pathArena
+		g.coeffArena = t.coeffArena
+		g.divisors = t.divisors
+	})
+}
+
+// pathOf returns topic d's primary path from the shared arena. The slice
+// is shared and must not be modified.
+func (g *Generator) pathOf(d taxonomy.Topic) []taxonomy.Topic {
+	return g.pathArena[g.pathOff[d]:g.pathOff[d+1]]
 }
 
 // Taxonomy returns the taxonomy the generator propagates over.
@@ -111,7 +202,8 @@ func (g *Generator) Taxonomy() *taxonomy.Taxonomy { return g.tax }
 // This is the inner step of profile generation, exported for E1 and for
 // the incremental updates §4's crawlers perform.
 func (g *Generator) PropagateLeaf(out sparse.Vector, d taxonomy.Topic, share float64) {
-	path := g.tax.PrimaryPath(d)
+	g.ensureTables()
+	path := g.pathOf(d)
 	switch g.Mode {
 	case Flat:
 		out.Add(int32(d), share)
@@ -121,34 +213,38 @@ func (g *Generator) PropagateLeaf(out sparse.Vector, d taxonomy.Topic, share flo
 			out.Add(int32(p), per)
 		}
 	default: // Eq3
-		leaf := share / g.pathDivisor(d, path)
-		// Walk from the leaf upward: each super-topic gets its child's
-		// score divided by (sib(child)+1).
-		sco := leaf
-		out.Add(int32(d), sco)
-		for i := len(path) - 1; i > 0; i-- {
-			sco /= float64(g.tax.Siblings(path[i]) + 1)
-			out.Add(int32(path[i-1]), sco)
+		// Each path node receives its precomputed share coefficient:
+		// the leaf keeps share/divisor, each super-topic that divided by
+		// (sib(child)+1) — folded into coeffArena at table-build time.
+		coeff := g.coeffArena[g.pathOff[d]:g.pathOff[d+1]]
+		for i, p := range path {
+			out.Add(int32(p), share*coeff[i])
 		}
 	}
 }
 
-// pathDivisor returns the Eq. 3 normalization 1 + 1/(sib(p_q)+1) +
-// 1/((sib(p_q)+1)(sib(p_{q-1})+1)) + ... so that the path total equals the
-// descriptor share. Cached per topic.
-func (g *Generator) pathDivisor(d taxonomy.Topic, path []taxonomy.Topic) float64 {
-	g.divisorMu.Lock()
-	defer g.divisorMu.Unlock()
-	if v, ok := g.divisor[d]; ok {
-		return v
+// PropagateLeafFunc is PropagateLeaf emitting through add instead of a
+// sparse map — the allocation-free form compiled profile builders
+// (internal/profmat) accumulate through. The increments, their values,
+// and their order are identical to PropagateLeaf's, so a dense
+// accumulation of the add stream reproduces the sparse vector exactly.
+func (g *Generator) PropagateLeafFunc(d taxonomy.Topic, share float64, add func(taxonomy.Topic, float64)) {
+	g.ensureTables()
+	path := g.pathOf(d)
+	switch g.Mode {
+	case Flat:
+		add(d, share)
+	case Uniform:
+		per := share / float64(len(path))
+		for _, p := range path {
+			add(p, per)
+		}
+	default: // Eq3
+		coeff := g.coeffArena[g.pathOff[d]:g.pathOff[d+1]]
+		for i, p := range path {
+			add(p, share*coeff[i])
+		}
 	}
-	total, factor := 1.0, 1.0
-	for i := len(path) - 1; i > 0; i-- {
-		factor /= float64(g.tax.Siblings(path[i]) + 1)
-		total += factor
-	}
-	g.divisor[d] = total
-	return total
 }
 
 // Profile builds the taxonomy score vector of agent a against the catalog.
@@ -166,20 +262,81 @@ func (g *Generator) Profile(a *model.Agent, cat Catalog) sparse.Vector {
 // caller's deadline interrupts profile generation for agents with long
 // rating histories. Returns ctx.Err() (and a nil vector) when cancelled.
 func (g *Generator) ProfileCtx(ctx context.Context, a *model.Agent, cat Catalog) (sparse.Vector, error) {
-	type contrib struct {
-		topics []taxonomy.Topic
-		weight float64
+	var s Streamer
+	s.g = g
+	out := sparse.New(len(a.Ratings) * 4)
+	err := s.Profile(ctx, a, cat, func(d taxonomy.Topic, sco float64) {
+		out.Add(int32(d), sco)
+	})
+	if err != nil {
+		return nil, err
 	}
-	var contribs []contrib
+	return out, nil
+}
+
+// contrib is one product contributing to a profile: its descriptors and
+// its share weight.
+type contrib struct {
+	topics []taxonomy.Topic
+	weight float64
+}
+
+// Streamer streams agents' profile increments through a callback, reusing
+// its scratch buffers across agents so repeated generation (the compiled
+// profile matrix, internal/profmat) allocates nothing per agent. A
+// Streamer is not safe for concurrent use; compiled builders keep one per
+// worker. The increment values and their order are exactly those of
+// ProfileCtx, so accumulating the stream reproduces the map-based vector
+// bit for bit.
+type Streamer struct {
+	g        *Generator
+	contribs []contrib
+}
+
+// NewStreamer returns a Streamer over the generator's taxonomy and
+// propagation settings.
+func (g *Generator) NewStreamer() *Streamer { return &Streamer{g: g} }
+
+// positiveCatalog is the fast path a catalog may offer: *model.Community
+// memoizes the positive, catalog-resolved rating list per agent, so
+// collect skips one string-keyed map lookup per rating.
+type positiveCatalog interface {
+	PositiveRatings(*model.Agent) []model.PositiveRating
+}
+
+// collect gathers agent a's contributing products into the reused
+// contribs buffer and returns the total contribution weight. The
+// contribution order is the positive prefix of RatedProducts (descending
+// value, ties by product ID) — deterministic and memoized on the agent.
+func (s *Streamer) collect(ctx context.Context, a *model.Agent, cat Catalog) (float64, error) {
+	g := s.g
+	s.contribs = s.contribs[:0]
 	var totalWeight float64
+	if pc, ok := cat.(positiveCatalog); ok {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		for _, pr := range pc.PositiveRatings(a) {
+			if len(pr.Product.Topics) == 0 {
+				continue
+			}
+			w := 1.0
+			if g.WeightByRating {
+				w = pr.Value
+			}
+			s.contribs = append(s.contribs, contrib{topics: pr.Product.Topics, weight: w})
+			totalWeight += w
+		}
+		return totalWeight, nil
+	}
 	for i, rs := range a.RatedProducts() {
+		if rs.Value <= 0 {
+			break // positives form a prefix
+		}
 		if i&63 == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return 0, err
 			}
-		}
-		if rs.Value <= 0 {
-			continue
 		}
 		p := cat.Product(rs.Product)
 		if p == nil || len(p.Topics) == 0 {
@@ -189,30 +346,117 @@ func (g *Generator) ProfileCtx(ctx context.Context, a *model.Agent, cat Catalog)
 		if g.WeightByRating {
 			w = rs.Value
 		}
-		contribs = append(contribs, contrib{topics: p.Topics, weight: w})
+		s.contribs = append(s.contribs, contrib{topics: p.Topics, weight: w})
 		totalWeight += w
 	}
-	out := sparse.New(len(contribs) * 8)
+	return totalWeight, nil
+}
+
+// Profile streams agent a's profile: for every topic receiving score, add
+// is called with the increment (topics repeat; callers accumulate).
+// Returns ctx.Err() when cancelled, in which case the stream is partial.
+func (s *Streamer) Profile(ctx context.Context, a *model.Agent, cat Catalog, add func(taxonomy.Topic, float64)) error {
+	g := s.g
+	totalWeight, err := s.collect(ctx, a, cat)
+	if err != nil {
+		return err
+	}
 	if totalWeight == 0 {
-		return out, nil
+		return nil
 	}
 	score := g.Score
 	if score == 0 {
 		score = DefaultScore
 	}
-	for i, c := range contribs {
+	for i, c := range s.contribs {
 		if i&63 == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		productShare := score * c.weight / totalWeight
 		descriptorShare := productShare / float64(len(c.topics))
 		for _, d := range c.topics {
-			g.PropagateLeaf(out, d, descriptorShare)
+			g.PropagateLeafFunc(d, descriptorShare, add)
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// ProfileDense streams agent a's profile directly into a caller-owned
+// dense accumulator: vals[t] collects topic t's total and bit t of the
+// occupancy bitmap marks touched cells. vals must be at least
+// taxonomy-length long and bits at least ⌈len(vals)/64⌉ words; the
+// caller clears the bitmap between agents (a handful of words — the
+// taxonomy-length vals array needs no clearing, occupancy gates every
+// read). Walking the bitmap with bits.TrailingZeros64 enumerates the
+// touched dimensions in ascending order, which is how internal/profmat
+// gathers rows without sorting. The increment values and accumulation
+// order match Profile exactly.
+func (s *Streamer) ProfileDense(ctx context.Context, a *model.Agent, cat Catalog, vals []float64, bm []uint64) error {
+	g := s.g
+	g.ensureTables()
+	totalWeight, err := s.collect(ctx, a, cat)
+	if err != nil {
+		return err
+	}
+	if totalWeight == 0 {
+		return nil
+	}
+	score := g.Score
+	if score == 0 {
+		score = DefaultScore
+	}
+	mode := g.Mode
+	for i, c := range s.contribs {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		productShare := score * c.weight / totalWeight
+		share := productShare / float64(len(c.topics))
+		switch mode {
+		case Flat:
+			for _, d := range c.topics {
+				if w, m := d>>6, uint64(1)<<(uint(d)&63); bm[w]&m == 0 {
+					bm[w] |= m
+					vals[d] = share
+				} else {
+					vals[d] += share
+				}
+			}
+		case Uniform:
+			for _, d := range c.topics {
+				path := g.pathOf(d)
+				per := share / float64(len(path))
+				for _, p := range path {
+					if w, m := p>>6, uint64(1)<<(uint(p)&63); bm[w]&m == 0 {
+						bm[w] |= m
+						vals[p] = per
+					} else {
+						vals[p] += per
+					}
+				}
+			}
+		default: // Eq3
+			for _, d := range c.topics {
+				off, end := g.pathOff[d], g.pathOff[d+1]
+				path := g.pathArena[off:end]
+				coeff := g.coeffArena[off:end]
+				for k, p := range path {
+					v := share * coeff[k]
+					if w, m := p>>6, uint64(1)<<(uint(p)&63); bm[w]&m == 0 {
+						bm[w] |= m
+						vals[p] = v
+					} else {
+						vals[p] += v
+					}
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // ProductVector returns the agent's plain product-rating vector over the

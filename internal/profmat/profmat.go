@@ -1,0 +1,458 @@
+// Package profmat compiles a community's taxonomy interest profiles
+// (internal/profile, Eq. 3) into a per-snapshot CSR matrix: one row per
+// agent, sorted int32 topic dimensions beside float64 scores in shared
+// backing arenas, with the row norm, entry sum and nnz precomputed. The
+// map-based sparse.Vector representation is ideal for incremental
+// accumulation but pays a hash lookup per touched dimension and a heap
+// allocation per profile; the compiled form costs one dense-scratch pass
+// per agent at snapshot build time and makes every later similarity a
+// zero-allocation merge-join over two sorted postings lists.
+//
+// Rows are immutable once built. Delta rebuilds (BuildDelta) carry the
+// unchanged rows of the previous matrix by value — the carried slices
+// alias the old arenas, which the garbage collector keeps alive for as
+// long as any row references them — so an epoch swap after a small ingest
+// batch recompiles only the dirty agents.
+package profmat
+
+import (
+	"context"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"swrec/internal/model"
+	"swrec/internal/profile"
+	"swrec/internal/sparse"
+)
+
+// Row is one agent's compiled profile: parallel slices of sorted
+// dimension ids and scores, plus the aggregates every similarity kernel
+// would otherwise recompute. The zero value is an empty profile.
+type Row struct {
+	Keys []int32   // sorted ascending, no duplicates
+	Vals []float64 // Vals[i] is the score of dimension Keys[i]
+	Norm float64   // Euclidean norm over the entries
+	Sum  float64   // plain sum over the entries
+}
+
+// NNZ returns the number of stored dimensions.
+func (r *Row) NNZ() int { return len(r.Keys) }
+
+// Mean returns the mean over the stored entries (0 for an empty row).
+func (r *Row) Mean() float64 {
+	if len(r.Keys) == 0 {
+		return 0
+	}
+	return r.Sum / float64(len(r.Keys))
+}
+
+// Matrix is the compiled profile matrix of one snapshot. It is immutable
+// after Build/BuildDelta and safe for concurrent readers. It deliberately
+// holds no reference to the community it was compiled from: rows are
+// self-contained, so an old matrix pins only its own arenas, not an
+// entire superseded epoch.
+type Matrix struct {
+	idx  map[model.AgentID]int32
+	rows []Row
+	// built counts the rows compiled from scratch (vs carried from a
+	// previous matrix) — observability for the delta-swap path.
+	built int
+}
+
+// Len returns the number of rows.
+func (m *Matrix) Len() int { return len(m.rows) }
+
+// Built returns how many rows were compiled from scratch (the rest were
+// carried over from the previous epoch's matrix).
+func (m *Matrix) Built() int { return m.built }
+
+// Row returns agent id's compiled row, or nil when the agent is unknown.
+func (m *Matrix) Row(id model.AgentID) *Row {
+	if m == nil {
+		return nil
+	}
+	i, ok := m.idx[id]
+	if !ok {
+		return nil
+	}
+	return &m.rows[i]
+}
+
+// Source is the community view Build compiles from; *model.Community
+// satisfies it. Kept as an interface parameter (not a struct field) so a
+// matrix never pins a community snapshot.
+type Source interface {
+	Agents() []model.AgentID
+	Agent(model.AgentID) *model.Agent
+	Product(model.ProductID) *model.Product
+}
+
+// builder is per-worker scratch: a dense score accumulator over the
+// dimension space with a word-packed occupancy bitmap, so clearing
+// between agents is O(dims/64) words and the gather pass enumerates the
+// touched dimensions in ascending order straight off the bitmap — no
+// per-agent sort, no full accumulator scan.
+type builder struct {
+	st   *profile.Streamer
+	acc  []float64 // dense score accumulator, gated by bm
+	bm   []uint64  // occupancy bitmap, one bit per dimension
+	keys []int32   // arena this worker appends compiled keys into
+	vals []float64
+}
+
+// rowCapHint sizes a worker's arenas up front: the expected nnz per row
+// times the rows the worker will compile. Underestimates grow normally;
+// the point is skipping the doubling churn from zero, which at 400
+// agents a build otherwise re-copies the arenas ~15 times.
+const rowCapHint = 48
+
+func newBuilder(gen *profile.Generator, dims, nrows int) *builder {
+	return &builder{
+		st:   gen.NewStreamer(),
+		acc:  make([]float64, dims),
+		bm:   make([]uint64, (dims+63)/64),
+		keys: make([]int32, 0, nrows*rowCapHint),
+		vals: make([]float64, 0, nrows*rowCapHint),
+	}
+}
+
+// compile builds agent a's row into the worker arenas and returns it.
+// The accumulation order is exactly the Streamer's increment stream —
+// the same order profile.ProfileCtx feeds its map — so the per-dimension
+// totals are bit-identical to the map-based profile.
+func (b *builder) compile(ctx context.Context, a *model.Agent, cat profile.Catalog) (Row, error) {
+	clear(b.bm)
+	if err := b.st.ProfileDense(ctx, a, cat, b.acc, b.bm); err != nil {
+		return Row{}, err
+	}
+	start := len(b.keys)
+	var norm2, sum float64
+	for wi, w := range b.bm {
+		base := int32(wi << 6)
+		for w != 0 {
+			d := base + int32(bits.TrailingZeros64(w))
+			w &= w - 1
+			v := b.acc[d]
+			b.keys = append(b.keys, d)
+			b.vals = append(b.vals, v)
+			norm2 += v * v
+			sum += v
+		}
+	}
+	return Row{
+		Keys: b.keys[start:len(b.keys):len(b.keys)],
+		Vals: b.vals[start:len(b.vals):len(b.vals)],
+		Norm: math.Sqrt(norm2),
+		Sum:  sum,
+	}, nil
+}
+
+// Build compiles every agent of src into a fresh matrix. dims is the
+// dimension-space size (taxonomy length for taxonomy/flat-category
+// profiles). workers bounds the compile parallelism; values below 1 mean
+// GOMAXPROCS. The build is cancellable: on ctx expiry the partial matrix
+// is discarded and ctx.Err() returned.
+func Build(ctx context.Context, src Source, gen *profile.Generator, dims, workers int) (*Matrix, error) {
+	return BuildDelta(ctx, src, gen, dims, workers, nil, nil)
+}
+
+// BuildDelta compiles a matrix carrying over the rows of prev for agents
+// where dirty reports false. A nil prev or nil dirty compiles everything
+// from scratch. Carried rows alias the previous arenas; dirty and new
+// agents are recompiled. The agent set is taken from src, so agents
+// deleted since prev simply drop out.
+func BuildDelta(ctx context.Context, src Source, gen *profile.Generator, dims, workers int, prev *Matrix, dirty func(model.AgentID) bool) (*Matrix, error) {
+	ids := src.Agents()
+	m := &Matrix{
+		idx:  make(map[model.AgentID]int32, len(ids)),
+		rows: make([]Row, len(ids)),
+	}
+	var todo []int32 // row indices that need compiling
+	for i, id := range ids {
+		m.idx[id] = int32(i)
+		if prev != nil && dirty != nil && !dirty(id) {
+			if r := prev.Row(id); r != nil {
+				m.rows[i] = *r
+				continue
+			}
+		}
+		todo = append(todo, int32(i))
+	}
+	m.built = len(todo)
+	if len(todo) == 0 {
+		return m, nil
+	}
+
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers <= 1 {
+		b := newBuilder(gen, dims, len(todo))
+		for _, ri := range todo {
+			row, err := b.compile(ctx, src.Agent(ids[ri]), src)
+			if err != nil {
+				return nil, err
+			}
+			m.rows[ri] = row
+		}
+		return m, nil
+	}
+
+	// Contiguous chunks, one builder (and arena pair) per worker: each
+	// worker writes a disjoint range of m.rows, so no locking is needed,
+	// and the compiled contents are deterministic regardless of
+	// scheduling because every row depends only on its own agent.
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (len(todo) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(todo))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			b := newBuilder(gen, dims, hi-lo)
+			for _, ri := range todo[lo:hi] {
+				row, err := b.compile(ctx, src.Agent(ids[ri]), src)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				m.rows[ri] = row
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// FromVector compiles a single sparse vector into a standalone row —
+// the bridge the differential tests and map-based fallbacks use.
+func FromVector(v sparse.Vector) Row {
+	es := v.Entries()
+	r := Row{
+		Keys: make([]int32, len(es)),
+		Vals: make([]float64, len(es)),
+	}
+	var norm2 float64
+	for i, e := range es {
+		r.Keys[i] = e.Key
+		r.Vals[i] = e.Value
+		norm2 += e.Value * e.Value
+		r.Sum += e.Value
+	}
+	r.Norm = math.Sqrt(norm2)
+	return r
+}
+
+// Dot returns the inner product of two rows as a merge-join over the
+// sorted postings — zero allocations, no hashing.
+func Dot(a, b *Row) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a.Keys) && j < len(b.Keys) {
+		ka, kb := a.Keys[i], b.Keys[j]
+		switch {
+		case ka == kb:
+			s += a.Vals[i] * b.Vals[j]
+			i++
+			j++
+		case ka < kb:
+			i++
+		default:
+			j++
+		}
+	}
+	return s
+}
+
+// Overlap returns the number of dimensions present in both rows.
+func Overlap(a, b *Row) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a.Keys) && j < len(b.Keys) {
+		ka, kb := a.Keys[i], b.Keys[j]
+		switch {
+		case ka == kb:
+			n++
+			i++
+			j++
+		case ka < kb:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// Cosine is sparse.Cosine over compiled rows: missing entries count as
+// zero, and ok is false when either norm is zero. The norms come from
+// the precomputed row aggregates.
+func Cosine(a, b *Row) (sim float64, ok bool) {
+	if a.Norm == 0 || b.Norm == 0 {
+		return 0, false
+	}
+	return clamp(Dot(a, b) / (a.Norm * b.Norm)), true
+}
+
+// Pearson is sparse.Pearson over compiled rows: the correlation over the
+// co-present dimensions, undefined (ok=false) below two overlapping
+// dimensions or under zero variance. Two merge passes, zero allocations.
+func Pearson(a, b *Row) (sim float64, ok bool) {
+	var n int
+	var sa, sb float64
+	i, j := 0, 0
+	for i < len(a.Keys) && j < len(b.Keys) {
+		ka, kb := a.Keys[i], b.Keys[j]
+		switch {
+		case ka == kb:
+			n++
+			sa += a.Vals[i]
+			sb += b.Vals[j]
+			i++
+			j++
+		case ka < kb:
+			i++
+		default:
+			j++
+		}
+	}
+	if n < 2 {
+		return 0, false
+	}
+	ma, mb := sa/float64(n), sb/float64(n)
+	var cov, va, vb float64
+	i, j = 0, 0
+	for i < len(a.Keys) && j < len(b.Keys) {
+		ka, kb := a.Keys[i], b.Keys[j]
+		switch {
+		case ka == kb:
+			x, y := a.Vals[i], b.Vals[j]
+			cov += (x - ma) * (y - mb)
+			va += (x - ma) * (x - ma)
+			vb += (y - mb) * (y - mb)
+			i++
+			j++
+		case ka < kb:
+			i++
+		default:
+			j++
+		}
+	}
+	if va == 0 || vb == 0 {
+		return 0, false
+	}
+	return clamp(cov / math.Sqrt(va*vb)), true
+}
+
+// Scratch is a reusable dense image of one compiled row for batch
+// similarity scans: Load scatters the row once, then CosineTo/PearsonTo
+// against each peer run in a single pass over the peer's postings with
+// O(1) lookups in place of the merge-join's two-cursor walk. The
+// products and their summation order are identical to the merge-join
+// kernels (ascending common-dimension order), so the results are
+// bit-for-bit the same. Occupancy is generation-stamped, making a
+// re-Load O(nnz). Load is not safe for concurrent use, but any number
+// of goroutines may call CosineTo/PearsonTo concurrently after a Load —
+// they only read.
+type Scratch struct {
+	vals  []float64
+	stamp []int32
+	gen   int32
+	row   *Row // the loaded row, source of the precomputed norm
+}
+
+// NewScratch returns a scratch covering dims dimensions — every key of
+// every row passed to Load/CosineTo/PearsonTo must be below dims.
+func NewScratch(dims int) *Scratch {
+	return &Scratch{vals: make([]float64, dims), stamp: make([]int32, dims)}
+}
+
+// Dims returns the dimension capacity.
+func (s *Scratch) Dims() int { return len(s.vals) }
+
+// Load scatters r into the dense image, replacing any previous load.
+func (s *Scratch) Load(r *Row) {
+	s.gen++
+	if s.gen == 0 { // int32 wraparound: reset stamps once per 4G loads
+		clear(s.stamp)
+		s.gen = 1
+	}
+	for k, key := range r.Keys {
+		s.vals[key] = r.Vals[k]
+		s.stamp[key] = s.gen
+	}
+	s.row = r
+}
+
+// CosineTo returns Cosine(loaded, b).
+func (s *Scratch) CosineTo(b *Row) (sim float64, ok bool) {
+	a := s.row
+	if a.Norm == 0 || b.Norm == 0 {
+		return 0, false
+	}
+	g := s.gen
+	var dot float64
+	for k, key := range b.Keys {
+		if s.stamp[key] == g {
+			dot += s.vals[key] * b.Vals[k]
+		}
+	}
+	return clamp(dot / (a.Norm * b.Norm)), true
+}
+
+// PearsonTo returns Pearson(loaded, b).
+func (s *Scratch) PearsonTo(b *Row) (sim float64, ok bool) {
+	g := s.gen
+	var n int
+	var sa, sb float64
+	for k, key := range b.Keys {
+		if s.stamp[key] == g {
+			n++
+			sa += s.vals[key]
+			sb += b.Vals[k]
+		}
+	}
+	if n < 2 {
+		return 0, false
+	}
+	ma, mb := sa/float64(n), sb/float64(n)
+	var cov, va, vb float64
+	for k, key := range b.Keys {
+		if s.stamp[key] == g {
+			x, y := s.vals[key], b.Vals[k]
+			cov += (x - ma) * (y - mb)
+			va += (x - ma) * (x - ma)
+			vb += (y - mb) * (y - mb)
+		}
+	}
+	if va == 0 || vb == 0 {
+		return 0, false
+	}
+	return clamp(cov / math.Sqrt(va*vb)), true
+}
+
+// clamp bounds floating-point drift into [-1, 1], mirroring sparse.clamp.
+func clamp(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	if x < -1 {
+		return -1
+	}
+	return x
+}

@@ -203,3 +203,40 @@ func TestCosineScaleInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTopKTieDeterminism stresses the tie rule: Go map iteration order is
+// randomized per traversal, so without the explicit key tiebreak a vector
+// with duplicated values would return different prefixes run to run. The
+// result must be identical across repeated calls and equal to the k-prefix
+// of the fully sorted entry list.
+func TestTopKTieDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		v := New(0)
+		// Quantize values onto a few levels to force heavy ties.
+		for i := 0; i < 200; i++ {
+			v.Add(int32(rng.Intn(1000)), float64(rng.Intn(4))/4)
+		}
+		full := v.TopK(0)
+		for i := 1; i < len(full); i++ {
+			a, b := full[i-1], full[i]
+			if a.Value < b.Value || (a.Value == b.Value && a.Key >= b.Key) {
+				t.Fatalf("trial %d: order violated at %d: %v then %v", trial, i, a, b)
+			}
+		}
+		for _, k := range []int{1, 3, 17, len(full)} {
+			for rep := 0; rep < 5; rep++ {
+				got := v.TopK(k)
+				if len(got) != k {
+					t.Fatalf("trial %d: TopK(%d) returned %d entries", trial, k, len(got))
+				}
+				for i := range got {
+					if got[i] != full[i] {
+						t.Fatalf("trial %d rep %d: TopK(%d)[%d] = %v, want %v (ties must break by key)",
+							trial, rep, k, i, got[i], full[i])
+					}
+				}
+			}
+		}
+	}
+}

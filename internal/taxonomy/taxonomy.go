@@ -54,8 +54,9 @@ type node struct {
 // Taxonomy is the global classification scheme. It is not safe for
 // concurrent mutation; concurrent reads are safe once construction is done.
 type Taxonomy struct {
-	nodes  []node
-	byPath map[string]Topic // qualified name -> topic
+	nodes   []node
+	byPath  map[string]Topic // qualified name -> topic
+	version uint64           // bumped by every structural mutation
 }
 
 // New creates a taxonomy containing only the top element, named rootName
@@ -70,6 +71,12 @@ func New(rootName string) *Taxonomy {
 
 // Len returns the number of topics including the root.
 func (t *Taxonomy) Len() int { return len(t.nodes) }
+
+// Version returns a counter that changes with every structural mutation
+// (Add, AddEdge). Derived structures computed from a frozen taxonomy —
+// e.g. the profile generator's flattened propagation tables — key their
+// caches on it to detect staleness.
+func (t *Taxonomy) Version() uint64 { return t.version }
 
 // Name returns the local (unqualified) name of a topic.
 func (t *Taxonomy) Name(d Topic) string {
@@ -113,6 +120,7 @@ func (t *Taxonomy) Add(parent Topic, name string) (Topic, error) {
 	t.nodes = append(t.nodes, node{name: name, parents: []Topic{parent}})
 	t.nodes[parent].children = append(t.nodes[parent].children, d)
 	t.byPath[qname] = d
+	t.version++
 	return d, nil
 }
 
@@ -167,6 +175,7 @@ func (t *Taxonomy) AddEdge(parent, d Topic) error {
 	}
 	t.nodes[d].parents = append(t.nodes[d].parents, parent)
 	t.nodes[parent].children = append(t.nodes[parent].children, d)
+	t.version++
 	return nil
 }
 

@@ -98,14 +98,18 @@ func (o AppleseedOptions) validate() error {
 	return nil
 }
 
-// appleseedNode is the mutable per-node state of one computation.
+// appleseedNode is the mutable per-node state of one computation. Nodes
+// live in one contiguous slab indexed by discovery order — pointer-free,
+// so a 400-node computation costs a handful of slab growths instead of
+// one allocation per node.
 type appleseedNode struct {
 	id    model.AgentID
 	in    float64 // energy received this pass
 	inNew float64 // energy accumulating for next pass
 	rank  float64 // trust rank accumulated so far
-	// succ holds the node's positive out-edges discovered so far, as
-	// (target index, weight^q) with the precomputed normalization total.
+	// succ holds the node's out-edges, built once at fetch time: the
+	// virtual backward edge (if any) first, then the positive statements
+	// as (target index, weight^q), with the normalization total.
 	succ      []appleseedEdge
 	succTotal float64
 	fetched   bool // trust statements already pulled from the Network
@@ -145,12 +149,37 @@ func AppleseedCtx(ctx context.Context, net Network, source model.AgentID, opt Ap
 		return nil, err
 	}
 
-	idx := map[model.AgentID]int{source: 0}
-	nodes := []*appleseedNode{{id: source, in: opt.Injection}}
+	// Community-backed networks expose resolved, densely-interned edges:
+	// take the hash-free walk. Unknown sources fall through to the
+	// generic path, which yields the canonical empty neighborhood.
+	if rn, ok := net.(refNetwork); ok {
+		if src := rn.AgentRef(source); src != nil {
+			return appleseedRefs(ctx, rn, src, opt)
+		}
+	}
 
-	// discover returns the index for id, registering it (with its virtual
-	// backward edge) the first time; full==true when MaxNodes forbids new
-	// nodes.
+	// Pre-size the node slab and index to the graph bound when the
+	// network exposes one (community adapters do), capped by the
+	// expansion range — growth reallocations dominate the metric's
+	// allocation profile otherwise.
+	hint := 256
+	if sh, ok := net.(sizeHinter); ok {
+		if n := sh.NumAgents() + 1; n > 0 {
+			hint = n
+		}
+	}
+	if opt.MaxNodes > 0 && hint > opt.MaxNodes+1 {
+		hint = opt.MaxNodes + 1
+	}
+	idx := make(map[model.AgentID]int, hint)
+	idx[source] = 0
+	nodes := make([]appleseedNode, 1, hint)
+	nodes[0] = appleseedNode{id: source, in: opt.Injection}
+
+	// discover returns the index for id, registering it the first time;
+	// ok==false when MaxNodes forbids new nodes. Out-edges (including the
+	// virtual backward edge) are attached lazily at fetch time — only
+	// nodes that actually receive energy pay for an edge list.
 	discover := func(id model.AgentID) (int, bool) {
 		if i, ok := idx[id]; ok {
 			return i, true
@@ -160,18 +189,15 @@ func AppleseedCtx(ctx context.Context, net Network, source model.AgentID, opt Ap
 		}
 		i := len(nodes)
 		idx[id] = i
-		n := &appleseedNode{id: id}
-		if !opt.NoBackprop {
-			n.succ = append(n.succ, appleseedEdge{to: 0, w: 1})
-			n.succTotal = 1
-		}
-		nodes = append(nodes, n)
+		nodes = append(nodes, appleseedNode{id: id})
 		return i, true
 	}
 
 	// fetch pulls x's trust statements from the network once and attaches
-	// its positive out-edges. Negative statements never propagate energy;
-	// they are recorded for the optional post-convergence penalty.
+	// its out-edges in one pre-sized slice: the backward edge first (as
+	// discover used to order it), then the positive statements. Negative
+	// statements never propagate energy; they are recorded for the
+	// optional post-convergence penalty.
 	type negEdge struct {
 		from int
 		to   model.AgentID
@@ -179,15 +205,23 @@ func AppleseedCtx(ctx context.Context, net Network, source model.AgentID, opt Ap
 	}
 	var negEdges []negEdge
 	explored := 0
+	linearWeights := opt.NormExponent == 1
 	fetch := func(xi int) {
-		x := nodes[xi]
-		if x.fetched {
+		if nodes[xi].fetched {
 			return
 		}
-		x.fetched = true
+		nodes[xi].fetched = true
 		explored++
-		for _, st := range net.Peers(x.id) {
-			if st.Dst == x.id {
+		stmts := net.Peers(nodes[xi].id)
+		succ := make([]appleseedEdge, 0, len(stmts)+1)
+		var total float64
+		if xi != 0 && !opt.NoBackprop {
+			succ = append(succ, appleseedEdge{to: 0, w: 1})
+			total = 1
+		}
+		self := nodes[xi].id
+		for _, st := range stmts {
+			if st.Dst == self {
 				continue
 			}
 			if st.Value <= 0 {
@@ -196,14 +230,19 @@ func AppleseedCtx(ctx context.Context, net Network, source model.AgentID, opt Ap
 				}
 				continue
 			}
-			yi, ok := discover(st.Dst)
+			yi, ok := discover(st.Dst) // may grow the slab; index access only below
 			if !ok || yi == xi {
 				continue
 			}
-			w := math.Pow(st.Value, opt.NormExponent)
-			x.succ = append(x.succ, appleseedEdge{to: yi, w: w})
-			x.succTotal += w
+			w := st.Value
+			if !linearWeights {
+				w = math.Pow(st.Value, opt.NormExponent)
+			}
+			succ = append(succ, appleseedEdge{to: yi, w: w})
+			total += w
 		}
+		nodes[xi].succ = succ
+		nodes[xi].succTotal = total
 	}
 
 	d := opt.SpreadingFactor
@@ -217,11 +256,11 @@ func AppleseedCtx(ctx context.Context, net Network, source model.AgentID, opt Ap
 		// receiving energy now and are processed next pass.
 		live := len(nodes)
 		for xi := 0; xi < live; xi++ {
-			x := nodes[xi]
-			if x.in == 0 {
+			if nodes[xi].in == 0 {
 				continue
 			}
-			fetch(xi)
+			fetch(xi) // may grow the slab: re-take the pointer after
+			x := &nodes[xi]
 			energy := x.in
 			x.in = 0
 			if xi != 0 { // the source hoards no rank
@@ -235,13 +274,14 @@ func AppleseedCtx(ctx context.Context, net Network, source model.AgentID, opt Ap
 				// like rank sinks in spreading activation models.
 				continue
 			}
+			m := d * energy / x.succTotal
 			for _, e := range x.succ {
-				nodes[e.to].inNew += d * energy * e.w / x.succTotal
+				nodes[e.to].inNew += m * e.w
 			}
 		}
-		for _, n := range nodes {
-			n.in += n.inNew
-			n.inNew = 0
+		for i := range nodes {
+			nodes[i].in += nodes[i].inNew
+			nodes[i].inNew = 0
 		}
 		if maxDelta < opt.Threshold && iterations > 0 {
 			break
@@ -252,9 +292,9 @@ func AppleseedCtx(ctx context.Context, net Network, source model.AgentID, opt Ap
 	// distruster's own standing.
 	if opt.DistrustPenalty > 0 && len(negEdges) > 0 {
 		maxRank := 0.0
-		for _, n := range nodes[1:] {
-			if n.rank > maxRank {
-				maxRank = n.rank
+		for i := 1; i < len(nodes); i++ {
+			if nodes[i].rank > maxRank {
+				maxRank = nodes[i].rank
 			}
 		}
 		for _, e := range negEdges {
@@ -278,9 +318,10 @@ func AppleseedCtx(ctx context.Context, net Network, source model.AgentID, opt Ap
 	}
 
 	// Collect ranks; optionally drop peers the source explicitly
-	// distrusts.
-	distrusted := map[model.AgentID]bool{}
+	// distrusts. (Lookups in the nil map are fine when the option is off.)
+	var distrusted map[model.AgentID]bool
 	if opt.RespectDistrust {
+		distrusted = make(map[model.AgentID]bool)
 		for _, st := range net.Peers(source) {
 			if st.Value < 0 {
 				distrusted[st.Dst] = true
@@ -288,11 +329,191 @@ func AppleseedCtx(ctx context.Context, net Network, source model.AgentID, opt Ap
 		}
 	}
 	nb := &Neighborhood{Source: source, Iterations: iterations, Explored: explored}
-	for _, n := range nodes[1:] {
-		if n.rank <= 0 || distrusted[n.id] {
+	nb.Ranks = make([]Rank, 0, len(nodes)-1)
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i].rank <= 0 || distrusted[nodes[i].id] {
 			continue
 		}
-		nb.Ranks = append(nb.Ranks, Rank{Agent: n.id, Trust: n.rank})
+		nb.Ranks = append(nb.Ranks, Rank{Agent: nodes[i].id, Trust: nodes[i].rank})
+	}
+	sortRanks(nb.Ranks)
+	return nb, nil
+}
+
+// appleseedRefNode is the per-node state of the refs-based walk: the
+// same fields as appleseedNode with the agent resolved to its record.
+type appleseedRefNode struct {
+	ref       *model.Agent
+	in        float64
+	inNew     float64
+	rank      float64
+	succ      []appleseedEdge
+	succTotal float64
+	fetched   bool
+}
+
+// appleseedRefs is AppleseedCtx over a refNetwork: identical update
+// rule, iteration order, and convergence test, but node discovery and
+// edge traversal index a flat ordinal table instead of hashing string
+// agent IDs — on community-sized neighborhoods this removes thousands
+// of map operations per computation. opt must already be defaulted and
+// validated.
+func appleseedRefs(ctx context.Context, net refNetwork, src *model.Agent, opt AppleseedOptions) (*Neighborhood, error) {
+	hint := net.NumAgents() + 1
+	if opt.MaxNodes > 0 && hint > opt.MaxNodes+1 {
+		hint = opt.MaxNodes + 1
+	}
+	// idx[ord] is the node index + 1 of the agent with that ordinal
+	// (0 = undiscovered) — the community interns agents densely, so the
+	// table covers every reachable agent.
+	idx := make([]int32, net.NumAgents())
+	nodes := make([]appleseedRefNode, 1, hint)
+	nodes[0] = appleseedRefNode{ref: src, in: opt.Injection}
+	idx[src.Ord()] = 1
+
+	discover := func(ref *model.Agent) (int, bool) {
+		if i := idx[ref.Ord()]; i != 0 {
+			return int(i) - 1, true
+		}
+		if opt.MaxNodes > 0 && len(nodes) >= opt.MaxNodes+1 {
+			return 0, false
+		}
+		i := len(nodes)
+		idx[ref.Ord()] = int32(i) + 1
+		nodes = append(nodes, appleseedRefNode{ref: ref})
+		return i, true
+	}
+
+	type negEdge struct {
+		from int
+		to   *model.Agent
+		w    float64 // |t_x(y)|
+	}
+	var negEdges []negEdge
+	explored := 0
+	linearWeights := opt.NormExponent == 1
+	fetch := func(xi int) {
+		if nodes[xi].fetched {
+			return
+		}
+		nodes[xi].fetched = true
+		explored++
+		refs := net.PeerRefs(nodes[xi].ref)
+		succ := make([]appleseedEdge, 0, len(refs)+1)
+		var total float64
+		if xi != 0 && !opt.NoBackprop {
+			succ = append(succ, appleseedEdge{to: 0, w: 1})
+			total = 1
+		}
+		self := nodes[xi].ref
+		for _, pr := range refs {
+			if pr.Peer == self {
+				continue
+			}
+			if pr.Value <= 0 {
+				if pr.Value < 0 && opt.DistrustPenalty > 0 {
+					negEdges = append(negEdges, negEdge{from: xi, to: pr.Peer, w: -pr.Value})
+				}
+				continue
+			}
+			yi, ok := discover(pr.Peer) // may grow the slab; index access only below
+			if !ok || yi == xi {
+				continue
+			}
+			w := pr.Value
+			if !linearWeights {
+				w = math.Pow(pr.Value, opt.NormExponent)
+			}
+			succ = append(succ, appleseedEdge{to: yi, w: w})
+			total += w
+		}
+		nodes[xi].succ = succ
+		nodes[xi].succTotal = total
+	}
+
+	d := opt.SpreadingFactor
+	iterations := 0
+	for ; iterations < opt.MaxIterations; iterations++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		maxDelta := 0.0
+		live := len(nodes)
+		for xi := 0; xi < live; xi++ {
+			if nodes[xi].in == 0 {
+				continue
+			}
+			fetch(xi) // may grow the slab: re-take the pointer after
+			x := &nodes[xi]
+			energy := x.in
+			x.in = 0
+			if xi != 0 { // the source hoards no rank
+				x.rank += (1 - d) * energy
+				if delta := (1 - d) * energy; delta > maxDelta {
+					maxDelta = delta
+				}
+			}
+			if x.succTotal == 0 {
+				continue
+			}
+			m := d * energy / x.succTotal
+			for _, e := range x.succ {
+				nodes[e.to].inNew += m * e.w
+			}
+		}
+		for i := range nodes {
+			nodes[i].in += nodes[i].inNew
+			nodes[i].inNew = 0
+		}
+		if maxDelta < opt.Threshold && iterations > 0 {
+			break
+		}
+	}
+
+	if opt.DistrustPenalty > 0 && len(negEdges) > 0 {
+		maxRank := 0.0
+		for i := 1; i < len(nodes); i++ {
+			if nodes[i].rank > maxRank {
+				maxRank = nodes[i].rank
+			}
+		}
+		for _, e := range negEdges {
+			ni := idx[e.to.Ord()]
+			if ni <= 1 {
+				continue // never positively reached, or the source itself
+			}
+			yi := int(ni) - 1
+			normRank := 1.0 // the source's word counts fully
+			if e.from != 0 {
+				if maxRank == 0 {
+					continue
+				}
+				normRank = nodes[e.from].rank / maxRank
+			}
+			factor := 1 - opt.DistrustPenalty*normRank*e.w
+			if factor < 0 {
+				factor = 0
+			}
+			nodes[yi].rank *= factor
+		}
+	}
+
+	var distrusted map[*model.Agent]bool
+	if opt.RespectDistrust {
+		distrusted = make(map[*model.Agent]bool)
+		for _, pr := range net.PeerRefs(src) {
+			if pr.Value < 0 {
+				distrusted[pr.Peer] = true
+			}
+		}
+	}
+	nb := &Neighborhood{Source: src.ID, Iterations: iterations, Explored: explored}
+	nb.Ranks = make([]Rank, 0, len(nodes)-1)
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i].rank <= 0 || distrusted[nodes[i].ref] {
+			continue
+		}
+		nb.Ranks = append(nb.Ranks, Rank{Agent: nodes[i].ref.ID, Trust: nodes[i].rank})
 	}
 	sortRanks(nb.Ranks)
 	return nb, nil

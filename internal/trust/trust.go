@@ -25,7 +25,7 @@
 package trust
 
 import (
-	"sort"
+	"slices"
 
 	"swrec/internal/model"
 )
@@ -55,6 +55,32 @@ func (n communityNet) Peers(a model.AgentID) []model.TrustStatement {
 	return ag.TrustedPeers()
 }
 
+// NumAgents bounds the explorable node count, letting metrics pre-size
+// their frontier structures (see sizeHinter).
+func (n communityNet) NumAgents() int { return n.c.NumAgents() }
+
+// AgentRef resolves an agent ID to its community record (nil if unknown).
+func (n communityNet) AgentRef(a model.AgentID) *model.Agent { return n.c.Agent(a) }
+
+// PeerRefs returns a's trust statements with resolved, densely-interned
+// targets — the allocation- and hash-free edge list of refNetwork.
+func (n communityNet) PeerRefs(a *model.Agent) []model.TrustRef { return n.c.TrustRefs(a) }
+
+// sizeHinter is the optional Network capability of bounded graphs: the
+// number of agents a full exploration could possibly discover.
+type sizeHinter interface {
+	NumAgents() int
+}
+
+// refNetwork is the optional Network fast path community adapters offer:
+// trust edges resolved to densely-interned agent records, so graph walks
+// index flat tables by Agent.Ord instead of hashing string IDs per edge.
+type refNetwork interface {
+	AgentRef(model.AgentID) *model.Agent
+	PeerRefs(*model.Agent) []model.TrustRef
+	NumAgents() int
+}
+
 // Rank is one entry of a computed trust neighborhood: the peer and its
 // continuous trust rank (metric-specific scale; only the ordering and
 // relative magnitude matter downstream).
@@ -78,11 +104,19 @@ type Neighborhood struct {
 
 // sortRanks orders ranks by descending trust, then ID, in place.
 func sortRanks(rs []Rank) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Trust != rs[j].Trust {
-			return rs[i].Trust > rs[j].Trust
+	slices.SortFunc(rs, func(a, b Rank) int {
+		switch {
+		case a.Trust > b.Trust:
+			return -1
+		case a.Trust < b.Trust:
+			return 1
+		case a.Agent < b.Agent:
+			return -1
+		case a.Agent > b.Agent:
+			return 1
+		default:
+			return 0
 		}
-		return rs[i].Agent < rs[j].Agent
 	})
 }
 
