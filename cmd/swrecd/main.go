@@ -11,6 +11,9 @@
 //	       [-metric appleseed|advogato|pathtrust|none] [-alpha 0.5]
 //	       [-warm] [-shutdown-timeout 10s] [-wal DIR]
 //	       [-request-budget 50ms] [-compute-budget 2s]
+//	       [-strategy-min-peers 3] [-strategy-min-overlap 0.1]
+//	       [-strategy-hop-decay 0.5] [-strategy-ancestor-depth 2]
+//	       [-strategy-disable rung,...] [-compat-degraded]
 //
 // With -wal the server opens the durable write path (internal/ingest):
 // POST/DELETE endpoints on /v1/agents accept first-party mutations,
@@ -25,13 +28,22 @@
 //	GET /v1/healthz
 //	GET /v1/metrics
 //	GET /v1/stats
+//	GET /v1/strategies
 //	GET /v1/agents?offset=0&limit=25
 //	GET /v1/agents/{escaped-uri}
-//	GET /v1/agents/{escaped-uri}/neighbors?n=25&metric=&alpha=&measure=
+//	GET /v1/agents/{escaped-uri}/neighbors?n=25&metric=&alpha=&measure=&strategy=
 //	GET /v1/agents/{escaped-uri}/profile?n=15
-//	GET /v1/agents/{escaped-uri}/recommendations?n=10&novel=1&theta=0.4&metric=&alpha=&measure=
+//	GET /v1/agents/{escaped-uri}/recommendations?n=10&novel=1&theta=0.4&metric=&alpha=&measure=&strategy=
 //	GET /v1/products/{escaped-id}
 //	GET /v1/topics/{escaped-path}?offset=0&limit=50
+//
+// Hard queries — cold-start agents, disjoint profiles, thin trust
+// neighborhoods — are answered by walking the strategy ladder
+// (internal/strategy); every list response reports the chosen rung and
+// attempt trace in its strategy block. The -strategy-* flags shape the
+// ladder thresholds, -strategy-disable turns rungs off, and
+// -compat-degraded re-emits the deprecated degraded/degradedSource/
+// degradedEpoch fields alongside the strategy block for old clients.
 //
 // The server logs one line per request (method, path, status, duration),
 // applies read/write timeouts, and shuts down gracefully on SIGINT or
@@ -49,6 +61,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,6 +72,7 @@ import (
 	"swrec/internal/datagen"
 	"swrec/internal/engine"
 	"swrec/internal/ingest"
+	"swrec/internal/strategy"
 )
 
 func main() {
@@ -74,6 +88,12 @@ func main() {
 	walDir := flag.String("wal", "", "write-ahead log directory; enables the durable write endpoints")
 	requestBudget := flag.Duration("request-budget", 0, "per-request deadline for read endpoints; misses serve a degraded cached answer or 504 (0 = unbounded)")
 	computeBudget := flag.Duration("compute-budget", 0, "cap on a detached cold-path computation after its request gave up (0 = unbounded)")
+	stratMinPeers := flag.Int("strategy-min-peers", 0, "peer count below which the neighborhood counts as thin (0 = default 3)")
+	stratMinOverlap := flag.Float64("strategy-min-overlap", 0, "top-similarity threshold below which taxonomy-ancestor backoff engages (0 = default 0.1)")
+	stratHopDecay := flag.Float64("strategy-hop-decay", 0, "rank attenuation for trust-hop widening (0 = default 0.5)")
+	stratAncestorDepth := flag.Int("strategy-ancestor-depth", 0, "taxonomy depth profiles generalize to in ancestor backoff (0 = default 2)")
+	stratDisable := flag.String("strategy-disable", "", "comma-separated strategy rungs to disable (see GET /v1/strategies)")
+	compatDegraded := flag.Bool("compat-degraded", false, "re-emit deprecated degraded/degradedSource/degradedEpoch fields alongside the strategy block")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "swrecd: ", log.LstdFlags)
@@ -131,7 +151,19 @@ func main() {
 		fatal(fmt.Errorf("unknown metric %q", *metric))
 	}
 
-	eng, err := engine.New(comm, opt, engine.Config{ComputeBudget: *computeBudget})
+	stratCfg := strategy.Config{
+		MinPeers:      *stratMinPeers,
+		MinOverlap:    *stratMinOverlap,
+		HopDecay:      *stratHopDecay,
+		AncestorDepth: *stratAncestorDepth,
+	}
+	if *stratDisable != "" {
+		for _, name := range strings.Split(*stratDisable, ",") {
+			stratCfg.Disable = append(stratCfg.Disable, strategy.Procedure(strings.TrimSpace(name)))
+		}
+	}
+
+	eng, err := engine.New(comm, opt, engine.Config{ComputeBudget: *computeBudget, Strategy: stratCfg})
 	if err != nil {
 		fatal(err)
 	}
@@ -149,7 +181,7 @@ func main() {
 	// The ingest pipeline replays unapplied WAL records at Open and is
 	// the engine's only swapper; the API submits mutations through it.
 	var pipe *ingest.Pipeline
-	apiCfg := api.Config{ReadBudget: *requestBudget}
+	apiCfg := api.Config{ReadBudget: *requestBudget, CompatDegraded: *compatDegraded}
 	handler := api.NewWithConfig(eng, nil, apiCfg)
 	if *walDir != "" {
 		pipe, err = ingest.Open(eng, *walDir, ingest.Config{})

@@ -11,6 +11,13 @@ func TestExpvarname(t *testing.T) {
 	analyzertest.Run(t, expvarname.Analyzer, "swrec/internal/resilience")
 }
 
+// TestStrategyMap covers the strategy ladder's counter map: the published
+// map name must carry the prefix, while the per-rung keys added inside it
+// are not published names.
+func TestStrategyMap(t *testing.T) {
+	analyzertest.Run(t, expvarname.Analyzer, "swrec/internal/strategy")
+}
+
 // TestOutOfScopePackage guards the false-positive direction: code
 // outside swrec/internal (cmd/, examples/) may publish what it likes.
 func TestOutOfScopePackage(t *testing.T) {

@@ -1,0 +1,20 @@
+// Fixture for expvarname: the strategy ladder's per-rung counter map,
+// plus the name shapes a rung-local refactor might slip in.
+package strategy
+
+import "expvar"
+
+var stats = expvar.NewMap("swrec_strategy")
+
+var rungStats = expvar.NewMap("strategy_rungs") // want `expvar name "strategy_rungs" lacks the "swrec_" prefix`
+
+var exhausted = expvar.NewInt("ladder_exhausted") // want `expvar name "ladder_exhausted" lacks the "swrec_" prefix`
+
+var okExhausted = expvar.NewInt("swrec_ladder_exhausted")
+
+// perRungKeys inside the map are not published names (false-positive
+// guard): the walk records <procedure>_attempt/<procedure>_success keys.
+func record(procedure string) {
+	stats.Add(procedure+"_attempt", 1)
+	stats.Add(procedure+"_success", 1)
+}

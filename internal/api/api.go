@@ -9,11 +9,12 @@
 //	GET /v1/healthz                        serving status: epoch, counts, uptime
 //	GET /v1/metrics                        expvar (engine cache + request counters)
 //	GET /v1/stats                          community + taxonomy statistics
+//	GET /v1/strategies                     the configured strategy ladder
 //	GET /v1/agents?offset=0&limit=25       agent directory by trust out-degree
 //	GET /v1/agents/{uri}                   one agent's statements
-//	GET /v1/agents/{uri}/neighbors?n=25&metric=&alpha=&measure=
+//	GET /v1/agents/{uri}/neighbors?n=25&metric=&alpha=&measure=&strategy=
 //	GET /v1/agents/{uri}/profile?n=15      top taxonomy interests
-//	GET /v1/agents/{uri}/recommendations?n=10&novel=1&theta=0.4&metric=&alpha=&measure=
+//	GET /v1/agents/{uri}/recommendations?n=10&novel=1&theta=0.4&metric=&alpha=&measure=&strategy=
 //	GET /v1/products/{id}                  catalog entry
 //	GET /v1/topics/{path}?offset=0&limit=50  products in a taxonomy branch
 //
@@ -47,6 +48,17 @@
 // metric=appleseed|advogato|pathtrust|none, alpha=[0,1],
 // measure=pearson|cosine — are validated eagerly (400 invalid_argument)
 // and served from override-specific engine caches.
+//
+// Neighbors and recommendations are answered through the engine's
+// strategy ladder (internal/strategy): every response carries a
+// "strategy" provenance block naming the procedure that produced it,
+// the full rung attempt trace, and the answering epoch. The strategy=
+// parameter pins one rung (strategy=popularity) or excludes rungs
+// (strategy=-popularity,-degraded-cache), validated like the other
+// overrides; GET /v1/strategies lists the configured ladder. The PR 3
+// top-level degraded/degradedSource/degradedEpoch fields are deprecated
+// in favor of the strategy block and are emitted only when the server
+// runs with Config.CompatDegraded (swrecd -compat-degraded).
 package api
 
 import (
@@ -68,6 +80,7 @@ import (
 	"swrec/internal/engine"
 	"swrec/internal/ingest"
 	"swrec/internal/model"
+	"swrec/internal/strategy"
 	"swrec/internal/taxonomy"
 	"swrec/internal/wal"
 )
@@ -99,6 +112,11 @@ type Config struct {
 	// else 504 deadline_exceeded. 0 means only the client's context
 	// bounds the request.
 	ReadBudget time.Duration
+	// CompatDegraded re-emits the deprecated top-level degraded /
+	// degradedSource / degradedEpoch envelope fields alongside the
+	// strategy block for one release, for clients that have not migrated
+	// to strategy.degraded yet.
+	CompatDegraded bool
 }
 
 // Server is the HTTP handler layer over one serving engine.
@@ -123,6 +141,7 @@ func NewWithConfig(eng *engine.Engine, w Writer, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/strategies", s.handleStrategies)
 	s.mux.HandleFunc("/v1/agents", s.handleAgents)
 	s.mux.HandleFunc("/v1/agents/", s.handleAgentSubtree)
 	s.mux.HandleFunc("/v1/products/", s.handleProduct)
@@ -208,18 +227,25 @@ type errorBody struct {
 
 // page is the uniform list envelope. Offset/Limit echo the effective
 // pagination window; endpoints without windowed pagination omit them.
-// Degraded marks answers served from caches after the request deadline
-// fired instead of the full pipeline: DegradedSource names the fallback
-// the engine used and DegradedEpoch the epoch that produced the data
-// (older than the current epoch when the answer is stale).
+// Strategy is the provenance block of ladder-answered endpoints
+// (neighbors, recommendations): the procedure that produced the answer,
+// the rung attempt trace, and the answering epoch — including the
+// degraded marker when the bottom rung served from a previous-epoch
+// cache.
+//
+// Deprecated: the top-level Degraded / DegradedSource / DegradedEpoch
+// fields duplicate strategy.degraded / strategy.source / strategy.epoch
+// and are emitted only under Config.CompatDegraded; they will be removed
+// next release.
 type page struct {
-	Items          any    `json:"items"`
-	Total          int    `json:"total"`
-	Offset         *int   `json:"offset,omitempty"`
-	Limit          *int   `json:"limit,omitempty"`
-	Degraded       bool   `json:"degraded,omitempty"`
-	DegradedSource string `json:"degradedSource,omitempty"`
-	DegradedEpoch  uint64 `json:"degradedEpoch,omitempty"`
+	Items          any              `json:"items"`
+	Total          int              `json:"total"`
+	Offset         *int             `json:"offset,omitempty"`
+	Limit          *int             `json:"limit,omitempty"`
+	Strategy       *strategy.Result `json:"strategy,omitempty"`
+	Degraded       bool             `json:"degraded,omitempty"`
+	DegradedSource string           `json:"degradedSource,omitempty"`
+	DegradedEpoch  uint64           `json:"degradedEpoch,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -237,15 +263,18 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	_ = json.NewEncoder(w).Encode(body)
 }
 
-// writeList emits the items envelope without a pagination window.
-func writeList(w http.ResponseWriter, items any, total int) {
-	writeJSON(w, page{Items: items, Total: total})
-}
-
-// writeDegraded emits the items envelope marked as a degraded answer.
-func writeDegraded(w http.ResponseWriter, items any, total int, source string, epoch uint64) {
-	writeJSON(w, page{Items: items, Total: total,
-		Degraded: true, DegradedSource: source, DegradedEpoch: epoch})
+// writeList emits the items envelope without a pagination window. All
+// provenance-carrying responses route through here (res non-nil), so the
+// strategy block — and its deprecated top-level mirror under compat —
+// is attached in exactly one place.
+func (s *Server) writeList(w http.ResponseWriter, items any, total int, res *strategy.Result) {
+	p := page{Items: items, Total: total, Strategy: res}
+	if res != nil && res.Degraded && s.cfg.CompatDegraded {
+		p.Degraded = true
+		p.DegradedSource = res.Source
+		p.DegradedEpoch = res.Epoch
+	}
+	writeJSON(w, p)
 }
 
 // writePage emits the items envelope with its pagination window.
@@ -377,6 +406,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// handleStrategies lists the configured strategy ladder in rung order:
+// each entry carries the procedure name, its declarative precondition,
+// and whether the rung is enabled. Clients use the names here to build
+// `strategy=` selector overrides.
+func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	if !requireRead(w, r) {
+		return
+	}
+	rungs := s.eng.Ladder().Rungs()
+	s.writeList(w, rungs, len(rungs), nil)
+}
+
 // agentSummary is the list view of one agent.
 type agentSummary struct {
 	ID       model.AgentID `json:"id"`
@@ -467,8 +508,19 @@ func (s *Server) handleAgentSubtree(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// parseSelector validates the strategy= per-request ladder override
+// against the engine's configured ladder.
+func (s *Server) parseSelector(r *http.Request) (strategy.Selector, error) {
+	return strategy.ParseSelector(r.URL.Query().Get("strategy"), s.eng.Ladder())
+}
+
 func (s *Server) serveNeighbors(w http.ResponseWriter, r *http.Request, snap *engine.Snapshot, id model.AgentID) {
 	ov, err := parseOverrides(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	sel, err := s.parseSelector(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
 		return
@@ -480,18 +532,8 @@ func (s *Server) serveNeighbors(w http.ResponseWriter, r *http.Request, snap *en
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	peers, err := snap.RankedPeersCtx(ctx, id, ov)
+	peers, res, err := s.eng.RankedPeersLadder(ctx, snap, id, ov, sel)
 	if err != nil {
-		if deadlineHit(err) {
-			if cached, source, epoch, ok := s.eng.DegradedPeers(id, ov); ok {
-				total := len(cached)
-				if n > 0 && len(cached) > n {
-					cached = cached[:n]
-				}
-				writeDegraded(w, cached, total, source, epoch)
-				return
-			}
-		}
 		writeEngineError(w, err)
 		return
 	}
@@ -499,7 +541,10 @@ func (s *Server) serveNeighbors(w http.ResponseWriter, r *http.Request, snap *en
 	if n > 0 && len(peers) > n {
 		peers = peers[:n]
 	}
-	writeList(w, peers, total)
+	if peers == nil {
+		peers = []core.PeerRank{}
+	}
+	s.writeList(w, peers, total, res)
 }
 
 func (s *Server) serveProfile(w http.ResponseWriter, r *http.Request, snap *engine.Snapshot, id model.AgentID) {
@@ -527,7 +572,7 @@ func (s *Server) serveProfile(w http.ResponseWriter, r *http.Request, snap *engi
 			Score: e.Value,
 		})
 	}
-	writeList(w, items, len(prof))
+	s.writeList(w, items, len(prof), nil)
 }
 
 func (s *Server) serveRecommendations(w http.ResponseWriter, r *http.Request, snap *engine.Snapshot, id model.AgentID) {
@@ -555,16 +600,14 @@ func (s *Server) serveRecommendations(w http.ResponseWriter, r *http.Request, sn
 	if theta > 0 && n > 0 {
 		fetchN = n * 5
 	}
+	sel, err := s.parseSelector(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	degradedSource, degradedEpoch := "", uint64(0)
-	recs, err := snap.RecommendCtx(ctx, id, fetchN, ov)
-	if err != nil && deadlineHit(err) {
-		if cached, source, epoch, ok := s.eng.DegradedRecommend(id, fetchN, ov); ok {
-			recs, err = cached, nil
-			degradedSource, degradedEpoch = source, epoch
-		}
-	}
+	recs, res, err := s.eng.RecommendLadder(ctx, snap, id, fetchN, ov, sel)
 	if err != nil {
 		writeEngineError(w, err)
 		return
@@ -589,11 +632,7 @@ func (s *Server) serveRecommendations(w http.ResponseWriter, r *http.Request, sn
 		}
 		items = append(items, ro)
 	}
-	if degradedSource != "" {
-		writeDegraded(w, items, len(items), degradedSource, degradedEpoch)
-		return
-	}
-	writeList(w, items, len(items))
+	s.writeList(w, items, len(items), res)
 }
 
 func (s *Server) handleProduct(w http.ResponseWriter, r *http.Request) {

@@ -14,6 +14,7 @@ import (
 	"swrec/internal/engine"
 	"swrec/internal/ingest"
 	"swrec/internal/model"
+	"swrec/internal/strategy"
 	"swrec/internal/wal"
 )
 
@@ -36,16 +37,19 @@ func newSlowServer(t *testing.T, delay *atomic.Int64, budget time.Duration) (*Se
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewWithConfig(eng, nil, Config{ReadBudget: budget}), comm, eng
+	return NewWithConfig(eng, nil, Config{ReadBudget: budget, CompatDegraded: true}), comm, eng
 }
 
-// degradedPage decodes the list envelope including the degraded markers.
+// degradedPage decodes the list envelope including the legacy degraded
+// markers (the slow server runs with CompatDegraded) and the strategy
+// provenance block that supersedes them.
 type degradedPage struct {
 	Items          []json.RawMessage `json:"items"`
 	Total          int               `json:"total"`
 	Degraded       bool              `json:"degraded"`
 	DegradedSource string            `json:"degradedSource"`
 	DegradedEpoch  uint64            `json:"degradedEpoch"`
+	Strategy       *strategy.Result  `json:"strategy"`
 }
 
 // TestColdCacheDeadline504 is the acceptance test for deadline
@@ -111,6 +115,10 @@ func TestDegradedAnswerAfterSwap(t *testing.T) {
 	if len(out.Items) == 0 {
 		t.Fatal("degraded answer is empty")
 	}
+	if out.Strategy == nil || out.Strategy.Procedure != strategy.DegradedCache ||
+		out.Strategy.Source != "prev-result-cache" || out.Strategy.Epoch != oldEpoch {
+		t.Fatalf("strategy block = %+v, want degraded-cache from prev-result-cache", out.Strategy)
+	}
 
 	out = degradedPage{}
 	if code := get(t, s, agentPath(agent, "/neighbors"), &out); code != http.StatusOK {
@@ -118,6 +126,10 @@ func TestDegradedAnswerAfterSwap(t *testing.T) {
 	}
 	if !out.Degraded || out.DegradedSource != "prev-peers-cache" || out.DegradedEpoch != oldEpoch {
 		t.Fatalf("neighbors degraded envelope = %+v", out)
+	}
+	if out.Strategy == nil || out.Strategy.Procedure != strategy.DegradedCache ||
+		out.Strategy.Source != "prev-peers-cache" {
+		t.Fatalf("neighbors strategy block = %+v", out.Strategy)
 	}
 }
 

@@ -139,6 +139,26 @@ func New(comm *model.Community, opt Options) (*Filter, error) {
 // Options returns the filter's configuration.
 func (f *Filter) Options() Options { return f.opt }
 
+// Generator returns the profile generator backing taxonomy-space
+// representations, or nil for the Product representation. The strategy
+// ladder's taxonomy-ancestor rung uses it to generalize cached profiles
+// without rebuilding them.
+func (f *Filter) Generator() *profile.Generator { return f.gen }
+
+// Compare applies the filter's configured measure to two caller-supplied
+// profile vectors — the map-vector analogue of similarityRows for vectors
+// the filter does not cache, such as the generalized (super-topic)
+// profiles of the strategy ladder's taxonomy-ancestor rung. ok is false
+// when the measure is undefined for the pair.
+func (f *Filter) Compare(a, b sparse.Vector) (float64, bool) {
+	switch f.opt.Measure {
+	case Cosine:
+		return sparse.Cosine(a, b)
+	default:
+		return sparse.Pearson(a, b)
+	}
+}
+
 // internProduct assigns a stable dense dimension to a product ID.
 // Caller must hold f.mu.
 func (f *Filter) internProduct(p model.ProductID) int32 {

@@ -161,6 +161,12 @@ func (o Options) alpha() float64 {
 	return o.Alpha
 }
 
+// BlendAlpha returns the effective rank-synthesization blend factor —
+// Alpha with the unset-zero default of 0.5 applied. Exported so serving
+// layers that re-blend outside the recommender (the strategy ladder's
+// taxonomy-ancestor rung) use exactly the α the pipeline would.
+func (o Options) BlendAlpha() float64 { return o.alpha() }
+
 func (o Options) validate() error {
 	if a := o.alpha(); a < 0 || a > 1 {
 		return fmt.Errorf("core: alpha must be in [0,1], got %v", a)
@@ -306,7 +312,17 @@ func (r *Recommender) RankedPeersCtx(ctx context.Context, active model.AgentID) 
 	if err != nil {
 		return nil, err
 	}
-	if len(nb.Ranks) == 0 {
+	return r.SynthesizeCtx(ctx, active, nb)
+}
+
+// SynthesizeCtx runs stages 2-3 — similarity filtering and rank
+// synthesization — over an externally supplied trust neighborhood,
+// exactly as RankedPeersCtx does over the stage-1 result. Serving layers
+// that transform the neighborhood before synthesis (the strategy
+// ladder's trust-hop widening) use this to keep the downstream pipeline
+// identical. Returns ctx.Err() when cancelled.
+func (r *Recommender) SynthesizeCtx(ctx context.Context, active model.AgentID, nb *trust.Neighborhood) ([]PeerRank, error) {
+	if nb == nil || len(nb.Ranks) == 0 {
 		return nil, nil
 	}
 	maxTrust := nb.Ranks[0].Trust

@@ -478,3 +478,106 @@ func InjectSybils(comm *model.Community, victim model.AgentID, count int, pushPr
 	}
 	return ids
 }
+
+// InjectColdStart adds one agent with no ratings and no trust statements —
+// the §2 cold-start newcomer every personalization stage is blind to. The
+// strategy ladder answers such agents on the popularity rung. Deterministic:
+// no randomness, fixed agent ID.
+func InjectColdStart(comm *model.Community) model.AgentID {
+	id := model.AgentID("http://fixture.example/people/cold-start")
+	a := comm.AddAgent(id)
+	a.Name = "Cold Start"
+	return id
+}
+
+// InjectThinTrust adds an agent whose single positive trust statement
+// points at a fresh sink buddy (no outgoing trust), so every trust metric
+// yields a one-peer neighborhood — below any sane thinness threshold —
+// while the agent itself still has a rating history. The buddy clones
+// donor's ratings so it can contribute votes. The strategy ladder answers
+// such agents on the trust-hop-widening rung. Returns (agent, buddy).
+func InjectThinTrust(comm *model.Community, donor model.AgentID) (model.AgentID, model.AgentID) {
+	d := comm.Agent(donor)
+	if d == nil {
+		return "", ""
+	}
+	buddy := model.AgentID("http://fixture.example/people/thin-buddy")
+	b := comm.AddAgent(buddy)
+	b.Name = "Thin Buddy"
+	for p, val := range d.Ratings {
+		b.Ratings[p] = val
+	}
+	b.MarkDirty()
+	id := model.AgentID("http://fixture.example/people/thin-trust")
+	a := comm.AddAgent(id)
+	a.Name = "Thin Trust"
+	// One shared rating keeps the agent's profile defined so only the
+	// neighborhood — not the similarity measure — is starved.
+	for _, pr := range comm.PositiveRatings(d) {
+		if err := comm.SetRating(id, pr.Product.ID, pr.Value); err != nil {
+			panic(err)
+		}
+		break
+	}
+	// The buddy likes a few products the agent has not rated, so its vote
+	// always has something to recommend.
+	extra := 0
+	for _, pid := range comm.Products() {
+		if extra >= 3 {
+			break
+		}
+		if _, rated := a.Ratings[pid]; rated {
+			continue
+		}
+		if err := comm.SetRating(buddy, pid, 1); err != nil {
+			panic(err)
+		}
+		extra++
+	}
+	if err := comm.SetTrust(id, buddy, 1); err != nil {
+		panic(err)
+	}
+	return id, buddy
+}
+
+// InjectDisjointProfile grows a fresh depth-1 branch of the taxonomy with
+// nLeaves leaf topics, mints one product per leaf, and adds an agent that
+// positively rates all of them while trusting the given peers — §2's "low
+// profile overlap" pathology made literal: the agent's interest mass lives
+// in a subtree nobody else touches, so fine-grained similarity with every
+// peer is near zero even though its trust neighborhood is healthy. The
+// strategy ladder answers such agents on the taxonomy-ancestor rung. Must
+// run before the community is handed to an engine (it mutates the
+// taxonomy). Deterministic: no randomness, fixed IDs.
+func InjectDisjointProfile(comm *model.Community, peers []model.AgentID, nLeaves int) model.AgentID {
+	tax := comm.Taxonomy()
+	if tax == nil || nLeaves < 1 {
+		return ""
+	}
+	branch := tax.MustAdd(taxonomy.Root, "Fixture Obscura")
+	id := model.AgentID("http://fixture.example/people/disjoint")
+	a := comm.AddAgent(id)
+	a.Name = "Disjoint Profile"
+	for i := 0; i < nLeaves; i++ {
+		genus := tax.MustAdd(branch, fmt.Sprintf("Genus %d", i))
+		leaf := tax.MustAdd(genus, fmt.Sprintf("Species %d", i))
+		pid := model.ProductID(fmt.Sprintf("urn:fixture:obscura-%d", i))
+		comm.AddProduct(model.Product{
+			ID:     pid,
+			Title:  fmt.Sprintf("Obscura #%d", i),
+			Topics: []taxonomy.Topic{leaf},
+		})
+		if err := comm.SetRating(id, pid, 1); err != nil {
+			panic(err)
+		}
+	}
+	for _, p := range peers {
+		if comm.Agent(p) == nil {
+			continue
+		}
+		if err := comm.SetTrust(id, p, 1); err != nil {
+			panic(err)
+		}
+	}
+	return id
+}

@@ -45,6 +45,7 @@ import (
 	"swrec/internal/profile"
 	"swrec/internal/profmat"
 	"swrec/internal/sparse"
+	"swrec/internal/strategy"
 	"swrec/internal/taxonomy"
 )
 
@@ -78,6 +79,9 @@ type Config struct {
 	// DegradeBudget bounds the stage-4 vote a degraded-answer probe is
 	// allowed to run over an already cached neighborhood (default 25ms).
 	DegradeBudget time.Duration
+	// Strategy shapes the quality ladder walked for hard queries (see
+	// internal/strategy). The zero value takes the ladder defaults.
+	Strategy strategy.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -181,6 +185,9 @@ type Snapshot struct {
 
 	agentsOnce    sync.Once
 	agentsByTrust atomic.Pointer[[]model.AgentID]
+
+	popOnce sync.Once
+	popRank atomic.Pointer[[]core.Recommendation]
 
 	variantMu sync.Mutex
 	variants  map[string]*core.Recommender
@@ -302,6 +309,14 @@ func newSnapshotDelta(epoch uint64, comm *model.Community, opt core.Options, cfg
 	if !d.AgentsAdded && len(d.TrustChanged) == 0 {
 		if ids := prev.agentsByTrust.Load(); ids != nil {
 			s.agentsByTrust.Store(ids)
+		}
+	}
+	// The popularity ranking (strategy ladder rung 4) reads every agent's
+	// positive ratings and nothing else; products added without ratings
+	// cannot appear in it.
+	if !d.AgentsAdded && len(d.RatingsChanged) == 0 {
+		if r := prev.popRank.Load(); r != nil {
+			s.popRank.Store(r)
 		}
 	}
 	return s, nil
@@ -572,9 +587,10 @@ func (s *Snapshot) AgentsByTrustOut() []model.AgentID {
 
 // Engine owns the current snapshot and the swap discipline around it.
 type Engine struct {
-	cfg   Config
-	opt   core.Options
-	start time.Time
+	cfg    Config
+	opt    core.Options
+	start  time.Time
+	ladder *strategy.Ladder
 
 	swapMu sync.Mutex // serializes Swap; epoch increments under it
 	snap   atomic.Pointer[Snapshot]
@@ -590,14 +606,21 @@ type Engine struct {
 // and publish it with Swap.
 func New(comm *model.Community, opt core.Options, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
+	ladder, err := strategy.New(cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
 	snap, err := newSnapshot(1, comm, opt, cfg)
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, opt: opt, start: time.Now()}
+	e := &Engine{cfg: cfg, opt: opt, start: time.Now(), ladder: ladder}
 	e.snap.Store(snap)
 	return e, nil
 }
+
+// Ladder returns the engine's configured strategy ladder.
+func (e *Engine) Ladder() *strategy.Ladder { return e.ladder }
 
 // Snapshot returns the current epoch's state. Handlers call this once
 // per request and read only through the returned snapshot, so a

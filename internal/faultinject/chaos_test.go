@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -298,5 +299,89 @@ func TestChaos(t *testing.T) {
 	}
 	if badStatus.Load() != 0 {
 		t.Fatalf("%d reads returned a status outside {200,404,504}", badStatus.Load())
+	}
+}
+
+// TestChaosStrategyLadder is the strategy-ladder resilience probe: with
+// the cold path made pathologically slow after an epoch swap, budgeted
+// reads must keep answering from the ladder's bottom rung (degraded
+// cache) or fail cleanly — statuses stay within {200,404,504}, and every
+// 200 carries a strategy provenance block naming the answering rung.
+func TestChaosStrategyLadder(t *testing.T) {
+	reads := 40
+	if testing.Short() {
+		reads = 15
+	}
+	_, site := publishChaosWeb(t, 16)
+	comm := site.Community()
+	var delay atomic.Int64
+	ids := comm.Agents()
+	opt := core.Options{CF: cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy}}
+	opt.Candidates = func(model.AgentID) []model.AgentID {
+		if d := time.Duration(delay.Load()); d > 0 {
+			time.Sleep(d)
+		}
+		return ids
+	}
+	eng, err := engine.New(comm, opt, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := api.NewWithConfig(eng, nil, api.Config{ReadBudget: 10 * time.Millisecond})
+
+	// Warm every agent at epoch 1, then swap in a cold epoch and make the
+	// cold path slower than any read budget.
+	for _, id := range ids {
+		if _, err := eng.Snapshot().Recommend(id, 5, engine.Overrides{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Swap(comm.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	delay.Store(int64(150 * time.Millisecond))
+
+	degraded := 0
+	for i := 0; i < reads; i++ {
+		id := string(ids[i%len(ids)])
+		if i%9 == 8 {
+			id = "http://chaos.example/people/nobody"
+		}
+		path := "/v1/agents/" + url.PathEscape(id) + "/recommendations?n=5"
+		if i%2 == 1 {
+			path = "/v1/agents/" + url.PathEscape(id) + "/neighbors"
+		}
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusNotFound, http.StatusGatewayTimeout:
+		case http.StatusOK:
+			var out struct {
+				Strategy *struct {
+					Procedure string `json:"procedure"`
+					Degraded  bool   `json:"degraded"`
+				} `json:"strategy"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatalf("read %s: bad body: %v", path, err)
+			}
+			if out.Strategy == nil || out.Strategy.Procedure == "" {
+				t.Fatalf("read %s: 200 without a strategy block: %s", path, rec.Body.String())
+			}
+			if out.Strategy.Degraded {
+				if out.Strategy.Procedure != "degraded-cache" {
+					t.Fatalf("read %s: degraded answer from rung %s", path, out.Strategy.Procedure)
+				}
+				degraded++
+			}
+		default:
+			t.Fatalf("read %s returned %d: %s", path, rec.Code, rec.Body.String())
+		}
+	}
+	// With every cache warmed at the previous epoch, the slow cold path
+	// must have pushed at least one answer down to the degraded rung.
+	if degraded == 0 {
+		t.Fatal("no read landed on the degraded-cache rung — the slow path was never exercised")
 	}
 }

@@ -1,0 +1,119 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"swrec/internal/sparse"
+	"swrec/internal/taxonomy"
+)
+
+// TestGeneralizeFoldsDeepTopics checks the upward fold against the Fig. 1
+// taxonomy: topics deeper than maxDepth move their whole score onto the
+// maxDepth ancestor of their primary path, shallower entries pass through.
+func TestGeneralizeFoldsDeepTopics(t *testing.T) {
+	tax := taxonomy.Fig1()
+	lookup := func(q string) taxonomy.Topic {
+		d, ok := tax.Lookup(q)
+		if !ok {
+			t.Fatalf("missing %s", q)
+		}
+		return d
+	}
+	alg := lookup("Books/Science/Mathematics/Pure/Algebra") // depth 4
+	math2 := lookup("Books/Science/Mathematics")            // depth 2
+	sci := lookup("Books/Science")                          // depth 1
+
+	g := New(tax)
+	v := sparse.New(4)
+	v.Add(int32(alg), 30)
+	v.Add(int32(math2), 5)
+	v.Add(int32(sci), 2)
+
+	out := g.Generalize(v, 2)
+	// Algebra (depth 4) folds onto Mathematics (depth 2), joining the
+	// score already sitting there; Science stays put.
+	if got := out[int32(math2)]; math.Abs(got-35) > 1e-12 {
+		t.Fatalf("Mathematics = %v, want 35", got)
+	}
+	if got := out[int32(sci)]; got != 2 {
+		t.Fatalf("Science = %v, want 2", got)
+	}
+	if _, ok := out[int32(alg)]; ok {
+		t.Fatal("deep topic survived the fold")
+	}
+
+	// Total score mass is preserved by the fold.
+	var in, folded float64
+	for _, e := range v.Entries() {
+		in += e.Value
+	}
+	for _, e := range out.Entries() {
+		folded += e.Value
+	}
+	if math.Abs(in-folded) > 1e-12 {
+		t.Fatalf("mass changed: %v -> %v", in, folded)
+	}
+}
+
+func TestGeneralizeClampsDepth(t *testing.T) {
+	tax := taxonomy.Fig1()
+	alg, _ := tax.Lookup("Books/Science/Mathematics/Pure/Algebra")
+	sci, _ := tax.Lookup("Books/Science")
+	g := New(tax)
+	v := sparse.New(1)
+	v.Add(int32(alg), 10)
+	// maxDepth 0 is treated as 1: everything lands on depth-1 ancestors,
+	// never on the root (which would erase all distinction).
+	out := g.Generalize(v, 0)
+	if got := out[int32(sci)]; got != 10 {
+		t.Fatalf("fold-to-depth-1 = %v entries %v", got, out.Entries())
+	}
+	if _, ok := out[int32(taxonomy.Root)]; ok {
+		t.Fatal("score folded onto the root")
+	}
+}
+
+func TestGeneralizeDeterministic(t *testing.T) {
+	tax := taxonomy.Fig1()
+	g := New(tax)
+	v := sparse.New(8)
+	for _, l := range tax.Leaves() {
+		v.Add(int32(l), 1.0/3.0)
+	}
+	first := g.Generalize(v, 1)
+	for i := 0; i < 20; i++ {
+		again := g.Generalize(v, 1)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d entries vs %d", i, len(again), len(first))
+		}
+		for _, e := range first.Entries() {
+			if again[e.Key] != e.Value {
+				t.Fatalf("run %d: dim %d = %v vs %v (accumulation order leaked)", i, e.Key, again[e.Key], e.Value)
+			}
+		}
+	}
+}
+
+func TestGeneralizeRecoversOverlap(t *testing.T) {
+	// Two profiles over sibling leaves of the same super-topic: nearly
+	// disjoint at fine grain, identical after generalizing to the shared
+	// ancestor's depth — the §2 low-overlap pathology and its cure.
+	tax := taxonomy.New("Top")
+	branch := tax.MustAdd(taxonomy.Root, "Branch")
+	l1 := tax.MustAdd(branch, "leaf-1")
+	l2 := tax.MustAdd(branch, "leaf-2")
+	g := New(tax)
+	a := sparse.New(1)
+	a.Add(int32(l1), 10)
+	b := sparse.New(1)
+	b.Add(int32(l2), 10)
+	if sim, ok := sparse.Cosine(a, b); ok && sim > 0 {
+		t.Fatalf("fine-grained profiles overlap: %v", sim)
+	}
+	ga, gb := g.Generalize(a, 1), g.Generalize(b, 1)
+	sim, ok := sparse.Cosine(ga, gb)
+	if !ok || math.Abs(sim-1) > 1e-12 {
+		t.Fatalf("generalized similarity = %v (%v), want 1", sim, ok)
+	}
+}

@@ -1,0 +1,90 @@
+package strategy
+
+import (
+	"testing"
+
+	"swrec/internal/model"
+	"swrec/internal/taxonomy"
+)
+
+// popCommunity builds a four-product community over a two-branch taxonomy:
+// branch X holds p1/p2 (rated by everyone), branch Y holds p3 (rated by
+// one agent) and p4 (rated by nobody).
+func popCommunity(t *testing.T) *model.Community {
+	t.Helper()
+	tax := taxonomy.New("Top")
+	bx := tax.MustAdd(taxonomy.Root, "X")
+	by := tax.MustAdd(taxonomy.Root, "Y")
+	lx := tax.MustAdd(bx, "x-leaf")
+	ly := tax.MustAdd(by, "y-leaf")
+	comm := model.NewCommunity(tax)
+	for i, pid := range []model.ProductID{"urn:p1", "urn:p2", "urn:p3", "urn:p4"} {
+		topic := lx
+		if i >= 2 {
+			topic = ly
+		}
+		comm.AddProduct(model.Product{ID: pid, Title: string(pid), Topics: []taxonomy.Topic{topic}})
+	}
+	for _, aid := range []model.AgentID{"http://x/a", "http://x/b", "http://x/c"} {
+		comm.AddAgent(aid)
+		must := func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		must(comm.SetRating(aid, "urn:p1", 1))
+		must(comm.SetRating(aid, "urn:p2", 0.5))
+	}
+	if err := comm.SetRating("http://x/a", "urn:p3", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	// A disliked product must not gain popularity mass.
+	if err := comm.SetRating("http://x/b", "urn:p4", -1); err != nil {
+		t.Fatal(err)
+	}
+	return comm
+}
+
+func TestPopularityRank(t *testing.T) {
+	comm := popCommunity(t)
+	rank := PopularityRank(comm)
+	if len(rank) != 3 {
+		t.Fatalf("rank = %+v, want 3 products (p4 has no positive raters)", rank)
+	}
+	if rank[0].Product != "urn:p1" || rank[0].Score != 3 || rank[0].Supporters != 3 {
+		t.Fatalf("top = %+v", rank[0])
+	}
+	if rank[1].Product != "urn:p2" || rank[2].Product != "urn:p3" {
+		t.Fatalf("order = %+v", rank)
+	}
+	// Determinism: a recomputation is identical.
+	again := PopularityRank(comm)
+	for i := range rank {
+		if rank[i] != again[i] {
+			t.Fatalf("rank not stable: %+v vs %+v", rank[i], again[i])
+		}
+	}
+}
+
+func TestPopularityForSkipsRatedAndPrefersNovel(t *testing.T) {
+	comm := popCommunity(t)
+	rank := PopularityRank(comm)
+
+	// Agent b rated p1/p2 (branch X) and disliked p4: p3 is both unrated
+	// and in the untouched branch Y, so it leads despite the lower score.
+	got := PopularityFor(comm, rank, comm.Agent("http://x/b"), 0)
+	if len(got) != 1 || got[0].Product != "urn:p3" {
+		t.Fatalf("personalized = %+v, want only p3", got)
+	}
+
+	// A cold-start agent has rated nothing: pure popularity order, capped.
+	cold := comm.AddAgent("http://x/cold")
+	got = PopularityFor(comm, rank, cold, 2)
+	if len(got) != 2 || got[0].Product != "urn:p1" || got[1].Product != "urn:p2" {
+		t.Fatalf("cold-start = %+v", got)
+	}
+
+	if PopularityFor(comm, rank, nil, 5) != nil {
+		t.Fatal("nil agent must yield nil")
+	}
+}

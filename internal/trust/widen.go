@@ -1,0 +1,67 @@
+package trust
+
+import "swrec/internal/model"
+
+// WidenOneHop expands a computed neighborhood by one trust hop beyond
+// its current range — the ladder's answer to thin neighborhoods where
+// the metric's "predefined range" (§3.2) left too few peers to vote.
+// Following the horizon-widening idea of Jamali's distributed
+// trust-aware recommendation, every positively trusted peer of the
+// source or of a current member that is not yet in range joins with
+//
+//	rank(y) = decay · rank(x) · t_x(y)
+//
+// where x is the contributing member (the source contributes with the
+// neighborhood's maximum rank, or 1 when the neighborhood is empty) and
+// t_x(y) its positive trust statement. A peer reachable from several
+// members keeps the strongest contribution. Existing members keep their
+// ranks untouched; negative statements never widen (distrust must not
+// recruit). The input neighborhood is not modified.
+func WidenOneHop(net Network, nb *Neighborhood, decay float64) *Neighborhood {
+	if decay <= 0 || decay > 1 {
+		decay = 0.5
+	}
+	in := make(map[model.AgentID]bool, len(nb.Ranks)+1)
+	in[nb.Source] = true
+	maxRank := 0.0
+	for _, r := range nb.Ranks {
+		in[r.Agent] = true
+		if r.Trust > maxRank {
+			maxRank = r.Trust
+		}
+	}
+	if maxRank <= 0 {
+		maxRank = 1
+	}
+
+	added := make(map[model.AgentID]float64)
+	explored := 0
+	contribute := func(from model.AgentID, rank float64) {
+		explored++
+		for _, st := range net.Peers(from) {
+			if st.Value <= 0 || in[st.Dst] {
+				continue
+			}
+			if r := decay * rank * st.Value; r > added[st.Dst] {
+				added[st.Dst] = r
+			}
+		}
+	}
+	contribute(nb.Source, maxRank)
+	for _, r := range nb.Ranks {
+		contribute(r.Agent, r.Trust)
+	}
+
+	out := &Neighborhood{
+		Source:     nb.Source,
+		Iterations: nb.Iterations,
+		Explored:   nb.Explored + explored,
+	}
+	out.Ranks = make([]Rank, len(nb.Ranks), len(nb.Ranks)+len(added))
+	copy(out.Ranks, nb.Ranks)
+	for id, r := range added {
+		out.Ranks = append(out.Ranks, Rank{Agent: id, Trust: r})
+	}
+	sortRanks(out.Ranks)
+	return out
+}

@@ -1,0 +1,95 @@
+package trust
+
+import (
+	"testing"
+
+	"swrec/internal/model"
+)
+
+// mapNet is a literal trust graph for widening tests.
+type mapNet map[model.AgentID][]model.TrustStatement
+
+func (m mapNet) Peers(a model.AgentID) []model.TrustStatement { return m[a] }
+
+func TestWidenOneHopRecruitsFrontier(t *testing.T) {
+	net := mapNet{
+		"src": {{Src: "src", Dst: "a", Value: 1}},
+		"a":   {{Src: "a", Dst: "b", Value: 0.8}, {Src: "a", Dst: "bad", Value: -0.9}},
+		"b":   {{Src: "b", Dst: "c", Value: 1}},
+	}
+	nb := &Neighborhood{Source: "src", Ranks: []Rank{{Agent: "a", Trust: 0.6}}, Explored: 2}
+	wide := WidenOneHop(net, nb, 0.5)
+
+	ranks := make(map[model.AgentID]float64, len(wide.Ranks))
+	for _, r := range wide.Ranks {
+		ranks[r.Agent] = r.Trust
+	}
+	if ranks["a"] != 0.6 {
+		t.Fatalf("existing member rank changed: %v", ranks)
+	}
+	// b joins via a: 0.5 (decay) * 0.6 (a's rank) * 0.8 (a->b).
+	if got, want := ranks["b"], 0.5*0.6*0.8; got != want {
+		t.Fatalf("b rank = %v, want %v", got, want)
+	}
+	if _, ok := ranks["bad"]; ok {
+		t.Fatal("distrust recruited a peer")
+	}
+	if _, ok := ranks["c"]; ok {
+		t.Fatal("widening went two hops")
+	}
+	if wide.Explored <= nb.Explored {
+		t.Fatal("explored count did not grow")
+	}
+	if len(nb.Ranks) != 1 {
+		t.Fatal("input neighborhood was modified")
+	}
+}
+
+func TestWidenOneHopSourceContributesAtMaxRank(t *testing.T) {
+	// The source's own statements widen too, at the neighborhood's max
+	// rank — and with an empty neighborhood, at rank 1.
+	net := mapNet{"src": {{Src: "src", Dst: "d", Value: 0.9}}}
+	empty := &Neighborhood{Source: "src"}
+	wide := WidenOneHop(net, empty, 0.5)
+	if len(wide.Ranks) != 1 || wide.Ranks[0].Agent != "d" || wide.Ranks[0].Trust != 0.5*0.9 {
+		t.Fatalf("empty-neighborhood widening = %+v", wide.Ranks)
+	}
+}
+
+func TestWidenOneHopKeepsStrongestContribution(t *testing.T) {
+	net := mapNet{
+		"a": {{Src: "a", Dst: "x", Value: 1}},
+		"b": {{Src: "b", Dst: "x", Value: 1}},
+	}
+	nb := &Neighborhood{Source: "src", Ranks: []Rank{{Agent: "a", Trust: 0.9}, {Agent: "b", Trust: 0.2}}}
+	wide := WidenOneHop(net, nb, 0.5)
+	for _, r := range wide.Ranks {
+		if r.Agent == "x" && r.Trust != 0.5*0.9 {
+			t.Fatalf("x rank = %v, want the stronger contribution %v", r.Trust, 0.5*0.9)
+		}
+	}
+}
+
+func TestWidenOneHopDeterministicOrder(t *testing.T) {
+	net := mapNet{
+		"src": {
+			{Src: "src", Dst: "p1", Value: 0.7},
+			{Src: "src", Dst: "p2", Value: 0.7},
+			{Src: "src", Dst: "p3", Value: 0.7},
+		},
+	}
+	nb := &Neighborhood{Source: "src"}
+	first := WidenOneHop(net, nb, 0.5)
+	for i := 0; i < 10; i++ {
+		again := WidenOneHop(net, nb, 0.5)
+		for j := range first.Ranks {
+			if first.Ranks[j] != again.Ranks[j] {
+				t.Fatalf("run %d: rank order flapped: %+v vs %+v", i, first.Ranks, again.Ranks)
+			}
+		}
+	}
+	// Equal trust sorts by agent ID.
+	if first.Ranks[0].Agent != "p1" || first.Ranks[1].Agent != "p2" || first.Ranks[2].Agent != "p3" {
+		t.Fatalf("tie order = %+v", first.Ranks)
+	}
+}
