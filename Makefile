@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet lint lint-note test race cover bench bench-diff bench-diff-short profile fuzz fuzz-smoke chaos chaos-short experiments experiments-paper examples clean
+.PHONY: all build check fmt vet lint lint-note test race cover bench bench-diff bench-diff-short profile fuzz fuzz-smoke chaos chaos-short load load-short load-baseline experiments experiments-paper examples clean
 
 all: build check
 
@@ -13,9 +13,10 @@ all: build check
 # fast, without waiting out the race-detector suite), the full test
 # suite under the race detector (the serving engine is exercised
 # concurrently), a short fuzz smoke of the RDF parsers, the short-mode
-# chaos suite, and a short benchmark-regression probe of the serving
-# hot path.
-check: fmt vet lint race fuzz-smoke chaos-short bench-diff-short
+# chaos suite, a short benchmark-regression probe of the serving hot
+# path, and the short production-load scenario with its adversarial
+# trust attacks (see README "Load & attack harness").
+check: fmt vet lint race fuzz-smoke chaos-short bench-diff-short load-short
 
 # lint builds the swrecvet multichecker once and drives it through
 # go vet, so the project analyzers (ctxflow, detrand, durableerr,
@@ -81,6 +82,36 @@ bench-diff-short:
 	$(GO) test -run=^$$ -bench='BenchmarkServePerRequestNew$$' -benchmem -benchtime=100x \
 		./internal/engine/ \
 		| $(GO) run ./cmd/benchjson -diff BENCH_engine.json -threshold 1.0
+
+# load-short runs the deterministic short load scenario (300 agents,
+# 4000 mixed events, one Sybil ring) against an in-process server:
+# swrecload itself fails on any SLO or attack-confinement violation,
+# then benchjson gates the emitted metrics against the committed
+# BENCH_load.json baseline. Latency keys get a loose 3.0 (4x) threshold
+# — CI machines vary — while the deterministic metrics (error rates,
+# energy shares, rank perturbations) gate on absolute drift.
+load-short:
+	@mkdir -p bin
+	$(GO) build -o bin/swrecload ./cmd/swrecload
+	./bin/swrecload -preset short -out bin/BENCH_load_short.json
+	$(GO) run ./cmd/benchjson -in bin/BENCH_load_short.json -diff BENCH_load.json -threshold 3.0
+
+# load is the full-scale run: 10⁵ agents, 2×10⁴ products on the book
+# taxonomy, 60k open-loop events at 2000/s with Sybil, trust-spam, and
+# shilling attacks injected (several minutes; generation dominates).
+# Not part of check — run it before serving-path or trust-metric PRs.
+load:
+	@mkdir -p bin
+	$(GO) build -o bin/swrecload ./cmd/swrecload
+	./bin/swrecload -preset full -out bin/BENCH_load_full.json -slo=report -v
+
+# load-baseline re-records the committed short-scenario baseline.
+# Regenerate it deliberately (a latency-relevant change on a quiet
+# machine), never to silence a failing gate.
+load-baseline:
+	@mkdir -p bin
+	$(GO) build -o bin/swrecload ./cmd/swrecload
+	./bin/swrecload -preset short -out BENCH_load.json
 
 # profile captures CPU and allocation profiles of the cold-path serving
 # benchmark into bin/ and prints the top-10 hotspots of each — the

@@ -49,7 +49,7 @@ var packages string
 
 func init() {
 	Analyzer.Flags.StringVar(&packages, "packages",
-		"swrec/internal/faultinject,swrec/internal/datagen,swrec/internal/experiments",
+		"swrec/internal/faultinject,swrec/internal/datagen,swrec/internal/experiments,swrec/internal/loadgen,swrec/internal/attack",
 		"comma-separated import-path prefixes that must be seed-deterministic")
 }
 

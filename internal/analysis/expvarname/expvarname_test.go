@@ -18,6 +18,13 @@ func TestStrategyMap(t *testing.T) {
 	analyzertest.Run(t, expvarname.Analyzer, "swrec/internal/strategy")
 }
 
+// TestAPIMap covers the API layer's per-endpoint request map
+// (swrec_http): the published map names carry the prefix while the
+// dynamic <endpoint>_* keys added inside them are not published names.
+func TestAPIMap(t *testing.T) {
+	analyzertest.Run(t, expvarname.Analyzer, "swrec/internal/api")
+}
+
 // TestOutOfScopePackage guards the false-positive direction: code
 // outside swrec/internal (cmd/, examples/) may publish what it likes.
 func TestOutOfScopePackage(t *testing.T) {

@@ -1,0 +1,26 @@
+// Fixture for expvarname: the API layer's per-endpoint request map.
+// The map name itself must carry the swrec_ prefix; the dynamic
+// per-endpoint keys composed inside it (<endpoint>_requests,
+// <endpoint>_le_10ms, ...) are map keys, not published names, and must
+// not trip the analyzer.
+package api
+
+import "expvar"
+
+var apiStats = expvar.NewMap("swrec_api")
+
+var httpStats = expvar.NewMap("swrec_http")
+
+var badHTTPStats = expvar.NewMap("http_requests") // want `expvar name "http_requests" lacks the "swrec_" prefix`
+
+var badLatency = expvar.NewInt("api_latency_ns") // want `expvar name "api_latency_ns" lacks the "swrec_" prefix`
+
+// record mirrors the real handler's accounting: dynamic keys inside a
+// prefixed map are fine, as is a dynamic first argument to Publish-like
+// constructors (out of static reach).
+func record(endpoint, bucket string) {
+	apiStats.Add("requests", 1)
+	httpStats.Add(endpoint+"_requests", 1)
+	httpStats.Add(endpoint+"_errors", 1)
+	httpStats.Add(endpoint+"_"+bucket, 1)
+}

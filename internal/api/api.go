@@ -89,6 +89,82 @@ import (
 // process, published as "swrec_api" (requests, request_ns, status_NNN).
 var apiStats = expvar.NewMap("swrec_api")
 
+// httpStats breaks the request counters down per endpoint class,
+// published as "swrec_http". Keys are <endpoint>_requests,
+// <endpoint>_errors (status ≥ 500), and one disjoint latency bucket
+// <endpoint>_le_1ms | _le_10ms | _le_100ms | _le_1s | _gt_1s per
+// request (le_10ms counts service times in (1ms, 10ms], not a
+// cumulative histogram). The endpoint classes match the load harness's
+// endpoint names, so a BENCH_load.json report can be cross-checked
+// against /v1/metrics counts.
+var httpStats = expvar.NewMap("swrec_http")
+
+// endpointClass maps one request onto its swrec_http counter family.
+// It mirrors the mux plus handleAgentSubtree's suffix routing (the ID
+// segment of /v1/agents/{id} is an escaped URI, so the subtree action
+// is the suffix of the escaped path).
+func endpointClass(method, escapedPath string) string {
+	switch escapedPath {
+	case "/v1/healthz":
+		return "healthz"
+	case "/v1/metrics":
+		return "metrics"
+	case "/v1/stats":
+		return "stats"
+	case "/v1/strategies":
+		return "strategies"
+	case "/v1/agents":
+		if method == http.MethodPost {
+			return "write_join"
+		}
+		return "agents"
+	}
+	switch {
+	case strings.HasPrefix(escapedPath, "/v1/agents/"):
+		rest := strings.TrimPrefix(escapedPath, "/v1/agents/")
+		switch {
+		case strings.HasSuffix(rest, "/recommendations"):
+			return "recommendations"
+		case strings.HasSuffix(rest, "/neighbors"):
+			return "neighbors"
+		case strings.HasSuffix(rest, "/profile"):
+			return "profile"
+		case strings.HasSuffix(rest, "/trust"):
+			if method == http.MethodDelete {
+				return "delete_trust"
+			}
+			return "write_trust"
+		case strings.HasSuffix(rest, "/ratings"):
+			if method == http.MethodDelete {
+				return "delete_rating"
+			}
+			return "write_rating"
+		}
+		return "agent"
+	case strings.HasPrefix(escapedPath, "/v1/products/"):
+		return "product"
+	case strings.HasPrefix(escapedPath, "/v1/topics/"):
+		return "topic"
+	}
+	return "other"
+}
+
+// latencyBucket picks the one swrec_http bucket suffix d falls in.
+func latencyBucket(d time.Duration) string {
+	switch {
+	case d <= time.Millisecond:
+		return "le_1ms"
+	case d <= 10*time.Millisecond:
+		return "le_10ms"
+	case d <= 100*time.Millisecond:
+		return "le_100ms"
+	case d <= time.Second:
+		return "le_1s"
+	default:
+		return "gt_1s"
+	}
+}
+
 // Writer is the slice of the ingest pipeline the API needs: durable
 // acknowledgement of one validated mutation. *ingest.Pipeline satisfies
 // it; tests may substitute fakes.
@@ -177,9 +253,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeError(rec, http.StatusMethodNotAllowed, "method_not_allowed",
 			fmt.Sprintf("method %s not supported", r.Method))
 	}
+	elapsed := time.Since(start)
 	apiStats.Add("requests", 1)
-	apiStats.Add("request_ns", time.Since(start).Nanoseconds())
+	apiStats.Add("request_ns", elapsed.Nanoseconds())
 	apiStats.Add(fmt.Sprintf("status_%d", rec.status), 1)
+
+	ep := endpointClass(r.Method, r.URL.EscapedPath())
+	httpStats.Add(ep+"_requests", 1)
+	if rec.status >= 500 {
+		httpStats.Add(ep+"_errors", 1)
+	}
+	httpStats.Add(ep+"_"+latencyBucket(elapsed), 1)
 }
 
 // requestCtx derives the context bounding one read request: the

@@ -1,0 +1,140 @@
+package attack_test
+
+import (
+	"context"
+	"testing"
+
+	"swrec/internal/attack"
+	"swrec/internal/datagen"
+	"swrec/internal/ingest"
+	"swrec/internal/loadgen"
+)
+
+// scenarioWith builds a small community serving scenario carrying the
+// given attack specs.
+func scenarioWith(specs ...attack.Spec) *loadgen.Scenario {
+	sc := &loadgen.Scenario{
+		Name: "attack-test",
+		Seed: 11,
+		Community: loadgen.Community{
+			Agents: 150, Products: 200, Clusters: 5, MeanRatings: 7, MeanTrust: 6,
+		},
+		Workload: loadgen.Workload{Events: 1, Concurrency: 1},
+		Attacks:  specs,
+		Samples:  10,
+		TopK:     8,
+		Warmup:   true,
+	}
+	if err := sc.Validate(); err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// TestConfinementAcrossKinds is the paper-claim check in miniature:
+// fabricated structure must not buy trust-rank mass or displace honest
+// recommendations, and the one legitimate inflow (the Sybil bridge
+// edge) stays bounded.
+func TestConfinementAcrossKinds(t *testing.T) {
+	sc := scenarioWith(
+		attack.Spec{Kind: attack.SybilRing, Count: 10, VictimIdx: 7, PushProducts: 2},
+		attack.Spec{Kind: attack.TrustSpamHub, Count: 10, VictimIdx: 31, PushProducts: 2, FanoutTargets: 10},
+		attack.Spec{Kind: attack.ShillingClique, Count: 10, VictimIdx: 53, PushProducts: 2},
+	)
+	p, err := loadgen.BuildInProc(context.Background(), sc, "", ingest.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := p.MeasureAttacks(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports, want 3", len(reports))
+	}
+	byKind := map[attack.Kind]loadgen.AttackReport{}
+	for _, r := range reports {
+		byKind[r.Kind] = r
+	}
+
+	sybil := byKind[attack.SybilRing]
+	if sybil.EnergyShare <= 0 {
+		t.Error("sybil ring: bridge edge exists, energy share should be > 0")
+	}
+	if sybil.EnergyShare > 0.35 {
+		t.Errorf("sybil ring: energy share %.4f not confined; ring amplification leaked", sybil.EnergyShare)
+	}
+	// The similarity blend can only readmit attackers, never exclude
+	// them harder than pure trust weighting does.
+	if sybil.TrustGated.PushedRate > sybil.PushedRate {
+		t.Errorf("sybil ring: trust-gated pushed rate %.3f exceeds blended %.3f — gating made the attack stronger?",
+			sybil.TrustGated.PushedRate, sybil.PushedRate)
+	}
+
+	spam := byKind[attack.TrustSpamHub]
+	if spam.EnergyShare > 0.02 {
+		t.Errorf("trust-spam hub: energy share %.4f, want ~0 — out-edges must not buy energy", spam.EnergyShare)
+	}
+
+	shill := byKind[attack.ShillingClique]
+	if shill.EnergyShare != 0 {
+		t.Errorf("shilling clique: energy share %.4f, want 0 — no trust edges exist", shill.EnergyShare)
+	}
+	if shill.PushedRate > 0.25 {
+		t.Errorf("shilling clique: pushed items reached %.0f%% of sampled top-K despite trust gating",
+			100*shill.PushedRate)
+	}
+
+	for _, r := range reports {
+		if r.Samples == 0 {
+			t.Errorf("%s: zero samples measured", r.Kind)
+		}
+	}
+}
+
+// TestInjectDeterministic pins that injection is a pure function of
+// (community, spec, ordinal): same inputs, same identities and edges.
+func TestInjectDeterministic(t *testing.T) {
+	build := func() (*attack.Result, int) {
+		comm, _ := datagen.Generate(datagen.SmallScale())
+		res, err := attack.Inject(comm, comm.Agents(), attack.Spec{
+			Kind: attack.SybilRing, Count: 5, VictimIdx: 3, PushProducts: 2,
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, comm.NumAgents()
+	}
+	a, na := build()
+	b, nb := build()
+	if na != nb {
+		t.Fatalf("agent counts diverged: %d vs %d", na, nb)
+	}
+	for i := range a.IDs {
+		if a.IDs[i] != b.IDs[i] {
+			t.Fatalf("attacker %d: %s vs %s", i, a.IDs[i], b.IDs[i])
+		}
+	}
+	for i := range a.Pushed {
+		if a.Pushed[i] != b.Pushed[i] {
+			t.Fatalf("pushed %d: %s vs %s", i, a.Pushed[i], b.Pushed[i])
+		}
+	}
+	if a.Victim != b.Victim {
+		t.Fatalf("victims diverged: %s vs %s", a.Victim, b.Victim)
+	}
+}
+
+// TestInjectRejectsNonsense covers the input validation.
+func TestInjectRejectsNonsense(t *testing.T) {
+	comm, _ := datagen.Generate(datagen.SmallScale())
+	if _, err := attack.Inject(comm, comm.Agents(), attack.Spec{Kind: "no-such", Count: 3}, 0); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := attack.Inject(comm, comm.Agents(), attack.Spec{Kind: attack.SybilRing}, 0); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := attack.Inject(comm, nil, attack.Spec{Kind: attack.SybilRing, Count: 1}, 0); err == nil {
+		t.Error("empty community accepted")
+	}
+}

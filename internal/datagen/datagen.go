@@ -333,38 +333,42 @@ func Generate(cfg Config) (*model.Community, *Meta) {
 		_ = i
 	}
 
-	// Trust graph: preferential attachment. Track in-degrees and sample
-	// targets proportionally to indegree+1, mostly within the cluster.
-	indeg := make([]int, cfg.Agents)
-	pick := func(pool []int) int {
-		// Weighted reservoir over indegree+1; linear scan is fine at
-		// these sizes and keeps the generator dependency-free.
-		total := 0
-		for _, idx := range pool {
-			total += indeg[idx] + 1
+	// Trust graph: preferential attachment — targets sampled
+	// proportionally to indegree+1, mostly within the cluster. Weights
+	// live in Fenwick trees (one global, one per cluster), so each draw
+	// and each in-degree bump costs O(log n) instead of the linear pool
+	// scan that dominated generation beyond ~10^4 agents. The trees
+	// reproduce the scan's selection exactly (first index whose
+	// cumulative weight exceeds the draw), so communities are
+	// bit-identical to the pre-tree generator for every seed.
+	posInCluster := make([]int, cfg.Agents)
+	clusterTrees := make([]*fenwick, cfg.Clusters)
+	for k, idxs := range agentsByCluster {
+		clusterTrees[k] = newFenwick(len(idxs))
+		for local, idx := range idxs {
+			posInCluster[idx] = local
+			clusterTrees[k].Add(local, 1)
 		}
-		r := rng.Intn(total)
-		for _, idx := range pool {
-			r -= indeg[idx] + 1
-			if r < 0 {
-				return idx
-			}
-		}
-		return pool[len(pool)-1]
 	}
-	all := make([]int, cfg.Agents)
-	for i := range all {
-		all[i] = i
+	allTree := newFenwick(cfg.Agents)
+	for i := 0; i < cfg.Agents; i++ {
+		allTree.Add(i, 1)
+	}
+	bump := func(t int) { // indeg[t]++, in both trees
+		allTree.Add(t, 1)
+		clusterTrees[t%cfg.Clusters].Add(posInCluster[t], 1)
 	}
 	for i, id := range agents {
 		k := meta.AgentCluster[id]
 		n := geometric(rng, cfg.MeanTrust)
 		for j := 0; j < n; j++ {
-			pool := all
+			var t int
 			if rng.Float64() < cfg.ClusterFidelity && len(agentsByCluster[k]) > 1 {
-				pool = agentsByCluster[k]
+				tree := clusterTrees[k]
+				t = agentsByCluster[k][tree.FindPrefix(rng.Intn(tree.Total()))]
+			} else {
+				t = allTree.FindPrefix(rng.Intn(allTree.Total()))
 			}
-			t := pick(pool)
 			if t == i {
 				continue
 			}
@@ -376,11 +380,50 @@ func Generate(cfg Config) (*model.Community, *Meta) {
 				panic(err)
 			}
 			if v > 0 {
-				indeg[t]++
+				bump(t)
 			}
 		}
 	}
 	return comm, meta
+}
+
+// fenwick is a binary-indexed tree over non-negative integer weights:
+// O(log n) point updates and O(log n) inverse-CDF search. It backs the
+// preferential-attachment sampler at scale.
+type fenwick struct {
+	tree  []int // 1-based partial sums
+	total int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+// Total is the sum of all weights.
+func (f *fenwick) Total() int { return f.total }
+
+// Add increases the weight at 0-based index i by w.
+func (f *fenwick) Add(i, w int) {
+	f.total += w
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += w
+	}
+}
+
+// FindPrefix returns the smallest 0-based index i whose cumulative
+// weight sum(0..i) exceeds r — the element a linear `r -= w[i]; if r<0
+// return i` scan selects. r must be in [0, Total()).
+func (f *fenwick) FindPrefix(r int) int {
+	i := 0
+	mask := 1
+	for mask<<1 < len(f.tree) {
+		mask <<= 1
+	}
+	for ; mask > 0; mask >>= 1 {
+		if next := i + mask; next < len(f.tree) && f.tree[next] <= r {
+			i = next
+			r -= f.tree[i]
+		}
+	}
+	return i
 }
 
 // zipfPicker draws pool indices with Zipf rank weights 1/(r+1)^s,

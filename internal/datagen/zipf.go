@@ -1,0 +1,80 @@
+package datagen
+
+import "math"
+
+// Zipf is a seeded, counter-based Zipf popularity sampler: Pick(i) draws
+// the item index for the i-th event as a pure function of (seed, i),
+// with rank weights 1/(r+1)^s. Because there is no generator state to
+// advance, any number of workers drawing disjoint event-index ranges
+// reproduce exactly the sequence a single worker would draw — the
+// determinism contract the load harness (internal/loadgen) leans on to
+// keep scenario event sequences identical across worker counts.
+//
+// s = 0 degrades to a uniform draw. The cumulative weight table costs
+// O(n) once at construction; each Pick is one hash plus a binary search.
+type Zipf struct {
+	seed int64
+	n    int
+	cum  []float64 // cumulative rank weights; nil when uniform
+}
+
+// NewZipf builds a sampler over n items with skew s ≥ 0. n must be ≥ 1.
+func NewZipf(seed int64, s float64, n int) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	z := &Zipf{seed: seed, n: n}
+	if s > 0 && n > 1 {
+		z.cum = make([]float64, n)
+		total := 0.0
+		for r := 0; r < n; r++ {
+			total += math.Pow(float64(r+1), -s)
+			z.cum[r] = total
+		}
+	}
+	return z
+}
+
+// N returns the item count the sampler draws from.
+func (z *Zipf) N() int { return z.n }
+
+// Pick returns the item index in [0, N()) for event i.
+func (z *Zipf) Pick(i uint64) int {
+	u := Uniform01(z.seed, i)
+	if z.cum == nil {
+		idx := int(u * float64(z.n))
+		if idx >= z.n { // u is in [0,1); guard the closed edge anyway
+			idx = z.n - 1
+		}
+		return idx
+	}
+	x := u * z.cum[z.n-1]
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Uniform01 returns a uniform float64 in [0,1) as a pure function of
+// (seed, counter) — the stateless randomness primitive behind Zipf,
+// exported so load scenarios can derive other per-event decisions
+// (read/write choice, endpoint mix, churn) from the same determinism
+// model.
+func Uniform01(seed int64, counter uint64) float64 {
+	return float64(mix64(uint64(seed)^mix64(counter))>>11) / (1 << 53)
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap, well-distributed bijection
+// on 64-bit words.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,94 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"swrec/internal/ingest"
+)
+
+// TestScaleProbe times the cost structure of the full preset on the
+// current hardware. It is not a correctness test; run it explicitly:
+//
+//	SWREC_SCALE_PROBE=1 go test ./internal/loadgen -run TestScaleProbe -v -timeout 1h
+func TestScaleProbe(t *testing.T) {
+	if os.Getenv("SWREC_SCALE_PROBE") == "" {
+		t.Skip("set SWREC_SCALE_PROBE=1 to run the scale probe")
+	}
+	sc := Full()
+	sc.Attacks = sc.Attacks[:1]
+	sc.Samples = 4
+
+	stamp := func(label string, since time.Time) time.Time {
+		now := time.Now()
+		fmt.Printf("PROBE %-24s %v\n", label, now.Sub(since))
+		return now
+	}
+
+	start := time.Now()
+	p, err := BuildInProc(context.Background(), sc, t.TempDir(), ingest.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	now := stamp("build (gen+inject+2 engines)", start)
+
+	c := Client{T: HandlerTarget{Handler: p.Handler}}
+	ag := p.Resolver.AgentRef(12345)
+	if _, err := c.Recommendations(ag, sc.TopK); err != nil {
+		t.Fatal(err)
+	}
+	now = stamp("cold recommendation", now)
+	if _, err := c.Recommendations(ag, sc.TopK); err != nil {
+		t.Fatal(err)
+	}
+	now = stamp("warm recommendation", now)
+	for i := 0; i < 8; i++ {
+		if _, err := c.Recommendations(p.Resolver.AgentRef(1000+i*777), sc.TopK); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = stamp("8 more cold recs", now)
+
+	reports, err := p.MeasureAttacks(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamp("MeasureAttacks (1 atk, 4 samples)", now)
+	fmt.Printf("PROBE report: %+v\n", reports[0].Confinement)
+}
+
+// TestPlanUniqueTargets sizes the full preset: it counts the unique
+// agents the expensive endpoints (recommendations/neighbors) touch for
+// candidate event-count / skew combinations, which at ~0.36s per cold
+// neighborhood on the reference box is what decides the wall time.
+func TestPlanUniqueTargets(t *testing.T) {
+	if os.Getenv("SWREC_SCALE_PROBE") == "" {
+		t.Skip("set SWREC_SCALE_PROBE=1 to run the scale probe")
+	}
+	for _, cand := range []struct {
+		events int
+		zipfS  float64
+	}{
+		{60000, 1.1}, {20000, 1.1}, {20000, 1.3}, {15000, 1.4}, {12000, 1.4}, {12000, 1.5}, {20000, 1.5},
+	} {
+		sc := Full()
+		sc.Workload.Events = cand.events
+		sc.Workload.ZipfS = cand.zipfS
+		events := Plan(sc)
+		unique := map[int]bool{}
+		heavy := 0
+		for i := range events {
+			ev := &events[i]
+			if ev.Endpoint == EpRecommendations || ev.Endpoint == EpNeighbors {
+				heavy++
+				unique[ev.Agent] = true
+			}
+		}
+		fmt.Printf("PROBE events=%d zipfS=%.2f heavy=%d unique=%d est_cold_wall=%.0fs\n",
+			cand.events, cand.zipfS, heavy, len(unique), float64(len(unique))*0.36)
+	}
+}
