@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet lint lint-note test race cover bench bench-diff bench-diff-short profile fuzz fuzz-smoke chaos chaos-short load load-short load-baseline experiments experiments-paper examples clean
+.PHONY: all build check fmt vet lint lint-note test race cover bench bench-diff bench-diff-short profile fuzz fuzz-smoke chaos chaos-short recovery-smoke load load-short load-baseline experiments experiments-paper examples clean
 
 all: build check
 
@@ -13,10 +13,11 @@ all: build check
 # fast, without waiting out the race-detector suite), the full test
 # suite under the race detector (the serving engine is exercised
 # concurrently), a short fuzz smoke of the RDF parsers, the short-mode
-# chaos suite, a short benchmark-regression probe of the serving hot
-# path, and the short production-load scenario with its adversarial
-# trust attacks (see README "Load & attack harness").
-check: fmt vet lint race fuzz-smoke chaos-short bench-diff-short load-short
+# chaos suite, the checkpoint recovery smoke, a short benchmark-
+# regression probe of the serving hot path, and the short production-
+# load scenario with its adversarial trust attacks (see README "Load &
+# attack harness").
+check: fmt vet lint race fuzz-smoke chaos-short recovery-smoke bench-diff-short load-short
 
 # lint builds the swrecvet multichecker once and drives it through
 # go vet, so the project analyzers (ctxflow, detrand, durableerr,
@@ -62,7 +63,7 @@ cover:
 # results as JSON for cross-commit comparison.
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem \
-		./internal/engine/ ./internal/wal/ ./internal/ingest/ \
+		./internal/engine/ ./internal/wal/ ./internal/ingest/ ./internal/checkpoint/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_engine.json
 
 # bench-diff reruns the benchmark suite and fails when any benchmark
@@ -70,7 +71,7 @@ bench:
 # BENCH_engine.json baseline.
 bench-diff:
 	$(GO) test -run=^$$ -bench=. -benchmem \
-		./internal/engine/ ./internal/wal/ ./internal/ingest/ \
+		./internal/engine/ ./internal/wal/ ./internal/ingest/ ./internal/checkpoint/ \
 		| $(GO) run ./cmd/benchjson -diff BENCH_engine.json
 
 # bench-diff-short is the quick form run as part of check: only the
@@ -134,6 +135,14 @@ chaos:
 # chaos-short is the scaled-down variant run as part of check.
 chaos-short:
 	$(GO) test -short -run TestChaos ./internal/faultinject/ -chaos.seed=$(CHAOS_SEED)
+
+# recovery-smoke is the checkpoint restart gate run as part of check:
+# build a corpus through the real ingest pipeline, write compiled
+# checkpoints, corrupt the newest one, and require the recovery ladder
+# to land on the previous retained checkpoint (rung 2) with the WAL
+# tail replayed — a fall-through to corpus recompute (rung 4) fails.
+recovery-smoke:
+	$(GO) test -run 'TestRecoverySmoke|TestRestoredMatchesFromScratch' ./internal/checkpoint/
 
 # Short fuzz pass over the RDF parsers (see internal/rdf/fuzz_test.go).
 fuzz:

@@ -9,7 +9,9 @@
 //
 //	swrecd [-addr 127.0.0.1:8080] [-in DIR | -scale small|paper -seed N]
 //	       [-metric appleseed|advogato|pathtrust|none] [-alpha 0.5]
+//	       [-trust-threshold 0] [-max-neighbors 0]
 //	       [-warm] [-shutdown-timeout 10s] [-wal DIR]
+//	       [-checkpoint-every 64] [-checkpoint-retain 2]
 //	       [-request-budget 50ms] [-compute-budget 2s]
 //	       [-strategy-min-peers 3] [-strategy-min-overlap 0.1]
 //	       [-strategy-hop-decay 0.5] [-strategy-ancestor-depth 2]
@@ -18,10 +20,21 @@
 // With -wal the server opens the durable write path (internal/ingest):
 // POST/DELETE endpoints on /v1/agents accept first-party mutations,
 // acknowledged once appended to the write-ahead log under DIR and made
-// visible through epoch snapshot swaps. On restart the server loads the
-// last checkpointed community from DIR (falling back to -in/-scale when
-// no checkpoint exists) and replays only the WAL records past the
-// checkpoint. Shutdown checkpoints, so a clean restart replays nothing.
+// visible through epoch snapshot swaps. On restart the server walks the
+// recovery ladder (internal/checkpoint): newest compiled checkpoint,
+// older retained checkpoint, corpus snapshot + full WAL replay, and
+// finally -in/-scale corpus recompute — then replays only the WAL
+// records the recovered state does not cover. While running, a compiled
+// checkpoint is written in the background every -checkpoint-every
+// published snapshots (and at shutdown), retaining -checkpoint-retain
+// files, so the next restart restores the compiled engine state — CSR
+// profile rows, topic index, warm caches — in O(file size) without
+// recomputing Appleseed or Eq. 3 (see README "Checkpoints & recovery").
+//
+// -trust-threshold and -max-neighbors wire the §3.3 neighborhood gates:
+// peers below the normalized trust-rank threshold (in [0,1)) are
+// dropped, and at most max-neighbors peers (0 = unlimited) proceed to
+// rank synthesis and voting.
 //
 // Endpoints (see internal/api for the response envelope):
 //
@@ -68,10 +81,12 @@ import (
 	"swrec"
 	"swrec/internal/api"
 	"swrec/internal/cf"
+	"swrec/internal/checkpoint"
 	"swrec/internal/core"
 	"swrec/internal/datagen"
 	"swrec/internal/engine"
 	"swrec/internal/ingest"
+	"swrec/internal/model"
 	"swrec/internal/strategy"
 )
 
@@ -82,10 +97,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	metric := flag.String("metric", "appleseed", "trust metric: appleseed | advogato | pathtrust | none")
 	alpha := flag.Float64("alpha", 0.5, "rank synthesization blend")
+	trustThreshold := flag.Float64("trust-threshold", 0, "drop peers whose normalized trust rank falls below this, in [0,1) (0 = keep all)")
+	maxNeighbors := flag.Int("max-neighbors", 0, "cap on peers proceeding to rank synthesis and voting (0 = unlimited)")
 	warm := flag.Bool("warm", true, "precompute all agent profiles and neighborhoods at startup")
 	warmupWorkers := flag.Int("warmup-workers", 0, "warmup worker pool size (0 = GOMAXPROCS)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	walDir := flag.String("wal", "", "write-ahead log directory; enables the durable write endpoints")
+	ckptEvery := flag.Int("checkpoint-every", 64, "write a compiled checkpoint every N published snapshots (0 = disabled; requires -wal)")
+	ckptRetain := flag.Int("checkpoint-retain", 2, "compiled checkpoint files retained for the recovery ladder (min 1)")
 	requestBudget := flag.Duration("request-budget", 0, "per-request deadline for read endpoints; misses serve a degraded cached answer or 504 (0 = unbounded)")
 	computeBudget := flag.Duration("compute-budget", 0, "cap on a detached cold-path computation after its request gave up (0 = unbounded)")
 	stratMinPeers := flag.Int("strategy-min-peers", 0, "peer count below which the neighborhood counts as thin (0 = default 3)")
@@ -98,45 +117,49 @@ func main() {
 
 	logger := log.New(os.Stderr, "swrecd: ", log.LstdFlags)
 
-	var comm *swrec.Community
-	if *walDir != "" {
-		base, cp, ok, err := ingest.LoadBase(*walDir)
-		if err != nil {
-			fatal(err)
-		}
-		if ok {
-			comm = base
-			logger.Printf("restored checkpoint from %s (epoch %d, seq %d): %d agents, %d products",
-				*walDir, cp.Epoch, cp.Seq, comm.NumAgents(), comm.NumProducts())
-		}
+	// Boot-time flag validation: fail loud before any state is touched.
+	if *trustThreshold < 0 || *trustThreshold >= 1 {
+		fatal(fmt.Errorf("-trust-threshold must be in [0,1), got %v", *trustThreshold))
 	}
-	if comm != nil {
-		// Base came from the WAL checkpoint.
-	} else if *inDir != "" {
-		var err error
-		comm, err = swrec.ImportCorpus(*inDir)
-		if err != nil {
-			fatal(err)
+	if *maxNeighbors < 0 {
+		fatal(fmt.Errorf("-max-neighbors must be >= 0, got %d", *maxNeighbors))
+	}
+	if *ckptEvery < 0 {
+		fatal(fmt.Errorf("-checkpoint-every must be >= 0, got %d", *ckptEvery))
+	}
+	if *ckptRetain < 1 {
+		fatal(fmt.Errorf("-checkpoint-retain must be >= 1, got %d", *ckptRetain))
+	}
+
+	// loadCorpus materializes the -in / -scale community — the direct
+	// source without -wal, and the recovery ladder's rung-4 source of
+	// last resort with it.
+	loadCorpus := func() (*model.Community, error) {
+		if *inDir != "" {
+			comm, err := swrec.ImportCorpus(*inDir)
+			if err != nil {
+				return nil, err
+			}
+			logger.Printf("serving corpus %s: %d agents, %d products",
+				*inDir, comm.NumAgents(), comm.NumProducts())
+			return comm, nil
 		}
-		logger.Printf("serving corpus %s: %d agents, %d products",
-			*inDir, comm.NumAgents(), comm.NumProducts())
-	} else {
 		cfg := datagen.SmallScale()
 		if *scale == "paper" {
 			cfg = datagen.PaperScale()
 		}
 		cfg.Seed = *seed
-		comm, _ = swrec.GenerateCommunity(cfg)
+		comm, _ := swrec.GenerateCommunity(cfg)
 		logger.Printf("serving generated %s community: %d agents, %d products",
 			*scale, comm.NumAgents(), comm.NumProducts())
+		return comm, nil
 	}
 
 	opt := core.Options{
 		Alpha: *alpha, AlphaSet: true,
-		CF: cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy},
-	}
-	if comm.Taxonomy() == nil {
-		opt.CF.Representation = cf.Product
+		TrustThreshold: *trustThreshold,
+		MaxNeighbors:   *maxNeighbors,
+		CF:             cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy},
 	}
 	switch *metric {
 	case "appleseed":
@@ -162,16 +185,54 @@ func main() {
 			stratCfg.Disable = append(stratCfg.Disable, strategy.Procedure(strings.TrimSpace(name)))
 		}
 	}
+	engCfg := engine.Config{ComputeBudget: *computeBudget, Strategy: stratCfg}
 
-	eng, err := engine.New(comm, opt, engine.Config{ComputeBudget: *computeBudget, Strategy: stratCfg})
-	if err != nil {
-		fatal(err)
+	// Build the engine: with -wal, walk the recovery ladder (compiled
+	// checkpoint → older checkpoint → corpus snapshot + WAL replay →
+	// corpus recompute); without, load the corpus directly.
+	var eng *engine.Engine
+	var recoverSeq uint64
+	warmNeeded := *warm
+	if *walDir != "" {
+		res, err := checkpoint.Recover(checkpoint.RecoverConfig{
+			WALDir:  *walDir,
+			Options: opt,
+			Engine:  engCfg,
+			Corpus:  loadCorpus,
+			Logf:    logger.Printf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		logger.Printf("recovery: source=%s rung=%d epoch=%d seq=%d load=%v",
+			res.Source, res.Rung, res.Epoch, res.Seq, res.Load.Round(time.Millisecond))
+		eng = res.Engine
+		recoverSeq = res.Seq
+		if res.Rung <= 2 {
+			// The checkpoint restored the warm caches; a warmup pass would
+			// only recompute what the restart was meant to avoid.
+			warmNeeded = false
+			logger.Printf("serving warm from checkpoint %s", res.Path)
+		}
+	} else {
+		comm, err := loadCorpus()
+		if err != nil {
+			fatal(err)
+		}
+		if comm.Taxonomy() == nil {
+			opt.CF.Representation = cf.Product
+		}
+		eng, err = engine.New(comm, opt, engCfg)
+		if err != nil {
+			fatal(err)
+		}
 	}
+	comm := eng.Snapshot().Community()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	if *warm {
+	if warmNeeded {
 		// Bounded by the shutdown context: a signal during warmup stops
 		// the pass instead of grinding through the remaining corpus.
 		res := eng.WarmupCtx(ctx, *warmupWorkers)
@@ -184,7 +245,9 @@ func main() {
 	apiCfg := api.Config{ReadBudget: *requestBudget, CompatDegraded: *compatDegraded}
 	handler := api.NewWithConfig(eng, nil, apiCfg)
 	if *walDir != "" {
-		pipe, err = ingest.Open(eng, *walDir, ingest.Config{})
+		icfg := ingest.Config{CheckpointEvery: *ckptEvery, CheckpointRetain: *ckptRetain}
+		var err error
+		pipe, err = ingest.OpenFrom(eng, *walDir, icfg, recoverSeq)
 		if err != nil {
 			fatal(err)
 		}

@@ -25,6 +25,14 @@ func TestAPIMap(t *testing.T) {
 	analyzertest.Run(t, expvarname.Analyzer, "swrec/internal/api")
 }
 
+// TestRecoveryMap covers the recovery ladder's counter map
+// (swrec_recovery): the published map name must carry the prefix, while
+// the last_* gauges and per-source keys set inside it are not published
+// names.
+func TestRecoveryMap(t *testing.T) {
+	analyzertest.Run(t, expvarname.Analyzer, "swrec/internal/checkpoint")
+}
+
 // TestOutOfScopePackage guards the false-positive direction: code
 // outside swrec/internal (cmd/, examples/) may publish what it likes.
 func TestOutOfScopePackage(t *testing.T) {

@@ -7,11 +7,15 @@ type Map struct{}
 
 func (m *Map) Add(key string, delta int64) {}
 
+func (m *Map) Set(key string, av Var) {}
+
 func (m *Map) String() string { return "" }
 
 type Int struct{}
 
 func (i *Int) Add(delta int64) {}
+
+func (i *Int) Set(v int64) {}
 
 func (i *Int) String() string { return "" }
 

@@ -1,0 +1,22 @@
+// Fixture for expvarname: the recovery ladder's expvar map, plus the
+// name shapes a recovery-path refactor might slip in.
+package checkpoint
+
+import "expvar"
+
+var recoveryStats = expvar.NewMap("swrec_recovery")
+
+var ladderStats = expvar.NewMap("recovery_ladder") // want `expvar name "recovery_ladder" lacks the "swrec_" prefix`
+
+var lastRungBad = expvar.NewInt("recovery_last_rung") // want `expvar name "recovery_last_rung" lacks the "swrec_" prefix`
+
+// gauge keys set inside the published map are not published names
+// (false-positive guard): the ladder records last_rung/last_epoch/
+// last_seq/last_load_ms gauges and per-source counters.
+func record(source string, rung int64) {
+	var lastRung expvar.Int
+	lastRung.Set(rung)
+	recoveryStats.Set("last_rung", &lastRung)
+	recoveryStats.Add("recoveries", 1)
+	recoveryStats.Add("source_"+source, 1)
+}

@@ -1,0 +1,80 @@
+package checkpoint
+
+import (
+	"fmt"
+	"testing"
+
+	"swrec/internal/datagen"
+	"swrec/internal/engine"
+)
+
+// The acceptance benchmark for checkpointed restarts: loading the
+// compiled snapshot must beat recomputing it (engine build + full
+// warmup) by at least an order of magnitude at the bench community
+// sizes, because Load is O(file size) while the recompute runs
+// Appleseed and Eq. 3 for every agent.
+//
+//	go test -bench=. -benchmem ./internal/checkpoint/
+
+func benchEngine(b *testing.B, agents int) *engine.Engine {
+	b.Helper()
+	cfg := datagen.SmallScale()
+	cfg.Agents = agents
+	cfg.Products = agents * 2
+	comm, _ := datagen.Generate(cfg)
+	eng, err := engine.New(comm, testOptions(), testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkCheckpointLoad measures a warm restart: read, checksum-
+// validate, decode, and restore one compiled checkpoint into a serving
+// engine.
+func BenchmarkCheckpointLoad(b *testing.B) {
+	for _, agents := range []int{100, 200, 400} {
+		b.Run(fmt.Sprintf("agents=%d", agents), func(b *testing.B) {
+			eng := benchEngine(b, agents)
+			eng.Warmup(0)
+			path, err := WriteImage(b.TempDir(), Capture(eng.Snapshot(), 1), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				img, err := Load(path, testOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := img.Restore(testConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColdRecompute measures the restart path a checkpoint avoids:
+// building the engine from the corpus and warming every agent's
+// neighborhood and profile from scratch.
+func BenchmarkColdRecompute(b *testing.B) {
+	for _, agents := range []int{100, 200, 400} {
+		b.Run(fmt.Sprintf("agents=%d", agents), func(b *testing.B) {
+			cfg := datagen.SmallScale()
+			cfg.Agents = agents
+			cfg.Products = agents * 2
+			comm, _ := datagen.Generate(cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := engine.New(comm, testOptions(), testConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Warmup(0)
+			}
+		})
+	}
+}

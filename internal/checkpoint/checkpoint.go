@@ -1,0 +1,802 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"swrec/internal/cf"
+	"swrec/internal/core"
+	"swrec/internal/engine"
+	"swrec/internal/index"
+	"swrec/internal/model"
+	"swrec/internal/profmat"
+	"swrec/internal/sparse"
+	"swrec/internal/taxonomy"
+)
+
+// Image is one decoded (or captured) checkpoint: everything a restart
+// needs to serve the first warm request without recomputing trust or
+// similarity state. Encode(Decode(Encode(img))) is byte-identical — the
+// round-trip property the format tests pin.
+type Image struct {
+	// Epoch and Seq are the epoch↔WAL-sequence mapping: the snapshot
+	// reflects every WAL record with sequence <= Seq, published as Epoch.
+	Epoch uint64
+	Seq   uint64
+	// Options is the engine option set the snapshot was compiled under;
+	// Load fails with ErrOptions when it does not match the caller's.
+	Options core.Options
+	// Community is the full statement state (agents, products, trust,
+	// ratings) over its taxonomy.
+	//nolint:snapshotpin -- an Image is a transient encode/decode carrier scoped to one Capture/Encode or Load/Restore call, not cached serving state; it never outlives the epoch it describes
+	Community *model.Community
+	// Rows holds the compiled CSR profile rows, parallel to
+	// Community.Agents(); nil when the representation is not compilable.
+	Rows []profmat.Row
+	// Topics/Postings are the topic index in canonical export order; nil
+	// Topics means the index was not captured.
+	Topics   []taxonomy.Topic
+	Postings [][]model.ProductID
+	HasIndex bool
+	// Peers and Profiles are the warm cache contents in LRU order
+	// (least recently used first, so replaying them through the caches
+	// reproduces recency).
+	Peers    []engine.PeersEntry
+	Profiles []engine.ProfileEntry
+}
+
+// optSig fingerprints the option fields that shape compiled state.
+// Options.Candidates is a func and deliberately excluded: a custom
+// candidate hook cannot be serialized, and engines using one should not
+// share checkpoints with engines that do not — so its presence is part
+// of the signature.
+func optSig(o core.Options) string {
+	return fmt.Sprintf("metric=%d as=%+v adv=%+v pt=%+v cf=%d/%d/%g/%t tt=%g mn=%d cand=%t a=%g/%t merge=%d content=%d boost=%g",
+		o.Metric, o.Appleseed, o.Advogato, o.PathTrust,
+		o.CF.Measure, o.CF.Representation, o.CF.ProfileScore, o.CF.WeightByRating,
+		o.TrustThreshold, o.MaxNeighbors, o.Candidates != nil,
+		o.Alpha, o.AlphaSet, o.Merge, o.Content, o.ContentBoost)
+}
+
+// Capture snapshots the serving state of snap as an Image covering WAL
+// records up to seq. It reads only immutable snapshot state (plus the
+// warm caches, which are concurrency-safe), so it can run off the ingest
+// worker while the snapshot keeps serving.
+func Capture(snap *engine.Snapshot, seq uint64) *Image {
+	img := &Image{
+		Epoch:     snap.Epoch(),
+		Seq:       seq,
+		Options:   snap.Options(),
+		Community: snap.Community(),
+		Peers:     snap.ExportPeers(),
+		Profiles:  snap.ExportProfiles(),
+	}
+	comm := img.Community
+	if mat := snap.Recommender().Filter().Matrix(); mat != nil {
+		ids := comm.Agents()
+		img.Rows = make([]profmat.Row, len(ids))
+		for i, id := range ids {
+			if r := mat.Row(id); r != nil {
+				img.Rows[i] = *r
+			}
+		}
+	}
+	img.Topics, img.Postings = snap.TopicIndex().Export()
+	img.HasIndex = true
+	return img
+}
+
+// Encode serializes the image into the checkpoint wire format.
+func Encode(img *Image) []byte {
+	comm := img.Community
+	agents := comm.Agents()
+	products := comm.Products()
+	agentOrd := make(map[model.AgentID]uint64, len(agents))
+	for i, id := range agents {
+		agentOrd[id] = uint64(i)
+	}
+	prodOrd := make(map[model.ProductID]uint64, len(products))
+	for i, id := range products {
+		prodOrd[id] = uint64(i)
+	}
+	tax := comm.Taxonomy()
+
+	var out []byte
+	out = append(out, fileMagic...)
+	var hdr enc
+	hdr.u32(fileVersion)
+	sections := 7 // meta, agents, products, trust, ratings, peers, profiles
+	if tax != nil {
+		sections++
+	}
+	if img.Rows != nil {
+		sections++
+	}
+	if img.HasIndex {
+		sections++
+	}
+	hdr.u32(uint32(sections))
+	out = append(out, hdr.b...)
+
+	// META: the epoch↔sequence mapping, option signature, and shape flags.
+	var meta enc
+	meta.uv(img.Epoch)
+	meta.uv(img.Seq)
+	meta.str(optSig(img.Options))
+	var flags uint8
+	if tax != nil {
+		flags |= 1
+	}
+	if img.Rows != nil {
+		flags |= 2
+	}
+	if img.HasIndex {
+		flags |= 4
+	}
+	meta.u8(flags)
+	meta.uv(uint64(len(agents)))
+	meta.uv(uint64(len(products)))
+	out = frame(out, secMeta, meta.b)
+
+	// TAXONOMY: nodes in topic order; Add assigns parents before
+	// children, so a rebuild replays Add per node (primary parent) and
+	// AddEdge per extra parent.
+	if tax != nil {
+		var e enc
+		e.str(tax.Name(taxonomy.Root))
+		e.uv(uint64(tax.Len() - 1))
+		for d := taxonomy.Topic(1); int(d) < tax.Len(); d++ {
+			e.str(tax.Name(d))
+			parents := tax.Parents(d)
+			e.uv(uint64(parents[0]))
+			e.uv(uint64(len(parents) - 1))
+			for _, p := range parents[1:] {
+				e.uv(uint64(p))
+			}
+		}
+		out = frame(out, secTaxonomy, e.b)
+	}
+
+	// AGENTS: insertion order defines the dense ordinal every other
+	// section references.
+	var ea enc
+	for _, id := range agents {
+		ea.str(string(id))
+		ea.str(comm.Agent(id).Name)
+	}
+	out = frame(out, secAgents, ea.b)
+
+	// PRODUCTS: catalog entries with their topic descriptors.
+	var ep enc
+	for _, pid := range products {
+		p := comm.Product(pid)
+		ep.str(string(p.ID))
+		ep.str(p.Title)
+		ep.str(p.ISBN)
+		ep.uv(uint64(len(p.Topics)))
+		for _, d := range p.Topics {
+			ep.uv(uint64(d))
+		}
+	}
+	out = frame(out, secProducts, ep.b)
+
+	// TRUST: per-agent adjacency in the deterministic TrustedPeers order.
+	var et enc
+	for _, id := range agents {
+		peers := comm.Agent(id).TrustedPeers()
+		et.uv(uint64(len(peers)))
+		for _, st := range peers {
+			et.uv(agentOrd[st.Dst])
+			et.f64(st.Value)
+		}
+	}
+	out = frame(out, secTrust, et.b)
+
+	// RATINGS: per-agent statements in the deterministic RatedProducts
+	// order.
+	var er enc
+	for _, id := range agents {
+		ratings := comm.Agent(id).RatedProducts()
+		er.uv(uint64(len(ratings)))
+		for _, rt := range ratings {
+			er.uv(prodOrd[rt.Product])
+			er.f64(rt.Value)
+		}
+	}
+	out = frame(out, secRatings, er.b)
+
+	// PROFMAT: the CSR arenas — row lengths, then the key arena, the
+	// value arena, and per-row norm/sum, all fixed-width so a loader can
+	// walk them without per-entry branching.
+	if img.Rows != nil {
+		var em enc
+		em.uv(uint64(len(img.Rows)))
+		for i := range img.Rows {
+			em.u32(uint32(img.Rows[i].NNZ()))
+		}
+		for i := range img.Rows {
+			for _, k := range img.Rows[i].Keys {
+				em.u32(uint32(k))
+			}
+		}
+		for i := range img.Rows {
+			for _, v := range img.Rows[i].Vals {
+				em.f64(v)
+			}
+		}
+		for i := range img.Rows {
+			em.f64(img.Rows[i].Norm)
+			em.f64(img.Rows[i].Sum)
+		}
+		out = frame(out, secProfmat, em.b)
+	}
+
+	// TOPICINDEX: postings per populated topic, catalog order preserved.
+	if img.HasIndex {
+		var ei enc
+		ei.uv(uint64(len(img.Topics)))
+		for i, d := range img.Topics {
+			ei.uv(uint64(d))
+			ei.uv(uint64(len(img.Postings[i])))
+			for _, pid := range img.Postings[i] {
+				ei.uv(prodOrd[pid])
+			}
+		}
+		out = frame(out, secTopicIndex, ei.b)
+	}
+
+	// PEERS: warm neighborhoods in LRU order. Ranks are fixed-width
+	// records (peerRankSize bytes) so the decoder can size one arena for
+	// the whole cache and fill it with bulk reads — the neighborhoods are
+	// by far the largest variable-size payload in the file.
+	var ew enc
+	ew.uv(uint64(len(img.Peers)))
+	for _, entry := range img.Peers {
+		ew.uv(agentOrd[entry.Agent])
+		ew.str(entry.Pipe)
+		ew.uv(uint64(len(entry.Peers)))
+		for _, pr := range entry.Peers {
+			ew.u32(uint32(agentOrd[pr.Agent]))
+			ew.f64(pr.Trust)
+			ew.f64(pr.Sim)
+			if pr.SimOK {
+				ew.u8(1)
+			} else {
+				ew.u8(0)
+			}
+			ew.f64(pr.Weight)
+		}
+	}
+	out = frame(out, secPeers, ew.b)
+
+	// PROFILES: warm Eq. 3 profiles in LRU order, entries sorted by key.
+	var ef enc
+	ef.uv(uint64(len(img.Profiles)))
+	for _, entry := range img.Profiles {
+		ef.uv(agentOrd[entry.Agent])
+		es := entry.Profile.Entries()
+		ef.uv(uint64(len(es)))
+		for _, kv := range es {
+			ef.uv(uint64(kv.Key))
+			ef.f64(kv.Value)
+		}
+	}
+	out = frame(out, secProfiles, ef.b)
+
+	// Footer: whole-file checksum.
+	var foot enc
+	foot.u32(footerMagic)
+	foot.u32(crc32.ChecksumIEEE(out))
+	return append(out, foot.b...)
+}
+
+// Decode parses and validates a checkpoint file image. opt is the option
+// set the caller intends to serve with; when the stored signature does
+// not match it (or, for a taxonomy-less checkpoint, its Product-
+// representation variant), Decode fails with ErrOptions. The returned
+// image's Options field is the accepted variant.
+func Decode(data []byte, opt core.Options) (*Image, error) {
+	secs, err := deframe(data)
+	if err != nil {
+		return nil, err
+	}
+	need := func(id uint32, what string) (*dec, error) {
+		b, ok := secs[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: missing %s section", ErrCorrupt, what)
+		}
+		return &dec{b: b}, nil
+	}
+
+	meta, err := need(secMeta, "meta")
+	if err != nil {
+		return nil, err
+	}
+	img := &Image{Epoch: meta.uv(), Seq: meta.uv()}
+	sig := meta.str()
+	flags := meta.u8()
+	// The counts are validated against the agents/products sections below
+	// (count checks space in the section being decoded, and the entries
+	// live there, not in meta).
+	rawAgents := meta.uv()
+	rawProducts := meta.uv()
+	if meta.err != nil {
+		return nil, meta.err
+	}
+	hasTax := flags&1 != 0
+	hasMat := flags&2 != 0
+	img.HasIndex = flags&4 != 0
+	if !hasTax {
+		// A taxonomy-less community cannot serve taxonomy-space profiles;
+		// the engine that wrote this checkpoint ran the Product
+		// representation, so that is the variant to match.
+		opt.CF.Representation = cf.Product
+	}
+	if sig != optSig(opt) {
+		return nil, fmt.Errorf("%w: file has %q, want %q", ErrOptions, sig, optSig(opt))
+	}
+	img.Options = opt
+
+	// TAXONOMY.
+	var tax *taxonomy.Taxonomy
+	if hasTax {
+		d, err := need(secTaxonomy, "taxonomy")
+		if err != nil {
+			return nil, err
+		}
+		tax = taxonomy.New(d.str())
+		n := d.count(d.uv(), 2, "taxonomy node")
+		type edge struct{ parent, child taxonomy.Topic }
+		var extra []edge
+		for i := 0; i < n && d.err == nil; i++ {
+			name := d.str()
+			primary := taxonomy.Topic(d.uv())
+			nextra := d.count(d.uv(), 1, "taxonomy edge")
+			got, err := tax.Add(primary, name)
+			if d.err == nil && err != nil {
+				return nil, fmt.Errorf("%w: taxonomy rebuild: %v", ErrCorrupt, err)
+			}
+			if d.err == nil && int(got) != i+1 {
+				return nil, fmt.Errorf("%w: taxonomy node order", ErrCorrupt)
+			}
+			for j := 0; j < nextra; j++ {
+				extra = append(extra, edge{parent: taxonomy.Topic(d.uv()), child: got})
+			}
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		for _, e := range extra {
+			if err := tax.AddEdge(e.parent, e.child); err != nil {
+				return nil, fmt.Errorf("%w: taxonomy rebuild: %v", ErrCorrupt, err)
+			}
+		}
+	}
+	comm := model.NewCommunity(tax)
+	img.Community = comm
+
+	// AGENTS.
+	da, err := need(secAgents, "agents")
+	if err != nil {
+		return nil, err
+	}
+	nAgents := da.count(rawAgents, 2, "agent") // two length-prefixed strings each
+	if da.err != nil {
+		return nil, da.err
+	}
+	ids := make([]model.AgentID, nAgents)
+	for i := 0; i < nAgents && da.err == nil; i++ {
+		id := model.AgentID(da.str())
+		name := da.str()
+		if da.err != nil {
+			break
+		}
+		ids[i] = id
+		comm.AddAgent(id).Name = name
+	}
+	if da.err != nil {
+		return nil, da.err
+	}
+
+	// PRODUCTS.
+	dp, err := need(secProducts, "products")
+	if err != nil {
+		return nil, err
+	}
+	nProducts := dp.count(rawProducts, 4, "product") // three strings plus a descriptor count each
+	if dp.err != nil {
+		return nil, dp.err
+	}
+	pids := make([]model.ProductID, nProducts)
+	for i := 0; i < nProducts && dp.err == nil; i++ {
+		p := model.Product{
+			ID:    model.ProductID(dp.str()),
+			Title: dp.str(),
+			ISBN:  dp.str(),
+		}
+		nt := dp.count(dp.uv(), 1, "descriptor")
+		if nt > 0 {
+			p.Topics = make([]taxonomy.Topic, nt)
+			for j := 0; j < nt; j++ {
+				p.Topics[j] = taxonomy.Topic(dp.uv())
+			}
+		}
+		if dp.err != nil {
+			break
+		}
+		pids[i] = p.ID
+		comm.AddProduct(p)
+	}
+	if dp.err != nil {
+		return nil, dp.err
+	}
+	agentAt := func(d *dec) (model.AgentID, bool) {
+		i := d.uv()
+		if d.err != nil || i >= uint64(len(ids)) {
+			d.fail("agent ordinal")
+			return "", false
+		}
+		return ids[i], true
+	}
+	prodAt := func(d *dec) (model.ProductID, bool) {
+		i := d.uv()
+		if d.err != nil || i >= uint64(len(pids)) {
+			d.fail("product ordinal")
+			return "", false
+		}
+		return pids[i], true
+	}
+
+	// TRUST.
+	dt, err := need(secTrust, "trust")
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		n := dt.count(dt.uv(), 9, "trust edge")
+		for j := 0; j < n; j++ {
+			dst, ok := agentAt(dt)
+			v := dt.f64()
+			if !ok || dt.err != nil {
+				break
+			}
+			if err := comm.SetTrust(id, dst, v); err != nil {
+				return nil, fmt.Errorf("%w: trust rebuild: %v", ErrCorrupt, err)
+			}
+		}
+		if dt.err != nil {
+			return nil, dt.err
+		}
+	}
+
+	// RATINGS.
+	dr, err := need(secRatings, "ratings")
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		n := dr.count(dr.uv(), 9, "rating")
+		for j := 0; j < n; j++ {
+			pid, ok := prodAt(dr)
+			v := dr.f64()
+			if !ok || dr.err != nil {
+				break
+			}
+			if err := comm.SetRating(id, pid, v); err != nil {
+				return nil, fmt.Errorf("%w: rating rebuild: %v", ErrCorrupt, err)
+			}
+		}
+		if dr.err != nil {
+			return nil, dr.err
+		}
+	}
+
+	// PROFMAT: rebuild the rows over two shared arenas, preserving the
+	// compiled-form property that rows alias contiguous storage.
+	if hasMat {
+		dm, err := need(secProfmat, "profmat")
+		if err != nil {
+			return nil, err
+		}
+		n := dm.count(dm.uv(), 4, "profmat row")
+		if n != len(ids) {
+			return nil, fmt.Errorf("%w: %d profmat rows for %d agents", ErrCorrupt, n, len(ids))
+		}
+		lens := make([]int, n)
+		total := 0
+		for i := 0; i < n; i++ {
+			lens[i] = int(dm.u32())
+			total += lens[i]
+		}
+		if dm.err == nil && uint64(total) > uint64(dm.rem())/12+1 {
+			return nil, fmt.Errorf("%w: absurd profmat nnz %d", ErrCorrupt, total)
+		}
+		keys := make([]int32, total)
+		vals := make([]float64, total)
+		kb := dm.bytes(4*total, "profmat key arena")
+		vb := dm.bytes(8*total, "profmat value arena")
+		if dm.err != nil {
+			return nil, dm.err
+		}
+		for i := range keys {
+			keys[i] = int32(binary.LittleEndian.Uint32(kb[4*i:]))
+		}
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(vb[8*i:]))
+		}
+		img.Rows = make([]profmat.Row, n)
+		off := 0
+		for i := 0; i < n; i++ {
+			img.Rows[i] = profmat.Row{
+				Keys: keys[off : off+lens[i] : off+lens[i]],
+				Vals: vals[off : off+lens[i] : off+lens[i]],
+			}
+			off += lens[i]
+		}
+		for i := 0; i < n; i++ {
+			img.Rows[i].Norm = dm.f64()
+			img.Rows[i].Sum = dm.f64()
+		}
+		if dm.err != nil {
+			return nil, dm.err
+		}
+	}
+
+	// TOPICINDEX.
+	if img.HasIndex {
+		di, err := need(secTopicIndex, "topic index")
+		if err != nil {
+			return nil, err
+		}
+		n := di.count(di.uv(), 2, "topic posting")
+		img.Topics = make([]taxonomy.Topic, n)
+		img.Postings = make([][]model.ProductID, n)
+		for i := 0; i < n && di.err == nil; i++ {
+			img.Topics[i] = taxonomy.Topic(di.uv())
+			np := di.count(di.uv(), 1, "posting")
+			post := make([]model.ProductID, 0, np)
+			for j := 0; j < np; j++ {
+				pid, ok := prodAt(di)
+				if !ok {
+					break
+				}
+				post = append(post, pid)
+			}
+			img.Postings[i] = post
+		}
+		if di.err != nil {
+			return nil, di.err
+		}
+	}
+
+	// PEERS: a sizing pre-pass walks the entry headers (ranks are fixed-
+	// width, so each body is skippable in O(1)), then one arena holds
+	// every rank and each entry subslices it.
+	dw, err := need(secPeers, "peers")
+	if err != nil {
+		return nil, err
+	}
+	nw := dw.count(dw.uv(), 3, "peers entry")
+	start := dw.off
+	totalRanks := 0
+	for i := 0; i < nw && dw.err == nil; i++ {
+		dw.uv() // agent ordinal
+		dw.skipStr("peers pipe")
+		np := dw.count(dw.uv(), peerRankSize, "peer rank")
+		dw.skip(np*peerRankSize, "peer ranks")
+		totalRanks += np
+	}
+	if dw.err != nil {
+		return nil, dw.err
+	}
+	dw.off = start
+	arena := make([]core.PeerRank, totalRanks)
+	used := 0
+	img.Peers = make([]engine.PeersEntry, 0, nw)
+	for i := 0; i < nw && dw.err == nil; i++ {
+		agent, ok := agentAt(dw)
+		pipe := dw.str()
+		np := int(dw.uv())
+		block := dw.bytes(np*peerRankSize, "peer ranks")
+		if !ok || dw.err != nil {
+			break
+		}
+		peers := arena[used : used+np : used+np]
+		used += np
+		for j := range peers {
+			b := block[j*peerRankSize:]
+			ord := binary.LittleEndian.Uint32(b)
+			if uint64(ord) >= uint64(len(ids)) {
+				dw.fail("agent ordinal")
+				break
+			}
+			peers[j] = core.PeerRank{
+				Agent:  ids[ord],
+				Trust:  math.Float64frombits(binary.LittleEndian.Uint64(b[4:])),
+				Sim:    math.Float64frombits(binary.LittleEndian.Uint64(b[12:])),
+				SimOK:  b[20] == 1,
+				Weight: math.Float64frombits(binary.LittleEndian.Uint64(b[21:])),
+			}
+		}
+		img.Peers = append(img.Peers, engine.PeersEntry{Agent: agent, Pipe: pipe, Peers: peers})
+	}
+	if dw.err != nil {
+		return nil, dw.err
+	}
+
+	// PROFILES.
+	df, err := need(secProfiles, "profiles")
+	if err != nil {
+		return nil, err
+	}
+	nf := df.count(df.uv(), 2, "profile entry")
+	img.Profiles = make([]engine.ProfileEntry, 0, nf)
+	for i := 0; i < nf && df.err == nil; i++ {
+		agent, ok := agentAt(df)
+		np := df.count(df.uv(), 9, "profile dimension")
+		if !ok || df.err != nil {
+			break
+		}
+		prof := sparse.New(np)
+		for j := 0; j < np; j++ {
+			k := int32(df.uv())
+			prof[k] = df.f64()
+		}
+		img.Profiles = append(img.Profiles, engine.ProfileEntry{Agent: agent, Profile: prof})
+	}
+	if df.err != nil {
+		return nil, df.err
+	}
+	return img, nil
+}
+
+// Restore builds a serving engine from the image: the compiled rows,
+// topic index, and warm caches are installed directly — no Appleseed, no
+// Eq. 3, no similarity recompute.
+func (img *Image) Restore(cfg engine.Config) (*engine.Engine, error) {
+	r := engine.Restore{
+		Epoch:     img.Epoch,
+		Community: img.Community,
+		Peers:     img.Peers,
+		Profiles:  img.Profiles,
+	}
+	if img.Rows != nil {
+		r.Matrix = profmat.Restore(img.Community.Agents(), img.Rows)
+	}
+	if img.HasIndex {
+		r.Index = index.Restore(img.Community.Taxonomy(), img.Topics, img.Postings)
+	}
+	return engine.NewRestored(r, img.Options, cfg)
+}
+
+// fileName names the checkpoint covering WAL records up to seq.
+func fileName(seq uint64) string { return fmt.Sprintf("ckpt-%016x.swc", seq) }
+
+// parseFileName extracts the covered sequence number; ok is false for
+// unrelated files (including in-flight temporaries).
+func parseFileName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".swc") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[5:len(name)-4], 16, 64)
+	return seq, err == nil
+}
+
+// Info describes one checkpoint file on disk.
+type Info struct {
+	Path string
+	Seq  uint64
+}
+
+// List returns the checkpoint files in dir, newest (highest sequence)
+// first — the order the recovery ladder tries them in. A missing
+// directory is an empty list, not an error.
+func List(dir string) ([]Info, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read dir %s: %w", dir, err)
+	}
+	var out []Info
+	for _, e := range entries {
+		if seq, ok := parseFileName(e.Name()); ok {
+			out = append(out, Info{Path: filepath.Join(dir, e.Name()), Seq: seq})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	return out, nil
+}
+
+// WriteImage atomically persists the image into dir as ckpt-<seq>.swc:
+// encode, write to a unique temporary, fsync, rename. wrap, when
+// non-nil, interposes on the file handle (the fault-injection seam). On
+// any error the temporary is removed and the directory is left with only
+// complete, checksummed checkpoints.
+func WriteImage(dir string, img *Image, wrap func(*os.File) File) (path string, err error) {
+	data := Encode(img)
+	final := filepath.Join(dir, fileName(img.Seq))
+	tmp, err := os.CreateTemp(dir, fileName(img.Seq)+".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	var f File = tmp
+	if wrap != nil {
+		f = wrap(tmp)
+	}
+	fail := func(stage string, cause error) (string, error) {
+		_ = f.Close()          //nolint:durableerr -- the write already failed; the temp file is about to be discarded
+		_ = os.Remove(tmpName) //nolint:durableerr -- best-effort cleanup of a failed temp; recovery ignores temporaries either way
+		return "", fmt.Errorf("checkpoint: %s: %w", stage, cause)
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail("write", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		return fail("close", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		return fail("rename", err)
+	}
+	syncDir(dir)
+	return final, nil
+}
+
+// Load reads and fully validates the checkpoint at path. See Decode for
+// the option-signature contract.
+func Load(path string, opt core.Options) (*Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	return Decode(data, opt)
+}
+
+// Prune keeps the newest keep checkpoint files in dir and removes the
+// rest, plus any stale write temporaries left by a crash mid-write.
+func Prune(dir string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	infos, err := List(dir)
+	if err != nil {
+		return err
+	}
+	for _, info := range infos[min(keep, len(infos)):] {
+		if err := os.Remove(info.Path); err != nil {
+			return fmt.Errorf("checkpoint: prune: %w", err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: prune: %w", err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".swc.tmp-") {
+			_ = os.Remove(filepath.Join(dir, e.Name())) //nolint:durableerr -- stale temporaries are garbage by definition; removal is best-effort hygiene
+		}
+	}
+	return nil
+}
+
+// syncDir best-effort fsyncs dir so the rename survives a crash
+// (mirrors internal/wal).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()  //nolint:durableerr -- directory fsync is best-effort: POSIX gives no portable guarantee, and the file bytes themselves are already synced
+		_ = d.Close() //nolint:durableerr -- read-only directory handle; no acked bytes ride on this close
+	}
+}

@@ -1,0 +1,345 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"swrec/internal/cf"
+	"swrec/internal/core"
+	"swrec/internal/engine"
+	"swrec/internal/faultinject"
+	"swrec/internal/model"
+	"swrec/internal/taxonomy"
+)
+
+func testOptions() core.Options {
+	return core.Options{CF: cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy}}
+}
+
+func testConfig() engine.Config {
+	return engine.Config{ComputeBudget: time.Second}
+}
+
+// testCommunity builds a Fig1-taxonomy community with a trust chain,
+// cross edges, and ratings over a two-book catalog — the same shape the
+// chaos suite crawls, minus the network.
+func testCommunity(t testing.TB, n int) *model.Community {
+	t.Helper()
+	tax := taxonomy.Fig1()
+	c := model.NewCommunity(tax)
+	fic, _ := tax.Lookup("Books/Fiction")
+	alg, _ := tax.Lookup("Books/Science/Mathematics/Pure/Algebra")
+	c.AddProduct(model.Product{ID: "urn:isbn:9780553380958", Title: "Snow Crash", ISBN: "9780553380958", Topics: []taxonomy.Topic{fic}})
+	c.AddProduct(model.Product{ID: "urn:isbn:9780521386326", Title: "Matrix Analysis", ISBN: "9780521386326", Topics: []taxonomy.Topic{alg}})
+	pids := []model.ProductID{"urn:isbn:9780553380958", "urn:isbn:9780521386326"}
+	name := func(i int) model.AgentID { return model.AgentID(fmt.Sprintf("http://ckpt.example/people/a%d", i)) }
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.AddAgent(name(i)).Name = fmt.Sprintf("Agent %d", i)
+	}
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			must(c.SetTrust(name(i), name(i+1), 0.5+float64(i%5)/10))
+		}
+		if j := (i * 7) % n; j != i && j != i+1 {
+			must(c.SetTrust(name(i), name(j), 0.4))
+		}
+		must(c.SetRating(name(i), pids[i%len(pids)], float64(i%19)/9-1))
+	}
+	return c
+}
+
+// warmEngine builds a serving engine and touches every agent so the
+// peers/profiles caches are populated — a checkpoint captured from it
+// exercises every section of the format.
+func warmEngine(t testing.TB, comm *model.Community) *engine.Engine {
+	t.Helper()
+	eng, err := engine.New(comm, testOptions(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	for _, id := range comm.Agents() {
+		if _, err := snap.Recommend(id, 5, engine.Overrides{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng
+}
+
+func testImage(t testing.TB, seq uint64) *Image {
+	t.Helper()
+	return Capture(warmEngine(t, testCommunity(t, 12)).Snapshot(), seq)
+}
+
+// recsDigest fingerprints the full serving surface: every agent's
+// recommendations with exact scores. Two engines with equal digests are
+// behaviorally indistinguishable to the read API.
+func recsDigest(t testing.TB, snap *engine.Snapshot) string {
+	t.Helper()
+	var b strings.Builder
+	for _, id := range snap.Community().Agents() {
+		recs, err := snap.Recommend(id, 5, engine.Overrides{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "%s:", id)
+		for _, r := range recs {
+			fmt.Fprintf(&b, " %s=%.17g/%d", r.Product, r.Score, r.Supporters)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestEncodeDecodeRoundTrip pins the format's core property:
+// Encode(Decode(Encode(img))) is byte-identical, and the decoded image
+// restores an engine that serves exactly what the captured one did.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	img := testImage(t, 42)
+	data := Encode(img)
+
+	img2, err := Decode(data, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img2.Epoch != img.Epoch || img2.Seq != img.Seq {
+		t.Fatalf("epoch/seq drifted: got %d/%d, want %d/%d", img2.Epoch, img2.Seq, img.Epoch, img.Seq)
+	}
+	if len(img2.Rows) != len(img.Rows) {
+		t.Fatalf("got %d rows, want %d", len(img2.Rows), len(img.Rows))
+	}
+	data2 := Encode(img2)
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("re-encode is not byte-identical: %d vs %d bytes", len(data), len(data2))
+	}
+
+	// The restored engine must be fingerprint-equal to the source —
+	// warm from the first request, no recompute drift.
+	eng2, err := img2.Restore(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := warmEngine(t, testCommunity(t, 12))
+	if got, want := recsDigest(t, eng2.Snapshot()), recsDigest(t, src.Snapshot()); got != want {
+		t.Fatalf("restored engine diverged from source:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	// Restored compiled rows must be adopted, not rebuilt.
+	mat := eng2.Snapshot().Recommender().Filter().Matrix()
+	if mat == nil {
+		t.Fatal("restored engine has no compiled matrix")
+	}
+	for i, id := range img2.Community.Agents() {
+		r := mat.Row(id)
+		if r == nil {
+			t.Fatalf("restored matrix missing row for %s", id)
+		}
+		if r.Norm != img.Rows[i].Norm || r.Sum != img.Rows[i].Sum || r.NNZ() != img.Rows[i].NNZ() {
+			t.Fatalf("row %d differs from captured row", i)
+		}
+	}
+}
+
+// TestRoundTripAfterChurn re-checks the round trip on a mutated, multi-
+// epoch community: retracted statements, new agents, re-rated products.
+func TestRoundTripAfterChurn(t *testing.T) {
+	comm := testCommunity(t, 12)
+	eng := warmEngine(t, comm)
+	ids := comm.Agents()
+	next := comm.Clone()
+	if err := next.SetTrust(ids[0], ids[5], 0.9); err != nil {
+		t.Fatal(err)
+	}
+	next.DeleteTrust(ids[0], ids[1])
+	next.AddAgent("http://ckpt.example/people/late").Name = "Latecomer"
+	if err := next.SetRating(ids[3], "urn:isbn:9780553380958", -0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Swap(next); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	for _, id := range next.Agents() {
+		if _, err := snap.Recommend(id, 5, engine.Overrides{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := Capture(snap, 7)
+	data := Encode(img)
+	img2, err := Decode(data, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, Encode(img2)) {
+		t.Fatal("re-encode after churn is not byte-identical")
+	}
+}
+
+// TestDecodeOptionsMismatch: a checkpoint compiled under different
+// pipeline options is unusable and must be refused, not served.
+func TestDecodeOptionsMismatch(t *testing.T) {
+	data := Encode(testImage(t, 1))
+	opt := testOptions()
+	opt.TrustThreshold = 0.25
+	if _, err := Decode(data, opt); !errors.Is(err, ErrOptions) {
+		t.Fatalf("got %v, want ErrOptions", err)
+	}
+	opt = testOptions()
+	opt.MaxNeighbors = 8
+	if _, err := Decode(data, opt); !errors.Is(err, ErrOptions) {
+		t.Fatalf("got %v, want ErrOptions", err)
+	}
+}
+
+// TestDecodeCorruptionSweep flips one byte at a spread of offsets and
+// truncates at a spread of lengths; every variant must fail cleanly —
+// corruption is always an error, never a silently wrong snapshot.
+func TestDecodeCorruptionSweep(t *testing.T) {
+	data := Encode(testImage(t, 3))
+	step := len(data)/211 + 1
+	for off := 0; off < len(data); off += step {
+		mut := bytes.Clone(data)
+		mut[off] ^= 0x41
+		if _, err := Decode(mut, testOptions()); err == nil {
+			t.Fatalf("flip at offset %d/%d decoded cleanly", off, len(data))
+		}
+	}
+	for _, cut := range []int{0, 1, headerLen - 1, headerLen, headerLen + sectionHdr, len(data) / 2, len(data) - footerLen, len(data) - 1} {
+		if _, err := Decode(data[:cut], testOptions()); err == nil {
+			t.Fatalf("truncation to %d/%d decoded cleanly", cut, len(data))
+		}
+	}
+}
+
+// refoot recomputes the whole-file footer checksum after a deliberate
+// payload mutation, so the per-section CRC frame is what must catch it.
+func refoot(data []byte) {
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(data[:len(data)-footerLen]))
+}
+
+// TestSectionChecksum corrupts a section payload but repairs the footer:
+// the per-section CRC32 frame alone must reject the file.
+func TestSectionChecksum(t *testing.T) {
+	data := Encode(testImage(t, 3))
+	mut := bytes.Clone(data)
+	mut[headerLen+sectionHdr+1] ^= 0x01 // second byte of the meta payload
+	refoot(mut)
+	if _, err := Decode(mut, testOptions()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt from the section frame", err)
+	}
+}
+
+// TestVersionMismatch: an unknown format version is ErrVersion, so a
+// downgrade never misparses a newer file as garbage-but-valid.
+func TestVersionMismatch(t *testing.T) {
+	data := Encode(testImage(t, 3))
+	mut := bytes.Clone(data)
+	binary.LittleEndian.PutUint32(mut[len(fileMagic):], fileVersion+1)
+	refoot(mut)
+	if _, err := Decode(mut, testOptions()); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+// TestWriteListPrune covers the on-disk lifecycle: atomic writes land
+// under sequence-derived names, List orders newest-first, Prune enforces
+// retention and sweeps stale temporaries.
+func TestWriteListPrune(t *testing.T) {
+	dir := t.TempDir()
+	img := testImage(t, 0)
+	for _, seq := range []uint64{5, 9, 13} {
+		img.Seq = seq
+		if _, err := WriteImage(dir, img, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 || infos[0].Seq != 13 || infos[1].Seq != 9 || infos[2].Seq != 5 {
+		t.Fatalf("List = %+v, want seqs 13,9,5", infos)
+	}
+	stale := filepath.Join(dir, fileName(21)+".tmp-roll")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	infos, err = List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Seq != 13 || infos[1].Seq != 9 {
+		t.Fatalf("after prune List = %+v, want seqs 13,9", infos)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale temporary survived prune: %v", err)
+	}
+	if _, err := Load(infos[0].Path, testOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteImageFaults drives every injected failure class through the
+// write path: the write must fail loudly, leave no temporary behind, and
+// leave the previously retained checkpoint untouched and loadable.
+func TestWriteImageFaults(t *testing.T) {
+	img := testImage(t, 5)
+	for _, tc := range []struct {
+		name string
+		cfg  faultinject.Config
+	}{
+		{"torn write", faultinject.Config{Seed: 7, TornWriteRate: 1}},
+		{"write error", faultinject.Config{Seed: 7, WriteErrorRate: 1}},
+		{"failed fsync", faultinject.Config{Seed: 7, SyncErrorRate: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			img.Seq = 5
+			good, err := WriteImage(dir, img, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj := faultinject.New(tc.cfg)
+			img.Seq = 9
+			_, err = WriteImage(dir, img, func(f *os.File) File { return inj.File(f) })
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("got %v, want the injected fault", err)
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if strings.Contains(e.Name(), ".tmp-") {
+					t.Fatalf("failed write left temporary %s", e.Name())
+				}
+			}
+			infos, err := List(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(infos) != 1 || infos[0].Path != good {
+				t.Fatalf("retained set disturbed: %+v", infos)
+			}
+			if _, err := Load(good, testOptions()); err != nil {
+				t.Fatalf("prior checkpoint unloadable after failed write: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,214 @@
+package checkpoint
+
+import (
+	"expvar"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"swrec/internal/cf"
+	"swrec/internal/core"
+	"swrec/internal/corpus"
+	"swrec/internal/engine"
+	"swrec/internal/model"
+	"swrec/internal/wal"
+)
+
+// WALSnapshotDir is the corpus snapshot directory inside a WAL
+// directory — the rung-3 recovery source, maintained by internal/ingest
+// (which references this constant rather than the reverse, keeping the
+// import direction checkpoint ← ingest).
+const WALSnapshotDir = "snapshot"
+
+// DirName is the compiled-checkpoint directory inside a WAL directory.
+const DirName = "checkpoints"
+
+// Dir returns the compiled-checkpoint directory for a WAL directory.
+func Dir(walDir string) string { return filepath.Join(walDir, DirName) }
+
+// recoveryStats publishes the ladder's outcome under "swrec_recovery":
+// monotonic counters (recoveries, per-source counts, rejected
+// checkpoints) plus last_* gauges describing the most recent recovery.
+var (
+	recoveryStats = expvar.NewMap("swrec_recovery")
+	lastRung      expvar.Int
+	lastEpoch     expvar.Int
+	lastSeq       expvar.Int
+	lastLoadMS    expvar.Int
+)
+
+func init() {
+	recoveryStats.Set("last_rung", &lastRung)
+	recoveryStats.Set("last_epoch", &lastEpoch)
+	recoveryStats.Set("last_seq", &lastSeq)
+	recoveryStats.Set("last_load_ms", &lastLoadMS)
+}
+
+// RecoverConfig parameterizes one walk down the recovery ladder.
+type RecoverConfig struct {
+	// WALDir is the durable state root: WAL segments at the top level,
+	// the corpus snapshot in WALSnapshotDir, compiled checkpoints in
+	// DirName.
+	WALDir string
+	// Options is the pipeline configuration the engine will serve with.
+	// Checkpoints written under a different signature are unusable and
+	// skipped (rungs 3-4 adapt the representation themselves for
+	// taxonomy-less communities, mirroring cmd/swrecd).
+	Options core.Options
+	// Engine sizes the recovered engine's caches.
+	Engine engine.Config
+	// Corpus loads the original corpus — the rung-4 source of last
+	// resort. Required.
+	Corpus func() (*model.Community, error)
+	// Logf, when non-nil, receives one line per ladder decision.
+	Logf func(format string, args ...any)
+}
+
+// Result describes where the ladder landed.
+type Result struct {
+	// Engine is the recovered serving engine. The caller finishes
+	// recovery by opening ingest at Seq, which replays the unapplied WAL
+	// tail (ingest.OpenFrom).
+	Engine *engine.Engine
+	// Source names the rung that served: "checkpoint" (1),
+	// "checkpoint-prev" (2), "wal-snapshot" (3), or "corpus" (4).
+	Source string
+	// Rung is the ladder position, 1 (best) through 4 (cold rebuild).
+	Rung int
+	// Epoch and Seq are the recovered state's epoch and the last WAL
+	// sequence it already covers.
+	Epoch uint64
+	Seq   uint64
+	// Path is the file the state was loaded from (empty for rung 4).
+	Path string
+	// Load is the wall-clock time of the whole ladder walk.
+	Load time.Duration
+	// Fallbacks records why each higher rung was passed over.
+	Fallbacks []string
+}
+
+// Recover walks the ladder: (1) the newest compiled checkpoint, (2) any
+// older retained checkpoint, (3) the corpus snapshot the WAL marker
+// points at, (4) a from-scratch corpus rebuild. Every rejection is
+// logged and recorded; only a rung-4 failure is an error. Corruption in
+// any file on the way down is detected (checksums), never served.
+func Recover(cfg RecoverConfig) (*Result, error) {
+	start := time.Now()
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	res := &Result{}
+	skip := func(what string, err error) {
+		res.Fallbacks = append(res.Fallbacks, fmt.Sprintf("%s: %v", what, err))
+		logf("recovery: skipping %s: %v", what, err)
+	}
+
+	infos, err := List(Dir(cfg.WALDir))
+	if err != nil {
+		skip("checkpoint listing", err)
+	}
+	oldest, hasWAL, err := wal.OldestSeq(cfg.WALDir)
+	if err != nil {
+		// An unreadable WAL directory will fail ingest.Open anyway; for
+		// rung selection treat it as absent.
+		skip("wal coverage probe", err)
+		hasWAL = false
+	}
+	for i, info := range infos {
+		// Coverage: the WAL tail (Seq+1 ...) must still be retained, or
+		// replay would silently skip acked writes. An absent WAL has no
+		// records to lose.
+		if hasWAL && oldest > info.Seq+1 {
+			recoveryStats.Add("rejected_checkpoints", 1)
+			skip(info.Path, fmt.Errorf("wal starts at seq %d, after checkpoint seq %d", oldest, info.Seq))
+			continue
+		}
+		img, err := Load(info.Path, cfg.Options)
+		if err != nil {
+			recoveryStats.Add("rejected_checkpoints", 1)
+			skip(info.Path, err)
+			continue
+		}
+		eng, err := img.Restore(cfg.Engine)
+		if err != nil {
+			recoveryStats.Add("rejected_checkpoints", 1)
+			skip(info.Path, err)
+			continue
+		}
+		rung, source := 1, "checkpoint"
+		if i > 0 {
+			rung, source = 2, "checkpoint-prev"
+		}
+		return finish(res, eng, rung, source, img.Epoch, img.Seq, info.Path, start)
+	}
+
+	// Rung 3: the corpus snapshot the WAL marker points at; the caller's
+	// ingest.OpenFrom replays everything after it. Compiled state is
+	// rebuilt from scratch — correct, just cold.
+	comm, cp, ok, err := loadWALSnapshot(cfg.WALDir)
+	switch {
+	case err != nil:
+		skip("wal snapshot", err)
+	case ok:
+		eng, err := engine.NewRestored(engine.Restore{Epoch: cp.Epoch, Community: comm}, adaptOptions(cfg.Options, comm), cfg.Engine)
+		if err != nil {
+			skip("wal snapshot", err)
+			break
+		}
+		return finish(res, eng, 3, "wal-snapshot", cp.Epoch, cp.Seq, filepath.Join(cfg.WALDir, WALSnapshotDir), start)
+	}
+
+	// Rung 4: rebuild from the original corpus and replay the whole WAL.
+	comm, err = cfg.Corpus()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: recovery exhausted, corpus rebuild failed: %w", err)
+	}
+	eng, err := engine.New(comm, adaptOptions(cfg.Options, comm), cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: recovery exhausted, corpus rebuild failed: %w", err)
+	}
+	return finish(res, eng, 4, "corpus", eng.Epoch(), 0, "", start)
+}
+
+// loadWALSnapshot is rung 3's loader: the marker plus the corpus export
+// it certifies (the same pair internal/ingest maintains).
+func loadWALSnapshot(walDir string) (*model.Community, wal.Checkpoint, bool, error) {
+	cp, ok, err := wal.LoadCheckpoint(walDir)
+	if err != nil || !ok {
+		return nil, cp, false, err
+	}
+	comm, err := corpus.Import(filepath.Join(walDir, WALSnapshotDir))
+	if err != nil {
+		return nil, cp, false, fmt.Errorf("load snapshot at seq %d: %w", cp.Seq, err)
+	}
+	return comm, cp, true, nil
+}
+
+// adaptOptions mirrors cmd/swrecd's boot-time adjustment: a community
+// without a taxonomy cannot serve taxonomy-space profiles, so the
+// similarity representation falls back to rated-product space.
+func adaptOptions(opt core.Options, comm *model.Community) core.Options {
+	if comm.Taxonomy() == nil {
+		opt.CF.Representation = cf.Product
+	}
+	return opt
+}
+
+func finish(res *Result, eng *engine.Engine, rung int, source string, epoch, seq uint64, path string, start time.Time) (*Result, error) {
+	res.Engine = eng
+	res.Rung = rung
+	res.Source = source
+	res.Epoch = epoch
+	res.Seq = seq
+	res.Path = path
+	res.Load = time.Since(start)
+	recoveryStats.Add("recoveries", 1)
+	recoveryStats.Add("source_"+strings.ReplaceAll(source, "-", "_"), 1)
+	lastRung.Set(int64(rung))
+	lastEpoch.Set(int64(epoch))
+	lastSeq.Set(int64(seq))
+	lastLoadMS.Set(res.Load.Milliseconds())
+	return res, nil
+}

@@ -1,0 +1,395 @@
+package checkpoint_test
+
+import (
+	"expvar"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"swrec/internal/cf"
+	"swrec/internal/checkpoint"
+	"swrec/internal/core"
+	"swrec/internal/engine"
+	"swrec/internal/ingest"
+	"swrec/internal/model"
+	"swrec/internal/taxonomy"
+	"swrec/internal/wal"
+)
+
+func rOptions() core.Options {
+	return core.Options{CF: cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy}}
+}
+
+func rConfig() engine.Config {
+	return engine.Config{ComputeBudget: time.Second}
+}
+
+func rIngest() ingest.Config {
+	return ingest.Config{SnapshotEvery: 1 << 30, SnapshotInterval: time.Hour}
+}
+
+// rCommunity mirrors the chaos suite's trust web: a chain with cross
+// edges and ratings over a two-book Fig1 catalog.
+func rCommunity(t testing.TB, n int) *model.Community {
+	t.Helper()
+	tax := taxonomy.Fig1()
+	c := model.NewCommunity(tax)
+	fic, _ := tax.Lookup("Books/Fiction")
+	alg, _ := tax.Lookup("Books/Science/Mathematics/Pure/Algebra")
+	c.AddProduct(model.Product{ID: "urn:isbn:9780553380958", Title: "Snow Crash", Topics: []taxonomy.Topic{fic}})
+	c.AddProduct(model.Product{ID: "urn:isbn:9780521386326", Title: "Matrix Analysis", Topics: []taxonomy.Topic{alg}})
+	pids := []model.ProductID{"urn:isbn:9780553380958", "urn:isbn:9780521386326"}
+	name := func(i int) model.AgentID { return model.AgentID(fmt.Sprintf("http://rec.example/people/a%d", i)) }
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.AddAgent(name(i)).Name = fmt.Sprintf("Agent %d", i)
+	}
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			must(c.SetTrust(name(i), name(i+1), 0.5+float64(i%5)/10))
+		}
+		if j := (i * 7) % n; j != i && j != i+1 {
+			must(c.SetTrust(name(i), name(j), 0.4))
+		}
+		must(c.SetRating(name(i), pids[i%len(pids)], float64(i%19)/9-1))
+	}
+	return c
+}
+
+// rMutations fabricates n valid mutations, mixing trust upserts and
+// retractions, ratings, and new agents deterministically.
+func rMutations(comm *model.Community, n int) []wal.Mutation {
+	ids := comm.Agents()
+	pids := comm.Products()
+	out := make([]wal.Mutation, 0, n)
+	for i := 0; len(out) < n; i++ {
+		src := ids[i%len(ids)]
+		dst := ids[(i+7)%len(ids)]
+		if src == dst {
+			dst = ids[(i+8)%len(ids)]
+		}
+		switch i % 5 {
+		case 0:
+			out = append(out, wal.Mutation{Op: wal.OpUpsertTrust, Agent: src, Peer: dst, Value: float64(i%20)/10 - 1})
+		case 1:
+			out = append(out, wal.Mutation{Op: wal.OpUpsertRating, Agent: src, Product: pids[i%len(pids)], Value: float64(i%19)/9 - 1})
+		case 2:
+			out = append(out, wal.Mutation{Op: wal.OpDeleteTrust, Agent: src, Peer: dst})
+		case 3:
+			out = append(out, wal.Mutation{Op: wal.OpUpsertAgent, Agent: model.AgentID(fmt.Sprintf("http://rec.example/new/a%d", i)), Name: fmt.Sprintf("New %d", i)})
+		case 4:
+			out = append(out, wal.Mutation{Op: wal.OpDeleteRating, Agent: src, Product: pids[i%len(pids)]})
+		}
+	}
+	return out
+}
+
+// rDigest canonically serializes the statement state of a community.
+func rDigest(c *model.Community) string {
+	var b strings.Builder
+	ids := append([]model.AgentID(nil), c.Agents()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		a := c.Agent(id)
+		fmt.Fprintf(&b, "agent %s name=%q\n", id, a.Name)
+		for _, st := range a.TrustedPeers() {
+			fmt.Fprintf(&b, "  trust %s %.17g\n", st.Dst, st.Value)
+		}
+		for _, rt := range a.RatedProducts() {
+			fmt.Fprintf(&b, "  rating %s %.17g\n", rt.Product, rt.Value)
+		}
+	}
+	return b.String()
+}
+
+// rRecs fingerprints the serving surface: every agent's exact
+// recommendations.
+func rRecs(t testing.TB, snap *engine.Snapshot) string {
+	t.Helper()
+	var b strings.Builder
+	ids := append([]model.AgentID(nil), snap.Community().Agents()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		recs, err := snap.Recommend(id, 5, engine.Overrides{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "%s:", id)
+		for _, r := range recs {
+			fmt.Fprintf(&b, " %s=%.17g/%d", r.Product, r.Score, r.Supporters)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// buildDurableState drives a real pipeline over dir: three epochs of
+// churn with a compiled checkpoint per published snapshot, optionally a
+// corpus snapshot (rung 3's source) midway, and warm caches before the
+// final checkpoint at Close. Returns the base corpus and every acked
+// mutation.
+func buildDurableState(t *testing.T, dir string, corpusSnapshot bool) (*model.Community, []wal.Mutation) {
+	t.Helper()
+	const rounds, perRound = 3, 10
+	base := rCommunity(t, 12)
+	eng, err := engine.New(base.Clone(), rOptions(), rConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rIngest()
+	cfg.CheckpointEvery = 1
+	cfg.CheckpointRetain = 4
+	pipe, err := ingest.Open(eng, dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := rMutations(base, rounds*perRound)
+	for r := 0; r < rounds; r++ {
+		for _, m := range all[r*perRound : (r+1)*perRound] {
+			if _, err := pipe.Submit(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := pipe.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if corpusSnapshot && r == 1 {
+			if err := pipe.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snap := eng.Snapshot()
+	for _, id := range snap.Community().Agents() {
+		if _, err := snap.Recommend(id, 5, engine.Overrides{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return base, all
+}
+
+// cleanEngine applies every acked mutation over a pristine base with no
+// faults and no restarts — the one correct final state.
+func cleanEngine(t *testing.T, base *model.Community, muts []wal.Mutation) *engine.Engine {
+	t.Helper()
+	eng, err := engine.New(base.Clone(), rOptions(), rConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := ingest.Open(eng, t.TempDir(), rIngest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range muts {
+		if _, err := pipe.Submit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pipe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func recoverCfg(t *testing.T, dir string, base *model.Community) checkpoint.RecoverConfig {
+	t.Helper()
+	return checkpoint.RecoverConfig{
+		WALDir:  dir,
+		Options: rOptions(),
+		Engine:  rConfig(),
+		Corpus:  func() (*model.Community, error) { return base.Clone(), nil },
+		Logf:    t.Logf,
+	}
+}
+
+// finishRecovery opens ingest at the recovered sequence (replaying the
+// unapplied WAL tail) and asserts the final state is fingerprint-equal
+// to the clean rebuild.
+func finishRecovery(t *testing.T, dir string, res *checkpoint.Result, base *model.Community, all []wal.Mutation) {
+	t.Helper()
+	pipe, err := ingest.OpenFrom(res.Engine, dir, rIngest(), res.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	if got, want := pipe.Replayed(), len(all)-int(res.Seq); got != want {
+		t.Fatalf("replayed %d WAL records after seq %d, want %d", got, res.Seq, want)
+	}
+	clean := cleanEngine(t, base, all)
+	if got, want := rDigest(res.Engine.Snapshot().Community()), rDigest(clean.Snapshot().Community()); got != want {
+		t.Fatalf("recovered state diverged from clean rebuild:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	if got, want := rRecs(t, res.Engine.Snapshot()), rRecs(t, clean.Snapshot()); got != want {
+		t.Fatalf("recovered recommendations diverged from clean rebuild:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}
+
+// TestRestoredMatchesFromScratch is the tentpole acceptance test: after
+// three epochs of churn, a restart lands on rung 1, replays nothing,
+// serves its first request from restored caches, and is fingerprint-
+// equal to a from-scratch build.
+func TestRestoredMatchesFromScratch(t *testing.T) {
+	dir := t.TempDir()
+	base, all := buildDurableState(t, dir, false)
+
+	res, err := checkpoint.Recover(recoverCfg(t, dir, base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rung != 1 || res.Source != "checkpoint" {
+		t.Fatalf("landed on rung %d (%s), want rung 1 (checkpoint); fallbacks: %v", res.Rung, res.Source, res.Fallbacks)
+	}
+	if res.Seq != uint64(len(all)) {
+		t.Fatalf("recovered seq %d, want %d (the final checkpoint covers every ack)", res.Seq, len(all))
+	}
+
+	// Warm from the first request: the restored neighborhood cache must
+	// answer without recomputing Appleseed or Eq. 3.
+	snap := res.Engine.Snapshot()
+	ids := snap.Community().Agents()
+	if _, ok := snap.CachedPeers(ids[0], engine.Overrides{}); !ok {
+		t.Fatal("first request after restore is cold — neighborhood cache not restored")
+	}
+	finishRecovery(t, dir, res, base, all)
+
+	// The ladder's outcome is observable.
+	m, ok := expvar.Get("swrec_recovery").(*expvar.Map)
+	if !ok {
+		t.Fatal("swrec_recovery expvar map not published")
+	}
+	if g, ok := m.Get("last_rung").(*expvar.Int); !ok || g.Value() != 1 {
+		t.Fatalf("swrec_recovery last_rung = %v, want 1", m.Get("last_rung"))
+	}
+	if m.Get("recoveries") == nil {
+		t.Fatal("swrec_recovery recoveries counter missing")
+	}
+}
+
+// TestRecoverySmoke is the make-check gate: corrupt one section of the
+// newest checkpoint and recovery must land on the previous retained
+// checkpoint (rung 2) — never fall through to a corpus rebuild — then
+// replay the WAL tail to the exact clean state.
+func TestRecoverySmoke(t *testing.T) {
+	dir := t.TempDir()
+	base, all := buildDurableState(t, dir, false)
+
+	infos, err := checkpoint.List(checkpoint.Dir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) < 2 {
+		t.Fatalf("fixture wrote %d checkpoints, want at least 2 retained", len(infos))
+	}
+	data, err := os.ReadFile(infos[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x41
+	if err := os.WriteFile(infos[0].Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := checkpoint.Recover(recoverCfg(t, dir, base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rung >= 3 {
+		t.Fatalf("recovery fell through to rung %d (%s) with a valid retained checkpoint on disk; fallbacks: %v",
+			res.Rung, res.Source, res.Fallbacks)
+	}
+	if res.Rung != 2 || res.Source != "checkpoint-prev" {
+		t.Fatalf("landed on rung %d (%s), want rung 2 (checkpoint-prev)", res.Rung, res.Source)
+	}
+	if res.Seq != infos[1].Seq {
+		t.Fatalf("recovered seq %d, want the previous checkpoint's %d", res.Seq, infos[1].Seq)
+	}
+	finishRecovery(t, dir, res, base, all)
+}
+
+// TestRecoveryLadderFaults drives the remaining fault classes through
+// the full ladder: every corruption shape must degrade to a lower rung
+// and still end fingerprint-equal after WAL tail replay.
+func TestRecoveryLadderFaults(t *testing.T) {
+	t.Run("all checkpoints corrupted falls to wal-snapshot", func(t *testing.T) {
+		dir := t.TempDir()
+		base, all := buildDurableState(t, dir, true)
+		infos, err := checkpoint.List(checkpoint.Dir(dir))
+		if err != nil || len(infos) == 0 {
+			t.Fatalf("fixture checkpoints: %v, %d files", err, len(infos))
+		}
+		for _, info := range infos {
+			data, err := os.ReadFile(info.Path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/3] ^= 0x41
+			if err := os.WriteFile(info.Path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := checkpoint.Recover(recoverCfg(t, dir, base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rung != 3 || res.Source != "wal-snapshot" {
+			t.Fatalf("landed on rung %d (%s), want rung 3 (wal-snapshot); fallbacks: %v", res.Rung, res.Source, res.Fallbacks)
+		}
+		finishRecovery(t, dir, res, base, all)
+	})
+
+	t.Run("missing checkpoint dir falls to wal-snapshot", func(t *testing.T) {
+		dir := t.TempDir()
+		base, all := buildDurableState(t, dir, true)
+		if err := os.RemoveAll(checkpoint.Dir(dir)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := checkpoint.Recover(recoverCfg(t, dir, base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rung != 3 || res.Source != "wal-snapshot" {
+			t.Fatalf("landed on rung %d (%s), want rung 3 (wal-snapshot); fallbacks: %v", res.Rung, res.Source, res.Fallbacks)
+		}
+		finishRecovery(t, dir, res, base, all)
+	})
+
+	t.Run("nothing durable but the WAL falls to corpus", func(t *testing.T) {
+		dir := t.TempDir()
+		base, all := buildDurableState(t, dir, false)
+		if err := os.RemoveAll(checkpoint.Dir(dir)); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.RemoveAll(filepath.Join(dir, checkpoint.WALSnapshotDir)); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(filepath.Join(dir, "CHECKPOINT")); err != nil && !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+		res, err := checkpoint.Recover(recoverCfg(t, dir, base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rung != 4 || res.Source != "corpus" {
+			t.Fatalf("landed on rung %d (%s), want rung 4 (corpus); fallbacks: %v", res.Rung, res.Source, res.Fallbacks)
+		}
+		if res.Seq != 0 {
+			t.Fatalf("rung 4 recovered seq %d, want 0 (full WAL replay)", res.Seq)
+		}
+		finishRecovery(t, dir, res, base, all)
+	})
+}

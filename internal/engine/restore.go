@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"swrec/internal/core"
+	"swrec/internal/index"
+	"swrec/internal/model"
+	"swrec/internal/profile"
+	"swrec/internal/profmat"
+	"swrec/internal/sparse"
+	"swrec/internal/strategy"
+	"swrec/internal/taxonomy"
+)
+
+// Options returns the pipeline options this snapshot serves with.
+func (s *Snapshot) Options() core.Options { return s.opt }
+
+// PeersEntry is one exported neighborhood-cache entry.
+type PeersEntry struct {
+	Agent model.AgentID
+	Pipe  string // the stages-1-3 override key; "" for the default pipeline
+	Peers []core.PeerRank
+}
+
+// ProfileEntry is one exported Eq. 3 profile-cache entry.
+type ProfileEntry struct {
+	Agent   model.AgentID
+	Profile sparse.Vector
+}
+
+// ExportPeers snapshots the warm neighborhood cache in least-to-most
+// recently used order, so replaying the entries through a fresh cache
+// reproduces the recency ordering. Values are shared, not copied.
+func (s *Snapshot) ExportPeers() []PeersEntry {
+	es := s.peers.entries()
+	out := make([]PeersEntry, len(es))
+	for i, e := range es {
+		out[i] = PeersEntry{Agent: e.key.agent, Pipe: e.key.pipe, Peers: e.val}
+	}
+	return out
+}
+
+// ExportProfiles snapshots the warm Eq. 3 profile cache in
+// least-to-most recently used order. Values are shared, not copied.
+func (s *Snapshot) ExportProfiles() []ProfileEntry {
+	es := s.profiles.entries()
+	out := make([]ProfileEntry, len(es))
+	for i, e := range es {
+		out[i] = ProfileEntry{Agent: e.key, Profile: e.val}
+	}
+	return out
+}
+
+// Restore is the state NewRestored installs without recomputation: a
+// checkpointed epoch's community plus its compiled artifacts and warm
+// caches. Matrix and Index may be nil (they rebuild lazily); Peers and
+// Profiles seed the caches in the order given.
+type Restore struct {
+	Epoch     uint64
+	Community *model.Community
+	Matrix    *profmat.Matrix
+	Index     *index.TopicIndex
+	Peers     []PeersEntry
+	Profiles  []ProfileEntry
+}
+
+// NewRestored builds an engine whose first snapshot is reconstructed
+// from checkpointed state rather than compiled from scratch: the
+// restored profile matrix, topic index, and warm caches are installed
+// directly, so the first request after a restart is as warm as the last
+// request before it — no Appleseed, no Eq. 3, no similarity recompute.
+// The epoch continues from the checkpoint (SwapDelta increments from
+// it), keeping epoch numbers monotonic across the restart.
+func NewRestored(r Restore, opt core.Options, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	ladder, err := strategy.New(cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	epoch := r.Epoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	snap, err := newSnapshotRestored(epoch, r, opt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, opt: opt, start: time.Now(), ladder: ladder}
+	e.snap.Store(snap)
+	stats.Add("restores", 1)
+	return e, nil
+}
+
+// newSnapshotRestored builds a snapshot around pre-built artifacts. It
+// mirrors newSnapshotDelta with every row "carried" from the restored
+// matrix: CompileDelta over a prev of r.Matrix and an all-clean dirty
+// set copies the rows without recompiling any, and validates coverage
+// (an agent missing from the matrix — impossible in a well-formed
+// checkpoint — would simply be compiled fresh).
+func newSnapshotRestored(epoch uint64, r Restore, opt core.Options, cfg Config) (*Snapshot, error) {
+	rec, err := core.New(r.Community, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		epoch:    epoch,
+		comm:     r.Community,
+		opt:      opt,
+		rec:      rec,
+		budget:   cfg.ComputeBudget,
+		profiles: newLRU[model.AgentID, sparse.Vector](cfg.ProfileCacheSize),
+		peers:    newLRU[peerKey, []core.PeerRank](cfg.PeerCacheSize),
+		subtrees: newLRU[taxonomy.Topic, []model.ProductID](cfg.SubtreeCacheSize),
+		results:  newLRU[recKey, []core.Recommendation](cfg.ResultCacheSize),
+		variants: make(map[string]*core.Recommender),
+	}
+	if tax := r.Community.Taxonomy(); tax != nil {
+		s.gen = profile.New(tax)
+	}
+	if f := rec.Filter(); f.Compilable() {
+		clean := func(model.AgentID) bool { return false }
+		//nolint:ctxflow -- restore runs at process start, not on a request path; there is no caller deadline to thread
+		if err := f.CompileDelta(context.Background(), r.Matrix, clean); err != nil {
+			return nil, err
+		}
+		if mat := f.Matrix(); mat != nil && r.Matrix != nil {
+			stats.Add("restored_rows", int64(mat.Len()-mat.Built()))
+		}
+	}
+	if r.Index != nil {
+		s.ix.Store(r.Index)
+	}
+	for _, e := range r.Profiles {
+		s.profiles.add(e.Agent, e.Profile)
+	}
+	for _, e := range r.Peers {
+		s.peers.add(peerKey{agent: e.Agent, pipe: e.Pipe}, e.Peers)
+	}
+	return s, nil
+}

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -18,6 +19,7 @@ import (
 
 	"swrec/internal/api"
 	"swrec/internal/cf"
+	"swrec/internal/checkpoint"
 	"swrec/internal/core"
 	"swrec/internal/crawler"
 	"swrec/internal/engine"
@@ -299,6 +301,149 @@ func TestChaos(t *testing.T) {
 	}
 	if badStatus.Load() != 0 {
 		t.Fatalf("%d reads returned a status outside {200,404,504}", badStatus.Load())
+	}
+}
+
+// TestChaosCheckpointCrash is the kill-mid-checkpoint probe: a process
+// dies while writing a compiled checkpoint (torn write on the temp file,
+// plus the crash debris that shape leaves — a stale temporary and a
+// corrupted in-flight file). The recovery ladder must land on the valid
+// older checkpoint, and every acknowledged write must survive via WAL
+// tail replay — fingerprint-equal to a run that never crashed.
+func TestChaosCheckpointCrash(t *testing.T) {
+	seed := *chaosSeed
+	muts := 40
+	if testing.Short() {
+		muts = 20
+	}
+	_, site := publishChaosWeb(t, 16)
+	base := site.Community()
+	dir := t.TempDir()
+	opt := core.Options{CF: cf.Options{Measure: cf.Cosine, Representation: cf.Taxonomy}}
+	engCfg := engine.Config{ComputeBudget: time.Second}
+	recCfg := func() checkpoint.RecoverConfig {
+		return checkpoint.RecoverConfig{
+			WALDir: dir, Options: opt, Engine: engCfg,
+			Corpus: func() (*model.Community, error) { return base, nil },
+			Logf:   t.Logf,
+		}
+	}
+	all := chaosMutations(base, muts)
+	batchA, batchB := all[:muts/2], all[muts/2:]
+
+	// ---- Life 1: a healthy run writes a valid checkpoint and exits ----
+	ckptIngest := func(inj *Injector) ingest.Config {
+		cfg := lazyIngest(nil)
+		cfg.CheckpointEvery = 1
+		cfg.CheckpointRetain = 4
+		if inj != nil {
+			cfg.CheckpointWrap = func(f *os.File) checkpoint.File { return inj.File(f) }
+		}
+		return cfg
+	}
+	pipeA, err := ingest.Open(chaosEngine(t, base), dir, ckptIngest(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range batchA {
+		if _, err := pipeA.Submit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pipeA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := checkpoint.List(checkpoint.Dir(dir))
+	if err != nil || len(infos) == 0 {
+		t.Fatalf("life 1 left no checkpoint: %v, %d files", err, len(infos))
+	}
+	seqA := infos[0].Seq
+	if seqA != uint64(len(batchA)) {
+		t.Fatalf("life 1 checkpoint covers seq %d, want %d", seqA, len(batchA))
+	}
+
+	// ---- Life 2: restart warm, then die mid-checkpoint-write ----
+	res, err := checkpoint.Recover(recCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rung != 1 {
+		t.Fatalf("life 2 recovery landed on rung %d (%s), want 1", res.Rung, res.Source)
+	}
+	wInj := New(Config{Seed: seed, TornWriteRate: 1})
+	pipeB, err := ingest.OpenFrom(res.Engine, dir, ckptIngest(wInj), res.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range batchB {
+		if _, err := pipeB.Submit(m); err != nil {
+			t.Fatalf("submit after restart: %v", err)
+		}
+	}
+	if err := pipeB.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipeB.Abort(); err != nil { // kill-equivalent: no graceful final checkpoint
+		t.Logf("abort (tolerated): %v", err)
+	}
+	if wInj.Counts().Total() == 0 {
+		t.Fatal("no checkpoint write was torn — the crash was never simulated")
+	}
+	// Crash debris the torn-write shape leaves behind: a stale write
+	// temporary, plus a corrupted file at the crashed sequence (a disk
+	// that lied about the rename barrier).
+	seqB := seqA + uint64(len(batchB))
+	badName := fmt.Sprintf("ckpt-%016x.swc", seqB)
+	if err := os.WriteFile(filepath.Join(checkpoint.Dir(dir), badName+".tmp-dead"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	img := checkpoint.Capture(res.Engine.Snapshot(), seqB)
+	data := checkpoint.Encode(img)
+	data[len(data)/2] ^= 0x41
+	if err := os.WriteFile(filepath.Join(checkpoint.Dir(dir), badName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- Life 3: the ladder lands on the valid older checkpoint ----
+	res, err = checkpoint.Recover(recCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rung != 2 || res.Source != "checkpoint-prev" {
+		t.Fatalf("landed on rung %d (%s), want rung 2 (checkpoint-prev); fallbacks: %v", res.Rung, res.Source, res.Fallbacks)
+	}
+	if res.Seq != seqA {
+		t.Fatalf("recovered seq %d, want the older checkpoint's %d", res.Seq, seqA)
+	}
+	pipeC, err := ingest.OpenFrom(res.Engine, dir, lazyIngest(nil), res.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipeC.Close()
+	if got := pipeC.Replayed(); got != len(batchB) {
+		t.Fatalf("replayed %d WAL records, want the %d acked after the checkpoint", got, len(batchB))
+	}
+
+	// Acked writes survived: the state equals a run that never crashed.
+	cleanEng := chaosEngine(t, base)
+	cleanPipe, err := ingest.Open(cleanEng, t.TempDir(), lazyIngest(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range all {
+		if _, err := cleanPipe.Submit(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cleanPipe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := chaosDigest(cleanEng.Snapshot().Community())
+	if err := cleanPipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := chaosDigest(res.Engine.Snapshot().Community()); got != want {
+		t.Fatalf("recovered state lost acked writes:\n--- want ---\n%s\n--- got ---\n%s", want, got)
 	}
 }
 

@@ -106,3 +106,29 @@ func (ix *TopicIndex) TopicsOf() []taxonomy.Topic {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// Export returns the index contents in canonical order — topics sorted
+// ascending, each with its posting list in stored (catalog insertion)
+// order. The posting slices are shared with the index and must not be
+// modified; Restore(tax, Export()) reproduces an equivalent index.
+func (ix *TopicIndex) Export() ([]taxonomy.Topic, [][]model.ProductID) {
+	topics := ix.TopicsOf()
+	postings := make([][]model.ProductID, len(topics))
+	for i, d := range topics {
+		postings[i] = ix.postings[d]
+	}
+	return topics, postings
+}
+
+// Restore rebuilds an index from exported contents (e.g. decoded from a
+// checkpoint), adopting the posting slices by reference.
+func Restore(tax *taxonomy.Taxonomy, topics []taxonomy.Topic, postings [][]model.ProductID) *TopicIndex {
+	ix := &TopicIndex{
+		tax:      tax,
+		postings: make(map[taxonomy.Topic][]model.ProductID, len(topics)),
+	}
+	for i, d := range topics {
+		ix.postings[d] = postings[i]
+	}
+	return ix
+}

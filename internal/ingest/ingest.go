@@ -30,11 +30,22 @@
 // idempotent (upserts are last-writer-wins, retractions are absorbing),
 // so the crash windows inside Checkpoint itself are harmless.
 //
+// Beyond the corpus snapshot, the pipeline can maintain *compiled*
+// checkpoints (internal/checkpoint): every CheckpointEvery published
+// snapshots — and once at shutdown — the current serving snapshot is
+// captured and written to <dir>/checkpoints by a background writer, off
+// the worker's append/apply path, retaining the newest CheckpointRetain
+// files. A restart then restores the compiled engine state in O(file
+// size) via checkpoint.Recover + OpenFrom instead of recomputing it
+// (see DESIGN.md §11). WAL truncation keeps every record any retained
+// checkpoint still needs for tail replay.
+//
 // The pipeline must be the engine's only swapper while it runs.
 //
 // Observability: expvar map "swrec_ingest" (appended, applied,
 // snapshot_builds, replay_records, queue_depth, overloaded,
-// apply_errors, checkpoints).
+// apply_errors, checkpoints, compiled_checkpoints,
+// compiled_checkpoint_errors, compiled_checkpoint_skipped).
 package ingest
 
 import (
@@ -46,6 +57,7 @@ import (
 	"sync"
 	"time"
 
+	"swrec/internal/checkpoint"
 	"swrec/internal/corpus"
 	"swrec/internal/engine"
 	"swrec/internal/isbn"
@@ -67,7 +79,9 @@ var (
 )
 
 // snapshotDir is the corpus snapshot directory inside the WAL directory.
-const snapshotDir = "snapshot"
+// The name is owned by internal/checkpoint, whose recovery ladder reads
+// the same directory as its rung-3 source.
+const snapshotDir = checkpoint.WALSnapshotDir
 
 // Config tunes the pipeline. Zero values select defaults.
 type Config struct {
@@ -82,6 +96,17 @@ type Config struct {
 	// SnapshotInterval triggers a snapshot build once the oldest pending
 	// mutation is this old (default 2s).
 	SnapshotInterval time.Duration
+	// CheckpointEvery, when positive, writes a compiled checkpoint
+	// (internal/checkpoint) every that many published snapshots, plus one
+	// at Close. 0 disables compiled checkpoints (the default for library
+	// users; cmd/swrecd enables them).
+	CheckpointEvery int
+	// CheckpointRetain bounds the compiled checkpoint files kept on disk
+	// (default 2: the newest plus one fallback for the recovery ladder).
+	CheckpointRetain int
+	// CheckpointWrap, when non-nil, interposes on compiled-checkpoint
+	// file handles — the fault-injection seam (internal/faultinject).
+	CheckpointWrap func(*os.File) checkpoint.File
 	// WAL configures the underlying log (segment size, fsync).
 	WAL wal.Options
 }
@@ -98,6 +123,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotInterval <= 0 {
 		c.SnapshotInterval = 2 * time.Second
+	}
+	if c.CheckpointRetain <= 0 {
+		c.CheckpointRetain = 2
 	}
 	return c
 }
@@ -128,6 +156,16 @@ type Pipeline struct {
 	abort chan struct{} // closed by Abort: exit without applying
 	done  chan struct{}
 
+	// ckptJobs carries captured images to the background compiled-
+	// checkpoint writer; cap 1 with non-blocking enqueue, so a slow disk
+	// drops checkpoints (counted) instead of stalling the worker. Closed
+	// by run() on exit; ckptDone closes when the writer has drained.
+	ckptJobs chan *checkpoint.Image
+	ckptDone chan struct{}
+	// snapsSinceCkpt counts published snapshots toward CheckpointEvery
+	// (worker-owned).
+	snapsSinceCkpt int
+
 	closeMu  sync.RWMutex
 	closed   bool
 	stopOnce sync.Once
@@ -156,37 +194,55 @@ type Pipeline struct {
 // state the checkpoint describes (use LoadBase; with no checkpoint, the
 // original corpus and an un-truncated WAL).
 func Open(eng *engine.Engine, dir string, cfg Config) (*Pipeline, error) {
+	return openFrom(eng, dir, cfg, nil)
+}
+
+// OpenFrom is Open for an engine restored from a compiled checkpoint
+// (checkpoint.Recover): instead of the directory's corpus-snapshot
+// marker, replay starts right after seq — the last WAL sequence the
+// restored state already covers.
+func OpenFrom(eng *engine.Engine, dir string, cfg Config, seq uint64) (*Pipeline, error) {
+	return openFrom(eng, dir, cfg, &seq)
+}
+
+func openFrom(eng *engine.Engine, dir string, cfg Config, seq *uint64) (*Pipeline, error) {
 	cfg = cfg.withDefaults()
 	w, err := wal.Open(dir, cfg.WAL)
 	if err != nil {
 		return nil, err
 	}
 	p := &Pipeline{
-		eng:   eng,
-		w:     w,
-		dir:   dir,
-		cfg:   cfg,
-		queue: make(chan submission, cfg.QueueSize),
-		flush: make(chan chan error),
-		chkpt: make(chan chan error),
-		quit:  make(chan struct{}),
-		abort: make(chan struct{}),
-		done:  make(chan struct{}),
+		eng:      eng,
+		w:        w,
+		dir:      dir,
+		cfg:      cfg,
+		queue:    make(chan submission, cfg.QueueSize),
+		flush:    make(chan chan error),
+		chkpt:    make(chan chan error),
+		quit:     make(chan struct{}),
+		abort:    make(chan struct{}),
+		done:     make(chan struct{}),
+		ckptJobs: make(chan *checkpoint.Image, 1),
+		ckptDone: make(chan struct{}),
 	}
 	snap := eng.Snapshot()
 	p.base = snap.Community()
 	p.epoch = snap.Epoch()
 
-	cp, _, err := wal.LoadCheckpoint(dir)
-	if err != nil {
+	if seq == nil {
+		cp, _, err := wal.LoadCheckpoint(dir)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		seq = &cp.Seq
+	}
+	p.applied = *seq
+	if err := p.replay(*seq + 1); err != nil {
 		w.Close()
 		return nil, err
 	}
-	p.applied = cp.Seq
-	if err := p.replay(cp.Seq + 1); err != nil {
-		w.Close()
-		return nil, err
-	}
+	go p.ckptWriter()
 	go p.run()
 	return p, nil
 }
@@ -338,10 +394,13 @@ func (p *Pipeline) run() {
 		select {
 		case <-p.abort:
 			p.drainRejecting()
+			p.stopCkptWriter()
 			return
 		case <-p.quit:
 			p.drainAppending()
 			p.snapshot()
+			p.stopCkptWriter()
+			p.finalCompiled()
 			return
 		case sub := <-p.queue:
 			if p.gate != nil {
@@ -429,7 +488,80 @@ func (p *Pipeline) snapshot() error {
 	p.epoch = snap.Epoch()
 	p.applied = applied
 	p.obsMu.Unlock()
+	p.maybeCompiledCheckpoint(snap, applied)
 	return nil
+}
+
+// maybeCompiledCheckpoint hands the freshly published snapshot to the
+// background compiled-checkpoint writer every CheckpointEvery publishes.
+// The capture reads only immutable snapshot state, and the enqueue never
+// blocks: with the writer busy the checkpoint is skipped (counted) — a
+// later, newer one supersedes it anyway.
+func (p *Pipeline) maybeCompiledCheckpoint(snap *engine.Snapshot, seq uint64) {
+	if p.cfg.CheckpointEvery <= 0 {
+		return
+	}
+	p.snapsSinceCkpt++
+	if p.snapsSinceCkpt < p.cfg.CheckpointEvery {
+		return
+	}
+	p.snapsSinceCkpt = 0
+	select {
+	case p.ckptJobs <- checkpoint.Capture(snap, seq):
+	default:
+		stats.Add("compiled_checkpoint_skipped", 1)
+	}
+}
+
+// ckptWriter is the background compiled-checkpoint goroutine: it drains
+// captured images off the worker's hot path, writing and pruning without
+// ever touching worker-owned state. It exits when run() closes ckptJobs.
+func (p *Pipeline) ckptWriter() {
+	defer close(p.ckptDone)
+	for img := range p.ckptJobs {
+		p.writeCompiled(img)
+	}
+}
+
+// stopCkptWriter ends the background writer and waits for any in-flight
+// write to finish — called by run() on either exit path, before the WAL
+// is closed under it.
+func (p *Pipeline) stopCkptWriter() {
+	close(p.ckptJobs)
+	<-p.ckptDone
+}
+
+// finalCompiled writes one last compiled checkpoint synchronously at
+// Close (the writer is already stopped), so a clean shutdown always
+// leaves a checkpoint at the exact final sequence.
+func (p *Pipeline) finalCompiled() {
+	if p.cfg.CheckpointEvery <= 0 {
+		return
+	}
+	p.obsMu.Lock()
+	seq := p.applied
+	p.obsMu.Unlock()
+	p.writeCompiled(checkpoint.Capture(p.eng.Snapshot(), seq))
+}
+
+// writeCompiled persists one captured image into <dir>/checkpoints and
+// prunes to the retention bound. Failures are counted, not fatal: the
+// recovery ladder has lower rungs, and the next interval retries.
+func (p *Pipeline) writeCompiled(img *checkpoint.Image) {
+	dir := checkpoint.Dir(p.dir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		stats.Add("compiled_checkpoint_errors", 1)
+		return
+	}
+	if _, err := checkpoint.WriteImage(dir, img, p.cfg.CheckpointWrap); err != nil {
+		stats.Add("compiled_checkpoint_errors", 1)
+		return
+	}
+	if err := checkpoint.Prune(dir, p.cfg.CheckpointRetain); err != nil {
+		stats.Add("compiled_checkpoint_errors", 1)
+		return
+	}
+	stats.Add("compiled_checkpoints", 1)
 }
 
 // checkpoint makes the applied state durable: flush, export the corpus
@@ -468,7 +600,21 @@ func (p *Pipeline) checkpoint() error {
 	if err := wal.SaveCheckpoint(p.dir, cp); err != nil {
 		return err
 	}
-	if _, err := p.w.TruncateBefore(cp.Seq + 1); err != nil {
+	// Truncate only what no recovery source still needs: the corpus
+	// marker covers cp.Seq, but a retained compiled checkpoint at an
+	// older sequence still needs its tail (Seq+1 ...) for replay, so the
+	// floor is the minimum over all of them. (A checkpoint mid-write can
+	// slip past the listing; the recovery ladder's WAL-coverage probe
+	// rejects it rather than silently skipping records.)
+	floor := cp.Seq
+	if infos, err := checkpoint.List(checkpoint.Dir(p.dir)); err == nil {
+		for _, info := range infos {
+			if info.Seq < floor {
+				floor = info.Seq
+			}
+		}
+	}
+	if _, err := p.w.TruncateBefore(floor + 1); err != nil {
 		return err
 	}
 	stats.Add("checkpoints", 1)

@@ -275,6 +275,28 @@ func parseSegmentName(name string) (uint64, bool) {
 	return seq, err == nil
 }
 
+// OldestSeq reports the first sequence number of the oldest retained
+// segment in dir, without opening the log: the recovery ladder's
+// coverage probe — a checkpoint at sequence S is replayable only when
+// the retained WAL still starts at or before S+1. ok is false when the
+// directory holds no segments (an empty or missing log covers any
+// starting point).
+func OldestSeq(dir string) (seq uint64, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("wal: read dir %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if s, isSeg := parseSegmentName(e.Name()); isSeg && (!ok || s < seq) {
+			seq, ok = s, true
+		}
+	}
+	return seq, ok, nil
+}
+
 // WAL is an append-only mutation log over a directory of segments. All
 // methods are safe for concurrent use; appends are serialized.
 type WAL struct {
