@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check fmt vet lint lint-note test race cover bench bench-diff bench-diff-short profile fuzz fuzz-smoke chaos chaos-short recovery-smoke load load-short load-baseline experiments experiments-paper examples clean
+.PHONY: all build check fmt vet lint lint-note lint-audit lint-urikey test race cover bench bench-diff bench-diff-short profile fuzz fuzz-smoke chaos chaos-short recovery-smoke load load-short load-baseline experiments experiments-paper examples clean
 
 all: build check
 
@@ -19,14 +19,22 @@ all: build check
 # attack harness").
 check: fmt vet lint race fuzz-smoke chaos-short recovery-smoke bench-diff-short load-short
 
-# lint builds the swrecvet multichecker once and drives it through
-# go vet, so the project analyzers (ctxflow, detrand, durableerr,
-# expvarname, goleak, snapshotpin) run with full type information over
-# every package. See README "Static analysis" for the invariant each
-# analyzer encodes and DESIGN.md for the PR that introduced it.
-lint:
+# bin/swrecvet is rebuilt only when an analyzer source changes, so a
+# repeated `make lint` goes straight to the (vet-cached) analysis.
+SWRECVET_SRC := $(shell find cmd/swrecvet internal/analysis -name '*.go' -not -path '*/testdata/*' -not -name '*_test.go')
+bin/swrecvet: $(SWRECVET_SRC)
 	$(GO) build -o bin/swrecvet ./cmd/swrecvet
-	$(GO) vet -vettool=$(abspath bin/swrecvet) ./...
+
+# lint builds the swrecvet multichecker (only when its sources changed)
+# and drives it through go vet, so the project analyzers (boundedmake,
+# ctxflow, detrand, durableerr, expvarname, goleak, hotalloc,
+# snapshotfreeze, snapshotpin, urikey) run with full type information.
+# Narrow the sweep with PKG: `make lint PKG=./internal/engine/...`.
+# See README "Static analysis" for the invariant each analyzer encodes
+# and DESIGN.md §7 for the PR that introduced it.
+PKG ?= ./...
+lint: bin/swrecvet
+	$(GO) vet -vettool=$(abspath bin/swrecvet) $(PKG)
 
 # There is deliberately no auto-fix: every exception to an invariant
 # must be written down where it lives, with a reason —
@@ -39,6 +47,28 @@ lint-note:
 	@echo '  //nolint:<analyzer> -- reason             # covers its line and the next'
 	@echo '  //swrecvet:disable <analyzer> -- reason   # covers the whole file'
 	@echo 'unjustified suppressions are inert; the diagnostic keeps firing.'
+	@echo 'mark zero-allocation kernels with //swrec:hotpath in the doc comment:'
+	@echo '  hotalloc then rejects every allocating construct in the function'
+	@echo '  and its same-package callees.'
+	@echo 'narrow a lint run with PKG:   make lint PKG=./internal/engine/...'
+	@echo 'audit stale suppressions:     make lint-audit'
+	@echo 'regenerate the URI-key inventory: make lint-urikey'
+
+# lint-audit re-runs the suite in audit mode and condemns every
+# justified suppression whose analyzer is gone or whose diagnostic no
+# longer fires under it (see cmd/lintaudit). Fails when stale
+# suppressions exist.
+lint-audit: bin/swrecvet
+	$(GO) run ./cmd/lintaudit -vettool bin/swrecvet
+
+# lint-urikey regenerates LINT_urikey.txt, the committed inventory of
+# URI-string-keyed maps in the hot packages (ROADMAP item 1 burns this
+# file down; urikey is advisory-silent in normal lint runs). go vet
+# exits non-zero when the inventory is non-empty — expected here.
+lint-urikey: bin/swrecvet
+	@$(GO) vet -vettool=$(abspath bin/swrecvet) -urikey.report ./... 2>&1 \
+		| grep 'map keyed by URI string' | sed 's|^$(CURDIR)/||' | sort > LINT_urikey.txt || true
+	@wc -l < LINT_urikey.txt | xargs -I{} echo 'LINT_urikey.txt: {} interning candidates'
 
 build:
 	$(GO) build ./...

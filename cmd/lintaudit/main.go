@@ -1,0 +1,82 @@
+// Command lintaudit reports stale suppressions: //nolint and
+// //swrecvet:disable comments whose analyzer is no longer registered or
+// whose diagnostic no longer fires under them. Run it as
+//
+//	make lint-audit
+//
+// which builds bin/swrecvet and invokes this command. It re-runs the
+// full analyzer suite in audit mode (-<name>.audit), where suppressed
+// diagnostics are emitted with a marker instead of being dropped, and
+// cross-references them against every suppression comment in the tree.
+// A justified suppression that no marked diagnostic lands under is dead
+// weight: delete it before it silences a future, different violation on
+// the same line. Exits 1 when stale suppressions exist.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"swrec/internal/analysis/lintaudit"
+	"swrec/internal/analysis/registry"
+)
+
+func main() {
+	vettool := flag.String("vettool", "bin/swrecvet", "path to the swrecvet binary")
+	pkgs := flag.String("pkgs", "./...", "package pattern handed to go vet")
+	root := flag.String("root", ".", "tree scanned for suppression comments")
+	flag.Parse()
+
+	if err := run(*vettool, *pkgs, *root); err != nil {
+		fmt.Fprintln(os.Stderr, "lintaudit:", err)
+		os.Exit(2)
+	}
+}
+
+func run(vettool, pkgs, root string) error {
+	abs, err := filepath.Abs(vettool)
+	if err != nil {
+		return err
+	}
+	args := []string{"vet", "-vettool=" + abs, "-json"}
+	for _, name := range registry.Names() {
+		args = append(args, "-"+name+".audit")
+	}
+	// urikey is advisory-silent by default; without report mode its
+	// suppressions would all be condemned as stale.
+	args = append(args, "-urikey.report", pkgs)
+
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	// vet exits non-zero whenever diagnostics exist — in audit mode
+	// that is the expected outcome, not a failure.
+	if err := cmd.Run(); err != nil {
+		if _, isExit := err.(*exec.ExitError); !isExit {
+			return fmt.Errorf("go vet: %w (output: %s)", err, out.String())
+		}
+	}
+	diags, err := lintaudit.ParseVetJSON(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		return fmt.Errorf("%w\nvet output was:\n%s", err, out.String())
+	}
+	sups, err := lintaudit.ScanDir(root)
+	if err != nil {
+		return err
+	}
+	res := lintaudit.Audit(sups, diags, registry.Names())
+	fmt.Printf("lintaudit: %d justified suppressions audited, %d live, %d stale\n",
+		res.Total, res.Live, len(res.Stale))
+	for _, s := range res.Stale {
+		fmt.Printf("STALE %s — %s\n", s.Suppression, s.Reason)
+	}
+	if len(res.Stale) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}

@@ -8,32 +8,17 @@
 // (or `make lint`, which does exactly that). Each analyzer encodes one
 // invariant introduced by an earlier PR — see the DESIGN.md "Static
 // analysis" table for the mapping — and supports the auditable
-// suppression comments documented in internal/analysis/lintutil.
+// suppression comments documented in internal/analysis/lintutil. The
+// analyzer set lives in internal/analysis/registry, shared with
+// cmd/lintaudit.
 package main
 
 import (
-	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/unitchecker"
 
-	"swrec/internal/analysis/ctxflow"
-	"swrec/internal/analysis/detrand"
-	"swrec/internal/analysis/durableerr"
-	"swrec/internal/analysis/expvarname"
-	"swrec/internal/analysis/goleak"
-	"swrec/internal/analysis/snapshotpin"
+	"swrec/internal/analysis/registry"
 )
 
-// analyzers is the full swrecvet suite. cmd/swrecvet's smoke test
-// pins this set; extending it is a deliberate, reviewed act.
-var analyzers = []*analysis.Analyzer{
-	ctxflow.Analyzer,
-	detrand.Analyzer,
-	durableerr.Analyzer,
-	expvarname.Analyzer,
-	goleak.Analyzer,
-	snapshotpin.Analyzer,
-}
-
 func main() {
-	unitchecker.Main(analyzers...)
+	unitchecker.Main(registry.All()...)
 }

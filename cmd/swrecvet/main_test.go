@@ -1,19 +1,28 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"swrec/internal/analysis/registry"
+)
 
 // TestAnalyzerSet pins the multichecker's registered analyzer set:
 // the CI gate's strength is exactly this list, so adding or dropping
 // an analyzer must be visible as a test change.
 func TestAnalyzerSet(t *testing.T) {
 	want := []string{
+		"boundedmake",
 		"ctxflow",
 		"detrand",
 		"durableerr",
 		"expvarname",
 		"goleak",
+		"hotalloc",
+		"snapshotfreeze",
 		"snapshotpin",
+		"urikey",
 	}
+	analyzers := registry.All()
 	if len(analyzers) != len(want) {
 		t.Fatalf("registered %d analyzers, want %d", len(analyzers), len(want))
 	}
@@ -34,6 +43,24 @@ func TestAnalyzerSet(t *testing.T) {
 		}
 		if a.Run == nil {
 			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+		if a.Flags.Lookup("audit") == nil {
+			t.Errorf("analyzer %q does not register the shared audit flag", a.Name)
+		}
+	}
+}
+
+// TestNames pins registry.Names against the analyzer list — lintaudit
+// derives its audit-flag set from it.
+func TestNames(t *testing.T) {
+	names := registry.Names()
+	analyzers := registry.All()
+	if len(names) != len(analyzers) {
+		t.Fatalf("Names() has %d entries, All() has %d", len(names), len(analyzers))
+	}
+	for i := range names {
+		if names[i] != analyzers[i].Name {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], analyzers[i].Name)
 		}
 	}
 }

@@ -1,0 +1,13 @@
+// Package harness is the multi-file half of the harness self-test:
+// diagnostics land in both files, and the receiver type comes from the
+// imported harnessdep package.
+package harness
+
+import "harnessdep"
+
+// A lights a locally built fuse.
+func A() {
+	f := harnessdep.New()
+	f.Light() // want `Light called on \*harnessdep\.Fuse`
+	f.Snuff()
+}

@@ -1,0 +1,14 @@
+package harness
+
+import "harnessdep"
+
+// B exercises the suppression contract from a second file of the same
+// package.
+func B(f *harnessdep.Fuse) {
+	f.Light() // want `Light called on \*harnessdep\.Fuse`
+	f.Light() //nolint:marktest -- harness self-test: a justified suppression is honored
+	// No "-- reason" clause: the suppression is inert and the
+	// diagnostic must keep firing.
+	//nolint:marktest
+	f.Light() // want `Light called on \*harnessdep\.Fuse`
+}

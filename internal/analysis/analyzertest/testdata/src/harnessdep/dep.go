@@ -1,0 +1,16 @@
+// Package harnessdep is the dependency half of the harness self-test
+// fixture: the analyzer under test resolves its types across the
+// package boundary.
+package harnessdep
+
+// Fuse is the type the self-test analyzer keys on.
+type Fuse struct{}
+
+// New builds a Fuse.
+func New() *Fuse { return &Fuse{} }
+
+// Light is the method whose calls the self-test analyzer reports.
+func (f *Fuse) Light() {}
+
+// Snuff is a decoy method that must not be reported.
+func (f *Fuse) Snuff() {}

@@ -1,0 +1,22 @@
+package boundedmake_test
+
+import (
+	"testing"
+
+	"swrec/internal/analysis/analyzertest"
+	"swrec/internal/analysis/boundedmake"
+)
+
+// TestDecodePath checks both directions inside a decode package:
+// count()-validated, limit-compared, and len()-derived sizes are
+// silent; raw wire counts — including the laundered accumulator and the
+// unchecked capacity argument — are reported.
+func TestDecodePath(t *testing.T) {
+	analyzertest.Run(t, boundedmake.Analyzer, "swrec/internal/checkpoint")
+}
+
+// TestOutOfScope guards the false-positive direction: packages outside
+// the decode list are never reported.
+func TestOutOfScope(t *testing.T) {
+	analyzertest.Run(t, boundedmake.Analyzer, "swrec/internal/other")
+}

@@ -1,0 +1,108 @@
+// Package checkpoint is a fixture miniature of the decode path: a
+// frame decoder whose counts must be validated before they size an
+// allocation.
+package checkpoint
+
+const maxItems = 1 << 20
+
+// dec is the frame decoder stub; count is the validator the real
+// decoder exposes.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) uv() uint64 { return 0 }
+
+func (d *dec) u32() uint32 { return 0 }
+
+// count validates a decoded count against a floor and the remaining
+// frame bytes, failing the decode on violation.
+func (d *dec) count(n uint64, min int, what string) int {
+	if n > uint64(len(d.buf)-d.off) {
+		d.err = errTooBig
+		return 0
+	}
+	return int(n)
+}
+
+var errTooBig = error(nil)
+
+// DecodeValidated sizes every make from count() — silent.
+func DecodeValidated(d *dec) []float64 {
+	n := d.count(d.uv(), 0, "values")
+	out := make([]float64, n)
+	return out
+}
+
+// DecodeCompared uses an explicit limit comparison instead — also
+// silent: the if dominates the make in source order.
+func DecodeCompared(d *dec) []byte {
+	n := int(d.u32())
+	if n < 0 || n > maxItems {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// DecodeUnchecked is the acceptance-required failing case: the count
+// flows straight from the wire into make.
+func DecodeUnchecked(d *dec) []byte {
+	n := int(d.u32())
+	return make([]byte, n) // want `make sized from unvalidated n`
+}
+
+// DecodeDirect feeds the decoder call into make with no intermediate
+// variable at all.
+func DecodeDirect(d *dec) []byte {
+	return make([]byte, d.uv()) // want `make sized from unvalidated uv\(\) result`
+}
+
+// DecodeCapacity validates the length but not the capacity.
+func DecodeCapacity(d *dec) []byte {
+	n := d.count(d.uv(), 0, "len")
+	c := int(d.u32())
+	return make([]byte, n, c) // want `make sized from unvalidated c`
+}
+
+// DecodeAccumulated sums validated per-record counts — silent: every
+// addend went through count().
+func DecodeAccumulated(d *dec, records int) []float64 {
+	total := 0
+	for i := 0; i < records; i++ {
+		np := d.count(d.uv(), 1, "peers")
+		total += np
+	}
+	return make([]float64, total)
+}
+
+// DecodeAccumulatedRaw sums raw wire counts — the accumulator launders
+// nothing.
+func DecodeAccumulatedRaw(d *dec, records int) []float64 {
+	total := 0
+	for i := 0; i < records; i++ {
+		total += int(d.u32())
+	}
+	return make([]float64, total) // want `make sized from unvalidated total`
+}
+
+// InMemory sizes allocations from data already in memory — always
+// silent: len/cap and constants cannot amplify.
+func InMemory(b []byte) ([]byte, []byte) {
+	dup := make([]byte, len(b))
+	fixed := make([]byte, 16)
+	return dup, fixed
+}
+
+// Suppressed documents its checked-elsewhere size; the unjustified form
+// below stays visible.
+func Suppressed(d *dec) ([]byte, []byte) {
+	a := int(d.u32())
+	ok := make([]byte, a) //nolint:boundedmake -- fixture: frame length pre-validated by the caller's header check
+	b := int(d.u32())
+	// No "-- reason" clause: inert, the diagnostic keeps firing.
+	//nolint:boundedmake
+	bad := make([]byte, b) // want `make sized from unvalidated b`
+	return ok, bad
+}

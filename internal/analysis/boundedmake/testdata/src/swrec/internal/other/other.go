@@ -1,0 +1,8 @@
+// Package other is the scope guard: outside the decode packages,
+// unvalidated makes are none of boundedmake's business.
+package other
+
+// Grow allocates from an arbitrary parameter — silent, wrong package.
+func Grow(n int) []byte {
+	return make([]byte, n)
+}

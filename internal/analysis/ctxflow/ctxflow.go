@@ -42,6 +42,7 @@ var Analyzer = &analysis.Analyzer{
 var packages string
 
 func init() {
+	lintutil.RegisterAuditFlag(&Analyzer.Flags)
 	Analyzer.Flags.StringVar(&packages, "packages",
 		"swrec/internal/core,swrec/internal/engine,swrec/internal/trust,swrec/internal/profile",
 		"comma-separated import-path prefixes the invariant applies to")

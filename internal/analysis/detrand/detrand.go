@@ -48,6 +48,7 @@ var Analyzer = &analysis.Analyzer{
 var packages string
 
 func init() {
+	lintutil.RegisterAuditFlag(&Analyzer.Flags)
 	Analyzer.Flags.StringVar(&packages, "packages",
 		"swrec/internal/faultinject,swrec/internal/datagen,swrec/internal/experiments,swrec/internal/loadgen,swrec/internal/attack",
 		"comma-separated import-path prefixes that must be seed-deterministic")

@@ -1,7 +1,7 @@
 // Package durableerr enforces the acked-durability invariant from the
-// WAL PR: on the durable path (internal/wal, internal/store), the
-// error of every Write, Sync, Close, and Truncate on a file handle
-// must be checked. A dropped fsync error is the classic silent
+// WAL PR: on the durable path (internal/wal, internal/store,
+// internal/checkpoint), the error of every Write, Sync, Close, and
+// Truncate on a file handle must be checked. A dropped fsync error is the classic silent
 // durability hole — the client got its 202, the bytes never reached
 // the platter, and recovery replays a hole.
 //
@@ -40,8 +40,9 @@ var Analyzer = &analysis.Analyzer{
 var packages string
 
 func init() {
+	lintutil.RegisterAuditFlag(&Analyzer.Flags)
 	Analyzer.Flags.StringVar(&packages, "packages",
-		"swrec/internal/wal,swrec/internal/store",
+		"swrec/internal/wal,swrec/internal/store,swrec/internal/checkpoint",
 		"comma-separated import-path prefixes forming the durable path")
 }
 

@@ -38,6 +38,7 @@ var (
 )
 
 func init() {
+	lintutil.RegisterAuditFlag(&Analyzer.Flags)
 	Analyzer.Flags.StringVar(&packages, "packages",
 		"swrec/internal",
 		"comma-separated import-path prefixes the convention applies to")

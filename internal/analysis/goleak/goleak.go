@@ -43,6 +43,7 @@ var Analyzer = &analysis.Analyzer{
 var packages string
 
 func init() {
+	lintutil.RegisterAuditFlag(&Analyzer.Flags)
 	Analyzer.Flags.StringVar(&packages, "packages",
 		"swrec/internal",
 		"comma-separated import-path prefixes of library code (cmd/ and examples/ are callers, not library)")

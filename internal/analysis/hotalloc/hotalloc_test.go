@@ -1,0 +1,23 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"swrec/internal/analysis/analyzertest"
+	"swrec/internal/analysis/hotalloc"
+)
+
+// TestKernels runs the analyzer over a miniature of the profmat
+// kernels: the clean merge-join stays silent, the known-escaping
+// variant fails on every allocating construct, and same-package callees
+// of an annotated root are checked transitively.
+func TestKernels(t *testing.T) {
+	analyzertest.Run(t, hotalloc.Analyzer, "swrec/internal/profmat")
+}
+
+// TestUnannotated guards the false-positive direction: a package with
+// no //swrec:hotpath directive is entirely out of scope, no matter how
+// freely it allocates.
+func TestUnannotated(t *testing.T) {
+	analyzertest.Run(t, hotalloc.Analyzer, "swrec/internal/coldpath")
+}

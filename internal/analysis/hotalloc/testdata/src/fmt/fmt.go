@@ -1,0 +1,6 @@
+// Package fmt is a fixture stub (path-based type identity).
+package fmt
+
+func Sprintf(format string, a ...any) string { return "" }
+
+func Errorf(format string, a ...any) error { return nil }

@@ -1,0 +1,22 @@
+// Package coldpath is the false-positive guard fixture: it allocates
+// in every way hotalloc knows about, but carries no //swrec:hotpath
+// directive, so the analyzer must stay entirely silent.
+package coldpath
+
+import "fmt"
+
+// Build allocates freely — unannotated code is out of scope.
+func Build(n int) map[int32][]float64 {
+	out := make(map[int32][]float64, n)
+	for i := 0; i < n; i++ {
+		out[int32(i)] = append([]float64{}, float64(i))
+	}
+	_ = fmt.Sprintf("built %d", n)
+	go func() {}()
+	return out
+}
+
+// Concat is another unannotated allocator.
+func Concat(a, b string) []byte {
+	return []byte(a + b)
+}

@@ -1,0 +1,117 @@
+// Package profmat is a fixture miniature of the compiled-kernel
+// package: annotated zero-allocation kernels beside a known-escaping
+// variant that must fail.
+package profmat
+
+import "fmt"
+
+// Row is a compiled profile row.
+type Row struct {
+	Keys []int32
+	Vals []float64
+	Norm float64
+}
+
+// Dot is the clean merge-join kernel: index walks over preallocated
+// slices, value returns, no allocation — the analyzer must stay silent.
+//
+//swrec:hotpath
+func Dot(a, b *Row) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a.Keys) && j < len(b.Keys) {
+		ka, kb := a.Keys[i], b.Keys[j]
+		switch {
+		case ka == kb:
+			s += a.Vals[i] * b.Vals[j]
+			i++
+			j++
+		case ka < kb:
+			i++
+		default:
+			j++
+		}
+	}
+	return clamp(s)
+}
+
+// clamp is a same-package callee of a hotpath root: checked
+// transitively, and clean.
+func clamp(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Cosine returns a struct value — stack-constructible composite
+// literals are allowed.
+//
+//swrec:hotpath
+func Cosine(a, b *Row) Row {
+	return Row{Norm: Dot(a, b)}
+}
+
+// DotEscaping is the known-escaping kernel variant: it materializes the
+// common dimensions and formats a debug string.
+//
+//swrec:hotpath
+func DotEscaping(a, b *Row) float64 {
+	common := make([]int32, 0, len(a.Keys)) // want `make allocates`
+	for i := range a.Keys {
+		common = append(common, a.Keys[i]) // want `append may grow its backing array`
+	}
+	_ = fmt.Sprintf("common=%d", len(common)) // want `fmt.Sprintf reflects and allocates`
+	return 0
+}
+
+// escapeHelper is reached from the annotated root below; diagnostics
+// land in the callee with the root named.
+func escapeHelper(keys []int32) []int32 {
+	out := []int32{0} // want `slice literal allocates its backing array`
+	for _, k := range keys {
+		out = append(out, k) // want `append may grow its backing array`
+	}
+	return out
+}
+
+// DotViaHelper launders its allocation through a same-package callee.
+//
+//swrec:hotpath
+func DotViaHelper(a *Row) int {
+	return len(escapeHelper(a.Keys))
+}
+
+// sink accepts an interface — boxing a non-pointer concrete value into
+// it allocates.
+func sink(v any) {}
+
+// Boxers exercises the remaining allocating constructs.
+//
+//swrec:hotpath
+func Boxers(a *Row, m map[int32]float64, s string) {
+	sink(a.Norm)  // want `interface argument boxes a float64 value and allocates`
+	sink(a)       // a *Row is pointer-shaped: no boxing allocation
+	m[0] = 1      // want `map write may allocate`
+	_ = s + "x"   // want `string concatenation allocates`
+	_ = []byte(s) // want `string-to-\[\]byte/\[\]rune conversion allocates`
+	b := &Row{}   // want `&Row\{...\} allocates`
+	_ = b
+	f := func() {} // want `function literal allocates a closure`
+	f()
+	go f() // want `go statement allocates a goroutine`
+}
+
+// Suppressed documents its one deliberate amortized allocation; the
+// unjustified form right below it stays visible.
+//
+//swrec:hotpath
+func Suppressed(n int) []int32 {
+	buf := make([]int32, n) //nolint:hotalloc -- fixture: one-time lazy init, amortized to zero per call
+	// The next suppression carries no "-- reason" clause, so it is
+	// inert and the diagnostic keeps firing.
+	//nolint:hotalloc
+	bad := make([]int32, n) // want `make allocates`
+	_ = bad
+	return buf
+}

@@ -1,0 +1,259 @@
+// Package lintaudit detects stale suppressions: //nolint and
+// //swrecvet:disable comments whose excuse no longer holds, either
+// because the named analyzer is no longer registered or because the
+// diagnostic it silences no longer fires there.
+//
+// The mechanism leans on lintutil's audit mode: cmd/lintaudit re-runs
+// the whole swrecvet suite with every analyzer's -<name>.audit flag
+// set, which makes Suppressions.Report emit suppressed diagnostics
+// marked with lintutil.AuditPrefix instead of dropping them. A
+// justified suppression under which no marked diagnostic lands is dead
+// weight — the code it excused has moved or been fixed — and should be
+// deleted before it silences a future, different violation on the same
+// line.
+//
+// The audit flag (rather than an environment variable) matters: flags
+// participate in go vet's result caching, so audit runs and normal lint
+// runs never poison each other's cache entries.
+package lintaudit
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"swrec/internal/analysis/lintutil"
+)
+
+// Suppression is one (comment, analyzer) pair found in the tree. A
+// comment naming two analyzers yields two entries.
+type Suppression struct {
+	File       string // absolute path
+	Line       int
+	Analyzer   string
+	FileScoped bool
+	Justified  bool
+}
+
+// String renders the suppression the way the audit report prints it.
+func (s Suppression) String() string {
+	form := "nolint:" + s.Analyzer
+	if s.FileScoped {
+		form = "swrecvet:disable " + s.Analyzer
+	}
+	return fmt.Sprintf("%s:%d: %s", s.File, s.Line, form)
+}
+
+// ScanDir walks root for non-test, non-fixture Go files and returns
+// every suppression directive, justified or not. Test files are skipped
+// because the analyzers themselves skip them (lintutil.IsTestFile): a
+// suppression there can never match a diagnostic. testdata trees are
+// analyzer fixtures exercised by their own unit tests, not by the tree
+// lint.
+func ScanDir(root string) ([]Suppression, error) {
+	var out []Suppression
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", "vendor", "bin", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return err
+		}
+		// Comments must come from the parser, not a line scanner:
+		// analyzer sources embed suppression syntax inside diagnostic
+		// message string literals, which are not comments.
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("lintaudit: parse %s: %w", path, err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := lintutil.ParseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, a := range d.Analyzers {
+					out = append(out, Suppression{
+						File:       abs,
+						Line:       line,
+						Analyzer:   a,
+						FileScoped: d.FileScoped,
+						Justified:  d.Justified,
+					})
+				}
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Diag is one diagnostic from an audit-mode vet run.
+type Diag struct {
+	File       string
+	Line       int
+	Analyzer   string
+	Suppressed bool // carried the lintutil.AuditPrefix marker
+	Message    string
+}
+
+// ParseVetJSON parses `go vet -json` output: per-package "# pkg"
+// comment lines followed by one JSON object mapping package path →
+// analyzer → diagnostics.
+func ParseVetJSON(r io.Reader) ([]Diag, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var kept []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	dec := json.NewDecoder(strings.NewReader(strings.Join(kept, "\n")))
+	var out []Diag
+	for {
+		var obj map[string]map[string][]struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		if err := dec.Decode(&obj); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lintaudit: parse vet json: %w", err)
+		}
+		for _, analyzers := range obj {
+			for name, diags := range analyzers {
+				for _, d := range diags {
+					file, line, perr := splitPosn(d.Posn)
+					if perr != nil {
+						return nil, perr
+					}
+					msg := d.Message
+					suppressed := strings.HasPrefix(msg, lintutil.AuditPrefix)
+					if suppressed {
+						msg = strings.TrimPrefix(msg, lintutil.AuditPrefix)
+					}
+					out = append(out, Diag{
+						File:       file,
+						Line:       line,
+						Analyzer:   name,
+						Suppressed: suppressed,
+						Message:    msg,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitPosn parses "path/file.go:line:col" (path may contain colons on
+// no platform we support, but split from the right regardless).
+func splitPosn(posn string) (string, int, error) {
+	parts := strings.Split(posn, ":")
+	if len(parts) < 3 {
+		return "", 0, fmt.Errorf("lintaudit: bad position %q", posn)
+	}
+	line, err := strconv.Atoi(parts[len(parts)-2])
+	if err != nil {
+		return "", 0, fmt.Errorf("lintaudit: bad position %q", posn)
+	}
+	return strings.Join(parts[:len(parts)-2], ":"), line, nil
+}
+
+// Stale is a suppression the audit condemns, with the reason.
+type Stale struct {
+	Suppression
+	Reason string
+}
+
+// Result is the audit outcome.
+type Result struct {
+	Total int // justified suppressions audited
+	Live  int
+	Stale []Stale
+}
+
+// Audit cross-references the tree's suppressions against an audit-mode
+// diagnostic stream. known is the registered analyzer name list
+// (registry.Names()). Unjustified suppressions are skipped: they are
+// inert by design and the normal lint run already keeps their
+// diagnostics visible.
+func Audit(sups []Suppression, diags []Diag, known []string) Result {
+	knownSet := make(map[string]bool, len(known))
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	// analyzer → file → line set of suppressed diagnostics.
+	hits := make(map[string]map[string]map[int]bool)
+	for _, d := range diags {
+		if !d.Suppressed {
+			continue
+		}
+		if hits[d.Analyzer] == nil {
+			hits[d.Analyzer] = make(map[string]map[int]bool)
+		}
+		if hits[d.Analyzer][d.File] == nil {
+			hits[d.Analyzer][d.File] = make(map[int]bool)
+		}
+		hits[d.Analyzer][d.File][d.Line] = true
+	}
+	var res Result
+	for _, s := range sups {
+		if !s.Justified {
+			continue
+		}
+		res.Total++
+		if !knownSet[s.Analyzer] {
+			res.Stale = append(res.Stale, Stale{s, fmt.Sprintf("analyzer %q is not registered", s.Analyzer)})
+			continue
+		}
+		byFile := hits[s.Analyzer][s.File]
+		live := false
+		if s.FileScoped {
+			live = len(byFile) > 0
+		} else {
+			// A line suppression covers its own line and the next.
+			live = byFile[s.Line] || byFile[s.Line+1]
+		}
+		if live {
+			res.Live++
+			continue
+		}
+		reason := fmt.Sprintf("no %s diagnostic fires on lines %d-%d anymore", s.Analyzer, s.Line, s.Line+1)
+		if s.FileScoped {
+			reason = fmt.Sprintf("no %s diagnostic fires anywhere in the file anymore", s.Analyzer)
+		}
+		res.Stale = append(res.Stale, Stale{s, reason})
+	}
+	sort.Slice(res.Stale, func(i, j int) bool {
+		if res.Stale[i].File != res.Stale[j].File {
+			return res.Stale[i].File < res.Stale[j].File
+		}
+		return res.Stale[i].Line < res.Stale[j].Line
+	})
+	return res
+}

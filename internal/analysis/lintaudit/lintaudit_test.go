@@ -1,0 +1,146 @@
+package lintaudit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseVetJSON(t *testing.T) {
+	in := `# swrec/internal/foo
+{
+	"swrec/internal/foo": {
+		"hotalloc": [
+			{"posn": "/repo/internal/foo/foo.go:12:3", "message": "[suppressed] make allocates in hot path"},
+			{"posn": "/repo/internal/foo/foo.go:40:7", "message": "fmt.Sprintf reflects and allocates"}
+		]
+	}
+}
+# swrec/internal/bar
+{
+	"swrec/internal/bar": {
+		"urikey": []
+	}
+}
+`
+	diags, err := ParseVetJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diags, want 2", len(diags))
+	}
+	if !diags[0].Suppressed || diags[0].Line != 12 || diags[0].Analyzer != "hotalloc" {
+		t.Errorf("diag[0] = %+v", diags[0])
+	}
+	if strings.Contains(diags[0].Message, "[suppressed]") {
+		t.Errorf("prefix not stripped: %q", diags[0].Message)
+	}
+	if diags[1].Suppressed {
+		t.Errorf("diag[1] wrongly marked suppressed: %+v", diags[1])
+	}
+}
+
+func TestParseVetJSONBadPosn(t *testing.T) {
+	in := `{"p": {"a": [{"posn": "nonsense", "message": "m"}]}}`
+	if _, err := ParseVetJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("want error for malformed position")
+	}
+}
+
+func TestAudit(t *testing.T) {
+	sups := []Suppression{
+		{File: "/r/a.go", Line: 10, Analyzer: "hotalloc", Justified: true},                 // live: diag on same line
+		{File: "/r/a.go", Line: 20, Analyzer: "hotalloc", Justified: true},                 // live: diag on line+1
+		{File: "/r/a.go", Line: 30, Analyzer: "hotalloc", Justified: true},                 // stale: no diag
+		{File: "/r/b.go", Line: 3, Analyzer: "ctxflow", FileScoped: true, Justified: true}, // live: any diag in file
+		{File: "/r/c.go", Line: 3, Analyzer: "ctxflow", FileScoped: true, Justified: true}, // stale: none in file
+		{File: "/r/a.go", Line: 40, Analyzer: "ghost", Justified: true},                    // stale: unknown analyzer
+		{File: "/r/a.go", Line: 50, Analyzer: "hotalloc", Justified: false},                // skipped: inert
+	}
+	diags := []Diag{
+		{File: "/r/a.go", Line: 10, Analyzer: "hotalloc", Suppressed: true},
+		{File: "/r/a.go", Line: 21, Analyzer: "hotalloc", Suppressed: true},
+		{File: "/r/a.go", Line: 30, Analyzer: "hotalloc", Suppressed: false}, // unsuppressed: not a match
+		{File: "/r/b.go", Line: 99, Analyzer: "ctxflow", Suppressed: true},
+		{File: "/r/a.go", Line: 31, Analyzer: "ctxflow", Suppressed: true}, // wrong analyzer for a.go:30
+	}
+	res := Audit(sups, diags, []string{"hotalloc", "ctxflow"})
+	if res.Total != 6 {
+		t.Errorf("Total = %d, want 6 (inert suppression skipped)", res.Total)
+	}
+	if res.Live != 3 {
+		t.Errorf("Live = %d, want 3", res.Live)
+	}
+	if len(res.Stale) != 3 {
+		t.Fatalf("Stale = %d entries, want 3: %+v", len(res.Stale), res.Stale)
+	}
+	if res.Stale[0].Line != 30 || !strings.Contains(res.Stale[0].Reason, "no hotalloc diagnostic") {
+		t.Errorf("stale[0] = %+v", res.Stale[0])
+	}
+	if res.Stale[1].Analyzer != "ghost" || !strings.Contains(res.Stale[1].Reason, "not registered") {
+		t.Errorf("stale[1] = %+v", res.Stale[1])
+	}
+	if res.Stale[2].File != "/r/c.go" || !strings.Contains(res.Stale[2].Reason, "anywhere in the file") {
+		t.Errorf("stale[2] = %+v", res.Stale[2])
+	}
+}
+
+func TestScanDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.go", `package a
+
+//swrecvet:disable detrand -- file-scoped excuse
+
+func F() {
+	x := 1 //nolint:hotalloc,ctxflow -- double excuse
+	_ = x
+	y := 2 //nolint:goleak
+	_ = y
+}
+
+// The string below must NOT be scanned as a suppression:
+var s = "justify with //nolint:hotalloc -- reason"
+`)
+	write("a_test.go", "package a\n\nvar t = 1 //nolint:hotalloc -- test files are out of scope\n")
+	write("testdata/src/p/p.go", "package p\n\nvar f = 1 //nolint:hotalloc -- fixtures are out of scope\n")
+
+	sups, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, s := range sups {
+		got = append(got, s.Analyzer)
+	}
+	// One file-scoped + two from the double nolint + one unjustified.
+	want := []string{"detrand", "hotalloc", "ctxflow", "goleak"}
+	if len(got) != len(want) {
+		t.Fatalf("analyzers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("analyzers[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if !sups[0].FileScoped || !sups[0].Justified {
+		t.Errorf("sup[0] = %+v, want file-scoped justified", sups[0])
+	}
+	if sups[3].Justified {
+		t.Errorf("sup[3] = %+v, want unjustified", sups[3])
+	}
+	if !filepath.IsAbs(sups[0].File) {
+		t.Errorf("file not absolute: %q", sups[0].File)
+	}
+}

@@ -17,6 +17,7 @@
 package lintutil
 
 import (
+	"flag"
 	"go/ast"
 	"go/token"
 	"regexp"
@@ -24,6 +25,32 @@ import (
 
 	"golang.org/x/tools/go/analysis"
 )
+
+// auditMode switches every Suppressions.Report from dropping a
+// suppressed diagnostic to emitting it with an AuditPrefix marker.
+// cmd/lintaudit runs the whole suite this way and cross-references the
+// marked diagnostics against the tree's suppression comments: a
+// suppression no marked diagnostic lands under is stale — the invariant
+// it excused no longer fires there — and can be deleted.
+//
+// Every analyzer registers the flag (as -<name>.audit) via
+// RegisterAuditFlag; all registrations bind this one variable, so
+// enabling audit on any analyzer of a unitchecker invocation enables it
+// for those analyzers only in that process. Flags, unlike environment
+// variables, participate in go vet's result caching, so an audit run
+// never reads stale non-audit results (or vice versa).
+var auditMode bool
+
+// AuditPrefix marks a diagnostic that a justified suppression covers,
+// emitted only in audit mode.
+const AuditPrefix = "[suppressed] "
+
+// RegisterAuditFlag registers the shared audit-mode flag on one
+// analyzer's flag set.
+func RegisterAuditFlag(fs *flag.FlagSet) {
+	fs.BoolVar(&auditMode, "audit", false,
+		"report suppressed diagnostics with the "+strings.TrimSpace(AuditPrefix)+" prefix instead of dropping them (cmd/lintaudit)")
+}
 
 // PkgMatch reports whether path is covered by the comma-separated
 // import-path prefix list in patterns: an exact match, or a match of a
@@ -53,6 +80,41 @@ var (
 	nolintRe  = regexp.MustCompile(`^//\s*nolint:([a-z0-9_,\s]+?)(?:\s*--\s*(\S.*))?$`)
 	disableRe = regexp.MustCompile(`^//\s*swrecvet:disable\s+([a-z0-9_,\s]+?)(?:\s*--\s*(\S.*))?$`)
 )
+
+// Directive is one parsed suppression comment.
+type Directive struct {
+	Analyzers  []string // analyzer names the comment suppresses
+	Justified  bool     // a "-- reason" clause is present
+	FileScoped bool     // swrecvet:disable form (whole file) vs nolint (line + next)
+}
+
+// ParseDirective parses one comment line ("//..." text, as in
+// ast.Comment.Text) as a suppression directive. ok is false for
+// ordinary comments. The match is anchored at the comment start:
+// ast.Comment.Text is only the comment itself, so trailing suppressions
+// sharing a line with code match directly, while prose or indented
+// code-block examples that merely mention the syntax mid-comment do
+// not become accidental suppressions.
+func ParseDirective(text string) (d Directive, ok bool) {
+	text = strings.TrimSpace(text)
+	if m := disableRe.FindStringSubmatch(text); m != nil {
+		return Directive{Analyzers: splitNames(m[1]), Justified: m[2] != "", FileScoped: true}, true
+	}
+	if m := nolintRe.FindStringSubmatch(text); m != nil {
+		return Directive{Analyzers: splitNames(m[1]), Justified: m[2] != ""}, true
+	}
+	return Directive{}, false
+}
+
+func splitNames(list string) []string {
+	var out []string
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
 
 // Suppressions indexes the nolint / swrecvet:disable comments of one
 // pass for one analyzer. Build it once per Run with New, then route
@@ -84,34 +146,25 @@ func New(pass *analysis.Pass, analyzer string) *Suppressions {
 }
 
 func (s *Suppressions) record(filename string, c *ast.Comment) {
-	text := strings.TrimSpace(c.Text)
-	if m := disableRe.FindStringSubmatch(text); m != nil {
-		if names(m[1], s.analyzer) && m[2] != "" {
-			s.files[filename] = true
-		}
+	d, ok := ParseDirective(c.Text)
+	if !ok || !d.Justified || !names(d.Analyzers, s.analyzer) {
+		return // ordinary comment, other analyzer, or unjustified: inert
+	}
+	if d.FileScoped {
+		s.files[filename] = true
 		return
 	}
-	// Trailing nolint comments share a line with code, so only the
-	// part starting at the comment is matched.
-	if i := strings.Index(text, "//nolint:"); i > 0 {
-		text = text[i:]
+	line := s.pass.Fset.Position(c.Pos()).Line
+	if s.lines[filename] == nil {
+		s.lines[filename] = make(map[int]bool)
 	}
-	if m := nolintRe.FindStringSubmatch(text); m != nil {
-		if !names(m[1], s.analyzer) || m[2] == "" {
-			return // other analyzer, or unjustified: inert
-		}
-		line := s.pass.Fset.Position(c.Pos()).Line
-		if s.lines[filename] == nil {
-			s.lines[filename] = make(map[int]bool)
-		}
-		s.lines[filename][line] = true
-		s.lines[filename][line+1] = true
-	}
+	s.lines[filename][line] = true
+	s.lines[filename][line+1] = true
 }
 
-func names(list, want string) bool {
-	for _, n := range strings.Split(list, ",") {
-		if strings.TrimSpace(n) == want {
+func names(list []string, want string) bool {
+	for _, n := range list {
+		if n == want {
 			return true
 		}
 	}
@@ -129,9 +182,14 @@ func (s *Suppressions) Suppressed(pos token.Pos) bool {
 }
 
 // Report emits a diagnostic at pos unless a justified suppression
-// covers it.
+// covers it. In audit mode (see RegisterAuditFlag) a suppressed
+// diagnostic is emitted anyway, marked with AuditPrefix, so
+// cmd/lintaudit can prove the suppression still excuses something.
 func (s *Suppressions) Report(pos token.Pos, msg string) {
 	if s.Suppressed(pos) {
+		if auditMode {
+			s.pass.Report(analysis.Diagnostic{Pos: pos, Message: AuditPrefix + msg})
+		}
 		return
 	}
 	s.pass.Report(analysis.Diagnostic{Pos: pos, Message: msg})

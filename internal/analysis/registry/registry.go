@@ -1,0 +1,48 @@
+// Package registry is the single source of truth for the swrecvet
+// analyzer suite. cmd/swrecvet registers exactly this set with the
+// unitchecker, cmd/lintaudit derives the stale-suppression audit from
+// it, and the cmd/swrecvet smoke test pins it — extending the suite is
+// a deliberate, reviewed act that shows up in all three places at once.
+package registry
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"swrec/internal/analysis/boundedmake"
+	"swrec/internal/analysis/ctxflow"
+	"swrec/internal/analysis/detrand"
+	"swrec/internal/analysis/durableerr"
+	"swrec/internal/analysis/expvarname"
+	"swrec/internal/analysis/goleak"
+	"swrec/internal/analysis/hotalloc"
+	"swrec/internal/analysis/snapshotfreeze"
+	"swrec/internal/analysis/snapshotpin"
+	"swrec/internal/analysis/urikey"
+)
+
+// all is the full suite, sorted by analyzer name.
+var all = []*analysis.Analyzer{
+	boundedmake.Analyzer,
+	ctxflow.Analyzer,
+	detrand.Analyzer,
+	durableerr.Analyzer,
+	expvarname.Analyzer,
+	goleak.Analyzer,
+	hotalloc.Analyzer,
+	snapshotfreeze.Analyzer,
+	snapshotpin.Analyzer,
+	urikey.Analyzer,
+}
+
+// All returns the registered analyzers in name order. The slice is
+// shared; callers must not modify it.
+func All() []*analysis.Analyzer { return all }
+
+// Names returns the registered analyzer names in order.
+func Names() []string {
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
+}

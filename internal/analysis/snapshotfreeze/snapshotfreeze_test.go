@@ -1,0 +1,22 @@
+package snapshotfreeze_test
+
+import (
+	"testing"
+
+	"swrec/internal/analysis/analyzertest"
+	"swrec/internal/analysis/snapshotfreeze"
+)
+
+// TestConsumer checks the positive direction: every write shape through
+// a published community/snapshot/matrix outside the builder packages is
+// reported, and locally built values are exempt.
+func TestConsumer(t *testing.T) {
+	analyzertest.Run(t, snapshotfreeze.Analyzer, "swrec/internal/consumer")
+}
+
+// TestBuilderPackage guards the false-positive direction: the engine
+// stub mutates communities freely while building and must produce zero
+// diagnostics because engine is in the builder allow-list.
+func TestBuilderPackage(t *testing.T) {
+	analyzertest.Run(t, snapshotfreeze.Analyzer, "swrec/internal/engine")
+}

@@ -1,0 +1,14 @@
+// Package profmat is a fixture stub for the compiled-matrix types.
+package profmat
+
+// Row is one compiled profile row.
+type Row struct {
+	Keys []int32
+	Vals []float64
+	Norm float64
+}
+
+// Matrix is the compiled rating/trust matrix.
+type Matrix struct {
+	Rows []Row
+}

@@ -44,6 +44,7 @@ var (
 )
 
 func init() {
+	lintutil.RegisterAuditFlag(&Analyzer.Flags)
 	Analyzer.Flags.StringVar(&pinned, "types",
 		"swrec/internal/model.Community,swrec/internal/engine.Snapshot",
 		"comma-separated pkgpath.TypeName list of epoch-scoped types")

@@ -1,0 +1,17 @@
+// Package cf is in the inventoried scope and full of URI-keyed maps,
+// but carries zero want annotations: it may only be analyzed with
+// report mode off, proving the advisory default emits nothing.
+package cf
+
+import "swrec/internal/model"
+
+// Profiles pins several URI-keyed sites.
+type Profiles struct {
+	ByAgent   map[model.AgentID]float64
+	ByProduct map[model.ProductID]int32
+}
+
+// Build allocates more of them.
+func Build() map[model.AgentID]bool {
+	return make(map[model.AgentID]bool)
+}

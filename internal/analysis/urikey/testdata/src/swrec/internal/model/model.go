@@ -1,0 +1,11 @@
+// Package model is a fixture stub exporting the URI-shaped key types.
+package model
+
+// AgentID is a URI-shaped agent key.
+type AgentID string
+
+// ProductID is a URI-shaped product key.
+type ProductID string
+
+// Ord is the dense ordinal the migration interns to.
+type Ord int32

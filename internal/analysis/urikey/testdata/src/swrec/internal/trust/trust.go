@@ -1,0 +1,31 @@
+// Package trust exercises the urikey inventory: every syntactic
+// map-type site keyed by a URI string type is listed; ordinal-keyed and
+// plain-string-keyed maps are not.
+package trust
+
+import "swrec/internal/model"
+
+// Ranks pins a URI-keyed field.
+type Ranks struct {
+	ByAgent   map[model.AgentID]float64 // want `map keyed by URI string swrec/internal/model\.AgentID`
+	ByProduct map[model.ProductID]int   // want `map keyed by URI string swrec/internal/model\.ProductID`
+	ByOrd     map[model.Ord]float64
+	ByRaw     map[string]float64
+}
+
+// Build allocates one more URI-keyed site.
+func Build(n int) map[model.AgentID]bool { // want `map keyed by URI string swrec/internal/model\.AgentID`
+	seen := make(map[model.AgentID]bool, n) // want `map keyed by URI string swrec/internal/model\.AgentID`
+	return seen
+}
+
+// Migrated documents a deliberate keep; the justified suppression
+// silences the inventory line, and the unjustified one below stays
+// visible.
+func Migrated() {
+	idx := make(map[model.AgentID]int) //nolint:urikey -- fixture: boundary map, interning happens one layer below
+	// No "-- reason" clause: inert, the diagnostic keeps firing.
+	//nolint:urikey
+	raw := make(map[model.ProductID]int) // want `map keyed by URI string swrec/internal/model\.ProductID`
+	_, _ = idx, raw
+}

@@ -1,0 +1,8 @@
+// Package weblog is the scope guard: URI-keyed maps outside the
+// inventoried packages are not listed.
+package weblog
+
+import "swrec/internal/model"
+
+// Hits is URI-keyed but out of scope — silent.
+var Hits map[model.AgentID]int

@@ -1,0 +1,102 @@
+// Package urikey is the interning inventory behind ROADMAP item 1:
+// agents and products are identified by URI strings (model.AgentID,
+// model.ProductID), and every map keyed by one pays string hashing and
+// retains the full URI for the map's lifetime. The compiled-matrix work
+// (profmat) already interns to dense ordinals via model.Ord; this
+// analyzer inventories the map sites in the hot packages that have not
+// migrated yet.
+//
+// Unlike its siblings, urikey is advisory: without -urikey.report it
+// emits nothing, so `make lint` stays clean while the sites remain
+// un-migrated. `make lint-urikey` runs it in report mode and
+// regenerates LINT_urikey.txt, the committed baseline the migration
+// burns down.
+package urikey
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"swrec/internal/analysis/lintutil"
+)
+
+const doc = `inventories maps keyed by URI string types (advisory; enable with -urikey.report)
+
+model.AgentID and model.ProductID are URI strings: maps keyed by them
+hash and retain full URIs. Dense ordinals (model.Ord) are cheaper in
+the hot packages. Run via make lint-urikey to regenerate the
+LINT_urikey.txt baseline; silent in normal lint runs.`
+
+// Analyzer is the urikey pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "urikey",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var (
+	report bool
+	keys   string
+	pkgs   string
+)
+
+func init() {
+	lintutil.RegisterAuditFlag(&Analyzer.Flags)
+	Analyzer.Flags.BoolVar(&report, "report", false,
+		"emit the inventory (default: advisory-silent so make lint stays clean)")
+	Analyzer.Flags.StringVar(&keys, "keys",
+		"swrec/internal/model.AgentID,swrec/internal/model.ProductID",
+		"comma-separated pkgpath.TypeName list of URI-string key types")
+	Analyzer.Flags.StringVar(&pkgs, "pkgs",
+		"swrec/internal/core,swrec/internal/engine,swrec/internal/trust,swrec/internal/cf,swrec/internal/profile",
+		"comma-separated import-path prefixes inventoried for interning")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !report || !lintutil.PkgMatch(pass.Pkg.Path(), pkgs) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := lintutil.New(pass, "urikey")
+
+	nodeFilter := []ast.Node{(*ast.MapType)(nil)}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		if lintutil.IsTestFile(pass, stack[0].(*ast.File)) {
+			return false
+		}
+		mt := n.(*ast.MapType)
+		tv, ok := pass.TypesInfo.Types[mt.Key]
+		if !ok {
+			return true
+		}
+		if name := uriKey(tv.Type); name != "" {
+			sup.Report(mt.Pos(), "map keyed by URI string "+name+": interning candidate — key by dense ordinal (model.Ord) to avoid hashing and retaining full URIs (ROADMAP item 1)")
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// uriKey returns the qualified name when t is a configured URI key
+// type, else "".
+func uriKey(t types.Type) string {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	full := n.Obj().Pkg().Path() + "." + n.Obj().Name()
+	for _, want := range strings.Split(keys, ",") {
+		if strings.TrimSpace(want) == full {
+			return full
+		}
+	}
+	return ""
+}

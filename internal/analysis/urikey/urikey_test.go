@@ -1,0 +1,41 @@
+package urikey_test
+
+import (
+	"testing"
+
+	"swrec/internal/analysis/analyzertest"
+	"swrec/internal/analysis/urikey"
+)
+
+func setReport(t *testing.T, v string) {
+	t.Helper()
+	if err := urikey.Analyzer.Flags.Set("report", v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInventory runs in report mode: every syntactic map site keyed by
+// a URI string type is listed; ordinal- and raw-string-keyed maps are
+// not.
+func TestInventory(t *testing.T) {
+	setReport(t, "true")
+	defer setReport(t, "false")
+	analyzertest.Run(t, urikey.Analyzer, "swrec/internal/trust")
+}
+
+// TestOutOfScope guards scoping in report mode: packages outside the
+// inventory list stay silent.
+func TestOutOfScope(t *testing.T) {
+	setReport(t, "true")
+	defer setReport(t, "false")
+	analyzertest.Run(t, urikey.Analyzer, "swrec/internal/weblog")
+}
+
+// TestAdvisoryDefault is the make-lint-stays-clean guarantee: without
+// -urikey.report the analyzer emits nothing, even on an in-scope
+// package full of URI-keyed maps (the cf fixture carries zero want
+// annotations, so any emission fails the run).
+func TestAdvisoryDefault(t *testing.T) {
+	setReport(t, "false")
+	analyzertest.Run(t, urikey.Analyzer, "swrec/internal/cf")
+}

@@ -328,7 +328,6 @@ func (f *Filter) similarityScratch(sc *profmat.Scratch, b *profmat.Row) (float64
 // avoid). Compilable representations serve from the compiled matrix
 // (building it on first use); Product falls back to the map vectors.
 func (f *Filter) Similarity(a, b model.AgentID) (float64, bool) {
-	//nolint:ctxflow -- compatibility entry point without cancellation; ctx-aware callers use SimilarityCtx
 	return f.SimilarityCtx(context.Background(), a, b)
 }
 

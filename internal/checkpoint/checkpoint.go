@@ -736,7 +736,7 @@ func WriteImage(dir string, img *Image, wrap func(*os.File) File) (path string, 
 	}
 	fail := func(stage string, cause error) (string, error) {
 		_ = f.Close()          //nolint:durableerr -- the write already failed; the temp file is about to be discarded
-		_ = os.Remove(tmpName) //nolint:durableerr -- best-effort cleanup of a failed temp; recovery ignores temporaries either way
+		_ = os.Remove(tmpName) // best-effort cleanup of a failed temp; recovery ignores temporaries either way
 		return "", fmt.Errorf("checkpoint: %s: %w", stage, cause)
 	}
 	if _, err := f.Write(data); err != nil {
@@ -786,7 +786,7 @@ func Prune(dir string, keep int) error {
 	}
 	for _, e := range entries {
 		if strings.Contains(e.Name(), ".swc.tmp-") {
-			_ = os.Remove(filepath.Join(dir, e.Name())) //nolint:durableerr -- stale temporaries are garbage by definition; removal is best-effort hygiene
+			_ = os.Remove(filepath.Join(dir, e.Name())) // stale temporaries are garbage by definition; removal is best-effort hygiene
 		}
 	}
 	return nil

@@ -270,6 +270,12 @@ func deframe(data []byte) (map[uint32][]byte, error) {
 	nsec := binary.LittleEndian.Uint32(data[len(fileMagic)+4:])
 
 	body := data[headerLen : len(data)-footerLen]
+	// Every section costs at least a header plus its checksum, so the
+	// count can never exceed the body's capacity to hold that many —
+	// a hostile header must not pre-size the map beyond it.
+	if uint64(nsec) > uint64(len(body))/(sectionHdr+4) {
+		return nil, fmt.Errorf("%w: section count %d exceeds file capacity", ErrCorrupt, nsec)
+	}
 	secs := make(map[uint32][]byte, nsec)
 	for i := uint32(0); i < nsec; i++ {
 		if len(body) < sectionHdr {

@@ -120,13 +120,13 @@ type Overrides struct {
 func (ov Overrides) pipelineKey() string {
 	key := ""
 	if ov.Metric != nil {
-		key += fmt.Sprintf("m%d", *ov.Metric)
+		key += fmt.Sprintf("m%d", *ov.Metric) //nolint:hotalloc -- default serving path has nil overrides and skips this; only explicit per-request overrides pay for key building
 	}
 	if ov.Alpha != nil {
-		key += fmt.Sprintf("a%g", *ov.Alpha)
+		key += fmt.Sprintf("a%g", *ov.Alpha) //nolint:hotalloc -- default serving path has nil overrides and skips this; only explicit per-request overrides pay for key building
 	}
 	if ov.Measure != nil {
-		key += fmt.Sprintf("s%d", *ov.Measure)
+		key += fmt.Sprintf("s%d", *ov.Measure) //nolint:hotalloc -- default serving path has nil overrides and skips this; only explicit per-request overrides pay for key building
 	}
 	return key
 }
@@ -134,7 +134,7 @@ func (ov Overrides) pipelineKey() string {
 // contentKey identifies the stage-4 content-mode override.
 func (ov Overrides) contentKey() string {
 	if ov.Content != nil {
-		return fmt.Sprintf("c%d", *ov.Content)
+		return fmt.Sprintf("c%d", *ov.Content) //nolint:hotalloc -- default serving path has nil overrides and skips this; only explicit per-request overrides pay for key building
 	}
 	return ""
 }
@@ -443,6 +443,8 @@ func (s *Snapshot) RankedPeersCtx(ctx context.Context, active model.AgentID, ov 
 
 // CachedPeers peeks the neighborhood cache without computing anything —
 // the degradation probe's view of stages 1-3.
+//
+//swrec:hotpath
 func (s *Snapshot) CachedPeers(active model.AgentID, ov Overrides) ([]core.PeerRank, bool) {
 	return s.peers.get(peersKey(active, ov))
 }
@@ -493,6 +495,8 @@ func (s *Snapshot) RecommendCtx(ctx context.Context, active model.AgentID, n int
 }
 
 // CachedRecommend peeks the result cache without computing anything.
+//
+//swrec:hotpath
 func (s *Snapshot) CachedRecommend(active model.AgentID, n int, ov Overrides) ([]core.Recommendation, bool) {
 	return s.results.get(resultKey(active, n, ov))
 }

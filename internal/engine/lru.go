@@ -33,6 +33,8 @@ func newLRU[K comparable, V any](capacity int) *lruCache[K, V] {
 }
 
 // get returns the cached value and marks it most recently used.
+//
+//swrec:hotpath
 func (c *lruCache[K, V]) get(k K) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -7,6 +7,12 @@
 // an experimental framework allowing for some quantitative analysis").
 package eval
 
+// The leave-one-out harnesses below hide a rating, run the recommender,
+// and restore the rating before returning — an in-place mutate-and-
+// restore on a community the harness owns for offline measurement.
+//
+//swrecvet:disable snapshotfreeze -- leave-one-out holdout mutates a harness-owned offline community and restores it before returning; single-threaded, never a swapped snapshot
+
 import (
 	"errors"
 	"fmt"

@@ -260,6 +260,8 @@ func FromVector(v sparse.Vector) Row {
 
 // Dot returns the inner product of two rows as a merge-join over the
 // sorted postings — zero allocations, no hashing.
+//
+//swrec:hotpath
 func Dot(a, b *Row) float64 {
 	var s float64
 	i, j := 0, 0
@@ -280,6 +282,8 @@ func Dot(a, b *Row) float64 {
 }
 
 // Overlap returns the number of dimensions present in both rows.
+//
+//swrec:hotpath
 func Overlap(a, b *Row) int {
 	n := 0
 	i, j := 0, 0
@@ -302,6 +306,8 @@ func Overlap(a, b *Row) int {
 // Cosine is sparse.Cosine over compiled rows: missing entries count as
 // zero, and ok is false when either norm is zero. The norms come from
 // the precomputed row aggregates.
+//
+//swrec:hotpath
 func Cosine(a, b *Row) (sim float64, ok bool) {
 	if a.Norm == 0 || b.Norm == 0 {
 		return 0, false
@@ -312,6 +318,8 @@ func Cosine(a, b *Row) (sim float64, ok bool) {
 // Pearson is sparse.Pearson over compiled rows: the correlation over the
 // co-present dimensions, undefined (ok=false) below two overlapping
 // dimensions or under zero variance. Two merge passes, zero allocations.
+//
+//swrec:hotpath
 func Pearson(a, b *Row) (sim float64, ok bool) {
 	var n int
 	var sa, sb float64
@@ -386,6 +394,8 @@ func NewScratch(dims int) *Scratch {
 func (s *Scratch) Dims() int { return len(s.vals) }
 
 // Load scatters r into the dense image, replacing any previous load.
+//
+//swrec:hotpath
 func (s *Scratch) Load(r *Row) {
 	s.gen++
 	if s.gen == 0 { // int32 wraparound: reset stamps once per 4G loads
@@ -400,6 +410,8 @@ func (s *Scratch) Load(r *Row) {
 }
 
 // CosineTo returns Cosine(loaded, b).
+//
+//swrec:hotpath
 func (s *Scratch) CosineTo(b *Row) (sim float64, ok bool) {
 	a := s.row
 	if a.Norm == 0 || b.Norm == 0 {
@@ -416,6 +428,8 @@ func (s *Scratch) CosineTo(b *Row) (sim float64, ok bool) {
 }
 
 // PearsonTo returns Pearson(loaded, b).
+//
+//swrec:hotpath
 func (s *Scratch) PearsonTo(b *Row) (sim float64, ok bool) {
 	g := s.gen
 	var n int

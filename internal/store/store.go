@@ -211,8 +211,8 @@ func (s *Store) appendRecord(key string, value []byte, flags byte) (recLen int64
 	p := binary.PutUvarint(lens[:], uint64(len(key)))
 	p += binary.PutUvarint(lens[p:], uint64(len(value)))
 
-	rec := make([]byte, 0, headerFixed+p+len(key)+len(value))
-	rec = append(rec, 0, 0, 0, 0) // crc placeholder
+	rec := make([]byte, 0, headerFixed+p+len(key)+len(value)) //nolint:boundedmake -- encode path: p is PutUvarint's output length, ≤ 2*MaxVarintLen32 by construction, not decoded input
+	rec = append(rec, 0, 0, 0, 0)                             // crc placeholder
 	rec = append(rec, flags)
 	rec = append(rec, lens[:p]...)
 	rec = append(rec, key...)
