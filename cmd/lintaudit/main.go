@@ -46,9 +46,7 @@ func run(vettool, pkgs, root string) error {
 	for _, name := range registry.Names() {
 		args = append(args, "-"+name+".audit")
 	}
-	// urikey is advisory-silent by default; without report mode its
-	// suppressions would all be condemned as stale.
-	args = append(args, "-urikey.report", pkgs)
+	args = append(args, pkgs)
 
 	cmd := exec.Command("go", args...)
 	var out bytes.Buffer

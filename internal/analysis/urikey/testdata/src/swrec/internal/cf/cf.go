@@ -1,17 +1,17 @@
-// Package cf is in the inventoried scope and full of URI-keyed maps,
-// but carries zero want annotations: it may only be analyzed with
-// report mode off, proving the advisory default emits nothing.
+// Package cf is in the enforced scope: with no flags set, every
+// URI-keyed map here must be a diagnostic — pinning the promotion from
+// advisory inventory to enforced invariant.
 package cf
 
 import "swrec/internal/model"
 
 // Profiles pins several URI-keyed sites.
 type Profiles struct {
-	ByAgent   map[model.AgentID]float64
-	ByProduct map[model.ProductID]int32
+	ByAgent   map[model.AgentID]float64 // want `map keyed by URI string swrec/internal/model\.AgentID`
+	ByProduct map[model.ProductID]int32 // want `map keyed by URI string swrec/internal/model\.ProductID`
 }
 
 // Build allocates more of them.
-func Build() map[model.AgentID]bool {
-	return make(map[model.AgentID]bool)
+func Build() map[model.AgentID]bool { // want `map keyed by URI string swrec/internal/model\.AgentID`
+	return make(map[model.AgentID]bool) // want `map keyed by URI string swrec/internal/model\.AgentID`
 }

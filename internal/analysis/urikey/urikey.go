@@ -1,16 +1,15 @@
-// Package urikey is the interning inventory behind ROADMAP item 1:
+// Package urikey enforces the interned data model of ROADMAP item 1:
 // agents and products are identified by URI strings (model.AgentID,
 // model.ProductID), and every map keyed by one pays string hashing and
-// retains the full URI for the map's lifetime. The compiled-matrix work
-// (profmat) already interns to dense ordinals via model.Ord; this
-// analyzer inventories the map sites in the hot packages that have not
-// migrated yet.
+// retains the full URI for the map's lifetime. The hot packages key
+// their per-agent and per-product state on the dense ordinals
+// model.Ord maintains; this analyzer fails `make lint` when a map in
+// one of them regresses to a URI-string key.
 //
-// Unlike its siblings, urikey is advisory: without -urikey.report it
-// emits nothing, so `make lint` stays clean while the sites remain
-// un-migrated. `make lint-urikey` runs it in report mode and
-// regenerates LINT_urikey.txt, the committed baseline the migration
-// burns down.
+// urikey started advisory, inventorying the un-migrated sites into a
+// committed LINT_urikey.txt baseline. The interning migration burned
+// that baseline to empty, deleted it, and promoted the analyzer to
+// enforced — the same lifecycle any future advisory pass should follow.
 package urikey
 
 import (
@@ -24,12 +23,12 @@ import (
 	"swrec/internal/analysis/lintutil"
 )
 
-const doc = `inventories maps keyed by URI string types (advisory; enable with -urikey.report)
+const doc = `forbids maps keyed by URI string types in the hot packages
 
 model.AgentID and model.ProductID are URI strings: maps keyed by them
-hash and retain full URIs. Dense ordinals (model.Ord) are cheaper in
-the hot packages. Run via make lint-urikey to regenerate the
-LINT_urikey.txt baseline; silent in normal lint runs.`
+hash and retain full URIs. The hot packages key per-agent/per-product
+state on dense ordinals (model.Ord); resolve the URI once at the
+boundary and carry the ordinal.`
 
 // Analyzer is the urikey pass.
 var Analyzer = &analysis.Analyzer{
@@ -40,25 +39,22 @@ var Analyzer = &analysis.Analyzer{
 }
 
 var (
-	report bool
-	keys   string
-	pkgs   string
+	keys string
+	pkgs string
 )
 
 func init() {
 	lintutil.RegisterAuditFlag(&Analyzer.Flags)
-	Analyzer.Flags.BoolVar(&report, "report", false,
-		"emit the inventory (default: advisory-silent so make lint stays clean)")
 	Analyzer.Flags.StringVar(&keys, "keys",
 		"swrec/internal/model.AgentID,swrec/internal/model.ProductID",
 		"comma-separated pkgpath.TypeName list of URI-string key types")
 	Analyzer.Flags.StringVar(&pkgs, "pkgs",
 		"swrec/internal/core,swrec/internal/engine,swrec/internal/trust,swrec/internal/cf,swrec/internal/profile",
-		"comma-separated import-path prefixes inventoried for interning")
+		"comma-separated import-path prefixes the interned data model covers")
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	if !report || !lintutil.PkgMatch(pass.Pkg.Path(), pkgs) {
+	if !lintutil.PkgMatch(pass.Pkg.Path(), pkgs) {
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
@@ -78,7 +74,7 @@ func run(pass *analysis.Pass) (any, error) {
 			return true
 		}
 		if name := uriKey(tv.Type); name != "" {
-			sup.Report(mt.Pos(), "map keyed by URI string "+name+": interning candidate — key by dense ordinal (model.Ord) to avoid hashing and retaining full URIs (ROADMAP item 1)")
+			sup.Report(mt.Pos(), "map keyed by URI string "+name+": hot packages key on dense ordinals (model.Ord) — resolve the URI once at the boundary and carry the ordinal")
 		}
 		return true
 	})

@@ -7,35 +7,21 @@ import (
 	"swrec/internal/analysis/urikey"
 )
 
-func setReport(t *testing.T, v string) {
-	t.Helper()
-	if err := urikey.Analyzer.Flags.Set("report", v); err != nil {
-		t.Fatal(err)
-	}
-}
-
-// TestInventory runs in report mode: every syntactic map site keyed by
-// a URI string type is listed; ordinal- and raw-string-keyed maps are
-// not.
-func TestInventory(t *testing.T) {
-	setReport(t, "true")
-	defer setReport(t, "false")
+// TestEnforced: every syntactic map site keyed by a URI string type is
+// reported; ordinal- and raw-string-keyed maps are not.
+func TestEnforced(t *testing.T) {
 	analyzertest.Run(t, urikey.Analyzer, "swrec/internal/trust")
 }
 
-// TestOutOfScope guards scoping in report mode: packages outside the
-// inventory list stay silent.
+// TestOutOfScope guards scoping: packages outside the interned-model
+// list stay silent.
 func TestOutOfScope(t *testing.T) {
-	setReport(t, "true")
-	defer setReport(t, "false")
 	analyzertest.Run(t, urikey.Analyzer, "swrec/internal/weblog")
 }
 
-// TestAdvisoryDefault is the make-lint-stays-clean guarantee: without
-// -urikey.report the analyzer emits nothing, even on an in-scope
-// package full of URI-keyed maps (the cf fixture carries zero want
-// annotations, so any emission fails the run).
-func TestAdvisoryDefault(t *testing.T) {
-	setReport(t, "false")
+// TestEnforcedByDefault pins the promotion from advisory to enforced:
+// with no flags set, URI-keyed maps in an in-scope package are
+// diagnostics, not a silent inventory.
+func TestEnforcedByDefault(t *testing.T) {
 	analyzertest.Run(t, urikey.Analyzer, "swrec/internal/cf")
 }

@@ -95,9 +95,10 @@ type Filter struct {
 	opt  Options
 	gen  *profile.Generator
 
-	mu       sync.Mutex
-	profiles map[model.AgentID]sparse.Vector
-	prodDims map[model.ProductID]int32
+	mu sync.Mutex
+	// profiles caches built profile vectors keyed by agent ordinal —
+	// resolved once at the public entry, never re-hashed as a string.
+	profiles map[int32]sparse.Vector
 	// mat is the compiled CSR profile matrix (internal/profmat), built
 	// once per filter for taxonomy-space representations and consulted by
 	// every similarity before the map-based fallback. Guarded by mu; nil
@@ -116,8 +117,7 @@ func New(comm *model.Community, opt Options) (*Filter, error) {
 	f := &Filter{
 		comm:     comm,
 		opt:      opt,
-		profiles: make(map[model.AgentID]sparse.Vector),
-		prodDims: make(map[model.ProductID]int32),
+		profiles: make(map[int32]sparse.Vector),
 	}
 	if opt.Representation != Product {
 		if comm.Taxonomy() == nil {
@@ -159,37 +159,42 @@ func (f *Filter) Compare(a, b sparse.Vector) (float64, bool) {
 	}
 }
 
-// internProduct assigns a stable dense dimension to a product ID.
-// Caller must hold f.mu.
-func (f *Filter) internProduct(p model.ProductID) int32 {
-	if d, ok := f.prodDims[p]; ok {
-		return d
-	}
-	d := int32(len(f.prodDims))
-	f.prodDims[p] = d
-	return d
+// productOrd maps a rated product to its catalog ordinal — the dense
+// dimension of the Product representation. Every rated product is
+// cataloged (SetRating enforces it, Merge registers bare products), so
+// the record is always present and the ordinal is stable for the life of
+// the community lineage.
+func (f *Filter) productOrd(p model.ProductID) int32 {
+	return f.comm.Product(p).Ord()
 }
 
 // ProfileOf returns (building and caching on first use) the profile vector
 // of agent id under the filter's representation. Unknown agents yield an
-// empty vector.
+// empty vector, uncached.
 func (f *Filter) ProfileOf(id model.AgentID) sparse.Vector {
+	a := f.comm.Agent(id)
+	if a == nil {
+		return sparse.New(0)
+	}
+	return f.profileOf(a)
+}
+
+// profileOf is ProfileOf after the one string resolution: the cache is
+// keyed by the agent's ordinal.
+func (f *Filter) profileOf(a *model.Agent) sparse.Vector {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if v, ok := f.profiles[id]; ok {
+	ord := a.Ord()
+	if v, ok := f.profiles[ord]; ok {
 		return v
 	}
-	a := f.comm.Agent(id)
 	var v sparse.Vector
-	switch {
-	case a == nil:
-		v = sparse.New(0)
-	case f.opt.Representation == Product:
-		v = profile.ProductVector(a, f.internProduct)
-	default:
+	if f.opt.Representation == Product {
+		v = profile.ProductVector(a, f.productOrd)
+	} else {
 		v = f.gen.Profile(a, f.comm)
 	}
-	f.profiles[id] = v
+	f.profiles[ord] = v
 	return v
 }
 
@@ -200,7 +205,9 @@ func (f *Filter) ProfileOf(id model.AgentID) sparse.Vector {
 func (f *Filter) Invalidate(id model.AgentID) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	delete(f.profiles, id)
+	if a := f.comm.Agent(id); a != nil {
+		delete(f.profiles, a.Ord())
+	}
 	f.mat = nil
 }
 
@@ -229,11 +236,11 @@ func (f *Filter) Compile(ctx context.Context) error {
 	return f.CompileDelta(ctx, nil, nil)
 }
 
-// CompileDelta is Compile carrying over the rows of prev for agents dirty
-// reports false on — the epoch-swap fast path (internal/engine). A nil
-// prev or dirty compiles from scratch. On ctx expiry the filter is left
-// uncompiled and the next call retries.
-func (f *Filter) CompileDelta(ctx context.Context, prev *profmat.Matrix, dirty func(model.AgentID) bool) error {
+// CompileDelta is Compile carrying over the rows of prev for agent
+// ordinals dirty reports false on — the epoch-swap fast path
+// (internal/engine). A nil prev or dirty compiles from scratch. On ctx
+// expiry the filter is left uncompiled and the next call retries.
+func (f *Filter) CompileDelta(ctx context.Context, prev *profmat.Matrix, dirty func(int32) bool) error {
 	if !f.Compilable() {
 		return nil
 	}
@@ -282,11 +289,14 @@ func (f *Filter) matrix(ctx context.Context) *profmat.Matrix {
 // the same undefined-similarity result the empty map vector does.
 var emptyRow = &profmat.Row{}
 
-// rowOf returns the compiled row for id, or an empty row for agents the
-// matrix does not know.
-func rowOf(mat *profmat.Matrix, id model.AgentID) *profmat.Row {
-	if r := mat.Row(id); r != nil {
-		return r
+// rowOf returns the compiled row for id — one community resolution to
+// the agent's ordinal, then a positional matrix lookup — or an empty row
+// for agents the matrix does not know.
+func (f *Filter) rowOf(mat *profmat.Matrix, id model.AgentID) *profmat.Row {
+	if a := f.comm.Agent(id); a != nil {
+		if r := mat.Row(a.Ord()); r != nil {
+			return r
+		}
 	}
 	return emptyRow
 }
@@ -335,7 +345,7 @@ func (f *Filter) Similarity(a, b model.AgentID) (float64, bool) {
 // step (the per-pair kernel itself is microseconds).
 func (f *Filter) SimilarityCtx(ctx context.Context, a, b model.AgentID) (float64, bool) {
 	if mat := f.matrix(ctx); mat != nil {
-		return f.similarityRows(rowOf(mat, a), rowOf(mat, b))
+		return f.similarityRows(f.rowOf(mat, a), f.rowOf(mat, b))
 	}
 	va, vb := f.ProfileOf(a), f.ProfileOf(b)
 	switch f.opt.Measure {
@@ -373,7 +383,7 @@ func (f *Filter) Similarities(ctx context.Context, active model.AgentID, peers [
 		}
 		return ctx.Err()
 	}
-	ar := rowOf(mat, active)
+	ar := f.rowOf(mat, active)
 	sc := f.getScratch()
 	sc.Load(ar)
 	defer f.scratch.Put(sc)
@@ -385,7 +395,7 @@ func (f *Filter) Similarities(ctx context.Context, active model.AgentID, peers [
 					return err
 				}
 			}
-			s, ok := f.similarityScratch(sc, rowOf(mat, p))
+			s, ok := f.similarityScratch(sc, f.rowOf(mat, p))
 			out[i] = SimResult{Sim: s, OK: ok}
 		}
 		return ctx.Err()
@@ -409,7 +419,7 @@ func (f *Filter) Similarities(ctx context.Context, active model.AgentID, peers [
 				if (i-lo)&63 == 0 && ctx.Err() != nil {
 					return
 				}
-				s, ok := f.similarityScratch(sc, rowOf(mat, peers[i]))
+				s, ok := f.similarityScratch(sc, f.rowOf(mat, peers[i]))
 				out[i] = SimResult{Sim: s, OK: ok}
 			}
 		}(lo, hi)

@@ -81,10 +81,11 @@ func Capture(snap *engine.Snapshot, seq uint64) *Image {
 	}
 	comm := img.Community
 	if mat := snap.Recommender().Filter().Matrix(); mat != nil {
+		// Row i of the image is agent ordinal i — the matrix's own layout.
 		ids := comm.Agents()
 		img.Rows = make([]profmat.Row, len(ids))
-		for i, id := range ids {
-			if r := mat.Row(id); r != nil {
+		for i := range ids {
+			if r := mat.Row(int32(i)); r != nil {
 				img.Rows[i] = *r
 			}
 		}
@@ -99,14 +100,11 @@ func Encode(img *Image) []byte {
 	comm := img.Community
 	agents := comm.Agents()
 	products := comm.Products()
-	agentOrd := make(map[model.AgentID]uint64, len(agents))
-	for i, id := range agents {
-		agentOrd[id] = uint64(i)
-	}
-	prodOrd := make(map[model.ProductID]uint64, len(products))
-	for i, id := range products {
-		prodOrd[id] = uint64(i)
-	}
+	// The wire format's dense ordinals are exactly the community's interned
+	// ordinals (insertion order on both sides), so encoding reads them off
+	// the records instead of rebuilding translation maps.
+	agentOrd := func(id model.AgentID) uint64 { return uint64(comm.Agent(id).Ord()) }
+	prodOrd := func(id model.ProductID) uint64 { return uint64(comm.Product(id).Ord()) }
 	tax := comm.Taxonomy()
 
 	var out []byte
@@ -194,7 +192,7 @@ func Encode(img *Image) []byte {
 		peers := comm.Agent(id).TrustedPeers()
 		et.uv(uint64(len(peers)))
 		for _, st := range peers {
-			et.uv(agentOrd[st.Dst])
+			et.uv(agentOrd(st.Dst))
 			et.f64(st.Value)
 		}
 	}
@@ -207,7 +205,7 @@ func Encode(img *Image) []byte {
 		ratings := comm.Agent(id).RatedProducts()
 		er.uv(uint64(len(ratings)))
 		for _, rt := range ratings {
-			er.uv(prodOrd[rt.Product])
+			er.uv(prodOrd(rt.Product))
 			er.f64(rt.Value)
 		}
 	}
@@ -247,7 +245,7 @@ func Encode(img *Image) []byte {
 			ei.uv(uint64(d))
 			ei.uv(uint64(len(img.Postings[i])))
 			for _, pid := range img.Postings[i] {
-				ei.uv(prodOrd[pid])
+				ei.uv(prodOrd(pid))
 			}
 		}
 		out = frame(out, secTopicIndex, ei.b)
@@ -260,11 +258,11 @@ func Encode(img *Image) []byte {
 	var ew enc
 	ew.uv(uint64(len(img.Peers)))
 	for _, entry := range img.Peers {
-		ew.uv(agentOrd[entry.Agent])
+		ew.uv(agentOrd(entry.Agent))
 		ew.str(entry.Pipe)
 		ew.uv(uint64(len(entry.Peers)))
 		for _, pr := range entry.Peers {
-			ew.u32(uint32(agentOrd[pr.Agent]))
+			ew.u32(uint32(agentOrd(pr.Agent)))
 			ew.f64(pr.Trust)
 			ew.f64(pr.Sim)
 			if pr.SimOK {
@@ -281,7 +279,7 @@ func Encode(img *Image) []byte {
 	var ef enc
 	ef.uv(uint64(len(img.Profiles)))
 	for _, entry := range img.Profiles {
-		ef.uv(agentOrd[entry.Agent])
+		ef.uv(agentOrd(entry.Agent))
 		es := entry.Profile.Entries()
 		ef.uv(uint64(len(es)))
 		for _, kv := range es {
@@ -669,7 +667,9 @@ func (img *Image) Restore(cfg engine.Config) (*engine.Engine, error) {
 		Profiles:  img.Profiles,
 	}
 	if img.Rows != nil {
-		r.Matrix = profmat.Restore(img.Community.Agents(), img.Rows)
+		// Image rows are in agent-ordinal order, which is exactly the
+		// matrix's positional layout — restore is a wrap, not a rebuild.
+		r.Matrix = profmat.Restore(img.Rows)
 	}
 	if img.HasIndex {
 		r.Index = index.Restore(img.Community.Taxonomy(), img.Topics, img.Postings)

@@ -143,7 +143,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		t.Fatal("restored engine has no compiled matrix")
 	}
 	for i, id := range img2.Community.Agents() {
-		r := mat.Row(id)
+		r := mat.Row(img2.Community.Agent(id).Ord())
 		if r == nil {
 			t.Fatalf("restored matrix missing row for %s", id)
 		}

@@ -28,14 +28,19 @@ import (
 //   - the trust-out agent directory ordering depends on the agent set
 //     and every out-degree.
 //
-// All fields are conservative: over-marking costs recomputation, never
-// correctness. A nil *Delta means "assume everything changed".
+// Agents are identified by their community ordinals, resolved against
+// the community being published: ordinals are stable across epochs of
+// one lineage (communities only append), so an ordinal marked here
+// denotes the same agent in the superseded epoch's caches. All fields
+// are conservative: over-marking costs recomputation, never correctness.
+// A nil *Delta means "assume everything changed".
 type Delta struct {
-	// RatingsChanged holds agents whose rating set changed (upserts and
-	// deletes alike).
-	RatingsChanged map[model.AgentID]bool
-	// TrustChanged holds agents whose outgoing trust statements changed.
-	TrustChanged map[model.AgentID]bool
+	// RatingsChanged holds ordinals of agents whose rating set changed
+	// (upserts and deletes alike).
+	RatingsChanged map[int32]bool
+	// TrustChanged holds ordinals of agents whose outgoing trust
+	// statements changed.
+	TrustChanged map[int32]bool
 	// AgentsAdded reports whether any agent record was created (directly
 	// or materialized as a trust/rating endpoint).
 	AgentsAdded bool
@@ -46,8 +51,8 @@ type Delta struct {
 // NewDelta returns an empty delta ready for marking.
 func NewDelta() *Delta {
 	return &Delta{
-		RatingsChanged: make(map[model.AgentID]bool),
-		TrustChanged:   make(map[model.AgentID]bool),
+		RatingsChanged: make(map[int32]bool),
+		TrustChanged:   make(map[int32]bool),
 	}
 }
 
@@ -57,33 +62,48 @@ func (d *Delta) Empty() bool {
 		!d.AgentsAdded && !d.ProductsChanged
 }
 
-// trustDirtySet expands the trust-mutation sources to every agent whose
-// neighborhood exploration could observe one of them: a neighborhood is
-// computed by walking trust edges forward from its active agent, so an
-// agent is affected exactly when a forward path from it reaches a source.
-// That is a reverse-BFS from the sources, taken over the union of the old
-// and new trust graphs — an edge present in either generation can have
-// carried the influence.
-func trustDirtySet(oldC, newC *model.Community, sources map[model.AgentID]bool) map[model.AgentID]bool {
+// trustDirtySet expands the trust-mutation source ordinals to every agent
+// whose neighborhood exploration could observe one of them: a
+// neighborhood is computed by walking trust edges forward from its active
+// agent, so an agent is affected exactly when a forward path from it
+// reaches a source. That is a reverse-BFS from the sources, taken over
+// the union of the old and new trust graphs — an edge present in either
+// generation can have carried the influence.
+//
+// The returned vector is indexed by agent ordinal and covers both
+// generations (ordinals are shared across the lineage); nil means no
+// sources, i.e. nothing is trust-dirty.
+func trustDirtySet(oldC, newC *model.Community, sources map[int32]bool) []bool {
 	if len(sources) == 0 {
 		return nil
 	}
-	rev := make(map[model.AgentID][]model.AgentID)
+	n := 0
+	if newC != nil {
+		n = newC.NumAgents()
+	}
+	if oldC != nil && oldC.NumAgents() > n {
+		n = oldC.NumAgents()
+	}
+	rev := make([][]int32, n)
 	for _, c := range []*model.Community{oldC, newC} {
 		if c == nil {
 			continue
 		}
-		for _, id := range c.Agents() {
-			for _, ts := range c.Agent(id).TrustedPeers() {
-				rev[ts.Dst] = append(rev[ts.Dst], id)
+		sym := c.Symbols()
+		for ord := int32(0); int(ord) < sym.NumAgents(); ord++ {
+			a := sym.AgentAt(ord)
+			for _, tr := range c.TrustRefs(a) {
+				rev[tr.Peer.Ord()] = append(rev[tr.Peer.Ord()], ord)
 			}
 		}
 	}
-	dirty := make(map[model.AgentID]bool, len(sources))
-	queue := make([]model.AgentID, 0, len(sources))
+	dirty := make([]bool, n)
+	queue := make([]int32, 0, len(sources))
 	for s := range sources {
-		dirty[s] = true
-		queue = append(queue, s)
+		if int(s) < n && !dirty[s] {
+			dirty[s] = true
+			queue = append(queue, s)
+		}
 	}
 	for len(queue) > 0 {
 		x := queue[0]

@@ -69,8 +69,8 @@ func TestSwapDeltaMatchesFromScratchRebuild(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := NewDelta()
-	d.RatingsChanged[rater] = true
-	d.TrustChanged[truster] = true
+	d.RatingsChanged[clone.Agent(rater).Ord()] = true
+	d.TrustChanged[clone.Agent(truster).Ord()] = true
 
 	snap2, err := e.SwapDelta(clone, d)
 	if err != nil {
@@ -157,7 +157,7 @@ func TestSwapDeltaCarriesCleanAgentState(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := NewDelta()
-	d.RatingsChanged[rater] = true
+	d.RatingsChanged[clone.Agent(rater).Ord()] = true
 
 	snap2, err := e.SwapDelta(clone, d)
 	if err != nil {
@@ -236,18 +236,24 @@ func TestTrustDirtySet(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	dirty := trustDirtySet(c, c, map[model.AgentID]bool{"c": true})
+	ord := func(id model.AgentID) int32 { return c.Agent(id).Ord() }
+	dirty := trustDirtySet(c, c, map[int32]bool{ord("c"): true})
 	for _, id := range []model.AgentID{"a", "b", "c", "e"} {
-		if !dirty[id] {
+		if !dirty[ord(id)] {
 			t.Fatalf("agent %s can reach the mutated source but is not dirty", id)
 		}
 	}
-	if dirty["d"] {
+	if dirty[ord("d")] {
 		t.Fatal("isolated agent marked dirty")
 	}
 	// A source with no inbound paths dirties only itself.
-	dirty = trustDirtySet(c, c, map[model.AgentID]bool{"a": true})
-	if len(dirty) != 1 || !dirty["a"] {
-		t.Fatalf("dirty set for source-only mutation = %v", dirty)
+	dirty = trustDirtySet(c, c, map[int32]bool{ord("a"): true})
+	for _, id := range []model.AgentID{"b", "c", "d", "e"} {
+		if dirty[ord(id)] {
+			t.Fatalf("agent %s dirtied by a source-only mutation", id)
+		}
+	}
+	if !dirty[ord("a")] {
+		t.Fatal("mutated source not marked dirty")
 	}
 }

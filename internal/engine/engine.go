@@ -114,34 +114,61 @@ type Overrides struct {
 	Content *core.ContentMode
 }
 
-// pipelineKey identifies the stages-1-3 configuration (trust metric, α,
-// similarity measure). Content mode affects only the stage-4 vote, so
-// neighborhoods are shared across content modes.
-func (ov Overrides) pipelineKey() string {
-	key := ""
-	if ov.Metric != nil {
-		key += fmt.Sprintf("m%d", *ov.Metric) //nolint:hotalloc -- default serving path has nil overrides and skips this; only explicit per-request overrides pay for key building
-	}
-	if ov.Alpha != nil {
-		key += fmt.Sprintf("a%g", *ov.Alpha) //nolint:hotalloc -- default serving path has nil overrides and skips this; only explicit per-request overrides pay for key building
-	}
-	if ov.Measure != nil {
-		key += fmt.Sprintf("s%d", *ov.Measure) //nolint:hotalloc -- default serving path has nil overrides and skips this; only explicit per-request overrides pay for key building
-	}
-	return key
+// pipeKey identifies the stages-1-3 configuration (trust metric, α,
+// similarity measure) plus the strategy-ladder rung a cached artifact
+// belongs to. Content mode affects only the stage-4 vote, so
+// neighborhoods are shared across content modes. It is a fixed-size
+// comparable value: building one allocates nothing, unlike the string
+// keys it replaced. Present/absent overrides are tracked with explicit
+// flags rather than sentinel values so map-key equality stays exact.
+type pipeKey struct {
+	hasMetric  bool
+	metric     core.Metric
+	hasAlpha   bool
+	alpha      float64
+	hasMeasure bool
+	measure    cf.Measure
+	rung       byte // 0 = rung-1 pipeline; rungWiden / rungGen below
 }
 
-// contentKey identifies the stage-4 content-mode override.
-func (ov Overrides) contentKey() string {
-	if ov.Content != nil {
-		return fmt.Sprintf("c%d", *ov.Content) //nolint:hotalloc -- default serving path has nil overrides and skips this; only explicit per-request overrides pay for key building
-	}
-	return ""
+// contKey identifies the stage-4 content-mode override.
+type contKey struct {
+	set  bool
+	mode core.ContentMode
 }
 
 // variantKey identifies the full recommender configuration.
-func (ov Overrides) variantKey() string {
-	return ov.pipelineKey() + ov.contentKey()
+type variantKey struct {
+	pipe    pipeKey
+	content contKey
+}
+
+// pipelineKey builds the stages-1-3 cache-key component.
+func (ov Overrides) pipelineKey() pipeKey {
+	var k pipeKey
+	if ov.Metric != nil {
+		k.hasMetric, k.metric = true, *ov.Metric
+	}
+	if ov.Alpha != nil {
+		k.hasAlpha, k.alpha = true, *ov.Alpha
+	}
+	if ov.Measure != nil {
+		k.hasMeasure, k.measure = true, *ov.Measure
+	}
+	return k
+}
+
+// contentKey builds the stage-4 cache-key component.
+func (ov Overrides) contentKey() contKey {
+	if ov.Content != nil {
+		return contKey{set: true, mode: *ov.Content}
+	}
+	return contKey{}
+}
+
+// variantKey builds the full recommender-configuration key.
+func (ov Overrides) variantKey() variantKey {
+	return variantKey{pipe: ov.pipelineKey(), content: ov.contentKey()}
 }
 
 // apply merges the overrides into a copy of the base options.
@@ -175,7 +202,10 @@ type Snapshot struct {
 	// nil when the community carries no taxonomy.
 	gen *profile.Generator
 
-	profiles *lruCache[model.AgentID, sparse.Vector]
+	// The per-agent caches are keyed by community ordinal: the URI is
+	// resolved once at the public entry point, everything below indexes
+	// and hashes fixed-size values.
+	profiles *lruCache[int32, sparse.Vector]
 	peers    *lruCache[peerKey, []core.PeerRank]
 	subtrees *lruCache[taxonomy.Topic, []model.ProductID]
 	results  *lruCache[recKey, []core.Recommendation]
@@ -190,7 +220,7 @@ type Snapshot struct {
 	popRank atomic.Pointer[[]core.Recommendation]
 
 	variantMu sync.Mutex
-	variants  map[string]*core.Recommender
+	variants  map[variantKey]*core.Recommender
 
 	flights flightGroup
 }
@@ -217,11 +247,11 @@ func newSnapshotDelta(epoch uint64, comm *model.Community, opt core.Options, cfg
 		opt:      opt,
 		rec:      rec,
 		budget:   cfg.ComputeBudget,
-		profiles: newLRU[model.AgentID, sparse.Vector](cfg.ProfileCacheSize),
+		profiles: newLRU[int32, sparse.Vector](cfg.ProfileCacheSize),
 		peers:    newLRU[peerKey, []core.PeerRank](cfg.PeerCacheSize),
 		subtrees: newLRU[taxonomy.Topic, []model.ProductID](cfg.SubtreeCacheSize),
 		results:  newLRU[recKey, []core.Recommendation](cfg.ResultCacheSize),
-		variants: make(map[string]*core.Recommender),
+		variants: make(map[variantKey]*core.Recommender),
 	}
 	if tax := comm.Taxonomy(); tax != nil {
 		s.gen = profile.New(tax)
@@ -233,10 +263,10 @@ func newSnapshotDelta(epoch uint64, comm *model.Community, opt core.Options, cfg
 	// agents' rows are recompiled; the rest alias the previous arenas.
 	if f := rec.Filter(); f.Compilable() {
 		var prevMat *profmat.Matrix
-		var dirtyRow func(model.AgentID) bool
+		var dirtyRow func(int32) bool
 		if delta {
 			prevMat = prev.rec.Filter().Matrix()
-			dirtyRow = func(id model.AgentID) bool { return d.RatingsChanged[id] }
+			dirtyRow = func(ord int32) bool { return d.RatingsChanged[ord] }
 		}
 		//nolint:ctxflow -- snapshot construction runs at New/Swap time, not on a request path; there is no caller deadline to thread
 		if err := f.CompileDelta(context.Background(), prevMat, dirtyRow); err != nil {
@@ -251,8 +281,17 @@ func newSnapshotDelta(epoch uint64, comm *model.Community, opt core.Options, cfg
 	}
 
 	trustDirty := trustDirtySet(prev.comm, comm, d.TrustChanged)
+	dirtyTrust := func(ord int32) bool {
+		return trustDirty != nil && int(ord) < len(trustDirty) && trustDirty[ord]
+	}
+	nTrustDirty := 0
+	for _, b := range trustDirty {
+		if b {
+			nTrustDirty++
+		}
+	}
 	stats.Add("swap_delta", 1)
-	stats.Add("dirty_agents", int64(len(trustDirty)+len(d.RatingsChanged)))
+	stats.Add("dirty_agents", int64(nTrustDirty+len(d.RatingsChanged)))
 
 	// Eq. 3 profiles: invalidated only by the agent's own ratings.
 	for _, e := range prev.profiles.entries() {
@@ -263,15 +302,18 @@ func newSnapshotDelta(epoch uint64, comm *model.Community, opt core.Options, cfg
 	}
 	// Neighborhoods: the active agent must be clean of trust influence
 	// and rating changes, and every ranked peer's profile (its ratings)
-	// must be untouched — those are the similarity weights.
+	// must be untouched — those are the similarity weights. Ranked peers
+	// are stored by ID (the serving answer); resolving them against the
+	// new community is a swap-time cost, not a request-path one.
+	sym := comm.Symbols()
 	carried := make(map[peerKey]bool)
 	for _, e := range prev.peers.entries() {
-		if trustDirty[e.key.agent] || d.RatingsChanged[e.key.agent] {
+		if dirtyTrust(e.key.agent) || d.RatingsChanged[e.key.agent] {
 			continue
 		}
 		ok := true
 		for _, pr := range e.val {
-			if d.RatingsChanged[pr.Agent] {
+			if ord, known := sym.AgentOrd(pr.Agent); !known || d.RatingsChanged[ord] {
 				ok = false
 				break
 			}
@@ -338,7 +380,7 @@ func (s *Snapshot) Recommender() *core.Recommender { return s.rec }
 // CF configuration is unchanged.
 func (s *Snapshot) RecommenderFor(ov Overrides) (*core.Recommender, error) {
 	key := ov.variantKey()
-	if key == "" {
+	if key == (variantKey{}) {
 		return s.rec, nil
 	}
 	s.variantMu.Lock()
@@ -354,41 +396,51 @@ func (s *Snapshot) RecommenderFor(ov Overrides) (*core.Recommender, error) {
 	return rec, nil
 }
 
-// peerKey identifies a cached neighborhood: the active agent and the
-// stages-1-3 configuration. Structured (not string-concatenated) so the
-// delta-swap carry can reason about each component without parsing.
+// peerKey identifies a cached neighborhood: the active agent's ordinal
+// and the stages-1-3 configuration. Structured so the delta-swap carry
+// can reason about each component without parsing, and fixed-size so
+// cache probes hash no strings.
 type peerKey struct {
-	agent model.AgentID
-	pipe  string
+	agent int32
+	pipe  pipeKey
 }
 
 // flight returns the singleflight key for the neighborhood computation.
-func (k peerKey) flight() string { return "peers\x00" + string(k.agent) + "\x00" + k.pipe }
+func (k peerKey) flight() flightKey {
+	return flightKey{kind: flightPeers, agent: k.agent, pipe: k.pipe}
+}
 
-// recKey identifies a cached recommendation list: the active agent, the
-// answer size, and the full variant split into its pipeline and content
-// parts — the pipeline part ties a result to the neighborhood it was
-// voted from.
+// recKey identifies a cached recommendation list: the active agent's
+// ordinal, the answer size, and the full variant split into its pipeline
+// and content parts — the pipeline part ties a result to the
+// neighborhood it was voted from.
 type recKey struct {
-	agent   model.AgentID
-	n       int
-	pipe    string
-	content string
+	agent   int32
+	n       int32
+	pipe    pipeKey
+	content contKey
 }
 
 // flight returns the singleflight key for the recommendation computation.
-func (k recKey) flight() string {
-	return fmt.Sprintf("recs\x00%s\x00%d\x00%s\x00%s", k.agent, k.n, k.pipe, k.content)
+func (k recKey) flight() flightKey {
+	return flightKey{kind: flightRecs, agent: k.agent, n: k.n, pipe: k.pipe, content: k.content}
 }
 
 // peersKey and resultKey build the cache keys shared by the serving and
-// degradation paths.
-func peersKey(active model.AgentID, ov Overrides) peerKey {
-	return peerKey{agent: active, pipe: ov.pipelineKey()}
+// degradation paths, from an already-resolved agent ordinal.
+func peersKey(ord int32, ov Overrides) peerKey {
+	return peerKey{agent: ord, pipe: ov.pipelineKey()}
 }
 
-func resultKey(active model.AgentID, n int, ov Overrides) recKey {
-	return recKey{agent: active, n: n, pipe: ov.pipelineKey(), content: ov.contentKey()}
+func resultKey(ord int32, n int, ov Overrides) recKey {
+	return recKey{agent: ord, n: int32(n), pipe: ov.pipelineKey(), content: ov.contentKey()}
+}
+
+// unknownAgent mirrors the core pipeline's unknown-active error, so
+// resolving the URI at the engine boundary is indistinguishable from
+// letting the pipeline discover it.
+func unknownAgent(id model.AgentID) error {
+	return fmt.Errorf("%w: %s", core.ErrUnknownAgent, id)
 }
 
 // flightCtx is the compute-budget context factory handed to cold-path
@@ -414,7 +466,17 @@ func (s *Snapshot) RankedPeers(active model.AgentID, ov Overrides) ([]core.PeerR
 // computation continues under the engine's compute budget and fills the
 // cache for the next request.
 func (s *Snapshot) RankedPeersCtx(ctx context.Context, active model.AgentID, ov Overrides) ([]core.PeerRank, error) {
-	key := peersKey(active, ov)
+	a := s.comm.Agent(active)
+	if a == nil {
+		return nil, unknownAgent(active)
+	}
+	return s.rankedPeersRef(ctx, a, ov)
+}
+
+// rankedPeersRef is RankedPeersCtx after the one URI resolution: every
+// cache and flight key below is built from the agent's ordinal.
+func (s *Snapshot) rankedPeersRef(ctx context.Context, a *model.Agent, ov Overrides) ([]core.PeerRank, error) {
+	key := peersKey(a.Ord(), ov)
 	if peers, ok := s.peers.get(key); ok {
 		stats.Add("peers_hit", 1)
 		return peers, nil
@@ -425,7 +487,7 @@ func (s *Snapshot) RankedPeersCtx(ctx context.Context, active model.AgentID, ov 
 		if err != nil {
 			return nil, err
 		}
-		peers, err := rec.RankedPeersCtx(fctx, active)
+		peers, err := rec.RankedPeersCtx(fctx, a.ID)
 		if err != nil {
 			return nil, err
 		}
@@ -446,7 +508,11 @@ func (s *Snapshot) RankedPeersCtx(ctx context.Context, active model.AgentID, ov 
 //
 //swrec:hotpath
 func (s *Snapshot) CachedPeers(active model.AgentID, ov Overrides) ([]core.PeerRank, bool) {
-	return s.peers.get(peersKey(active, ov))
+	a := s.comm.Agent(active)
+	if a == nil {
+		return nil, false
+	}
+	return s.peers.get(peersKey(a.Ord(), ov))
 }
 
 // Recommend runs the full pipeline for the active agent: cached
@@ -463,14 +529,23 @@ func (s *Snapshot) Recommend(active model.AgentID, n int, ov Overrides) ([]core.
 // for the detach semantics. The inner pipeline runs entirely under the
 // flight's compute-budget context, not the caller's.
 func (s *Snapshot) RecommendCtx(ctx context.Context, active model.AgentID, n int, ov Overrides) ([]core.Recommendation, error) {
-	key := resultKey(active, n, ov)
+	a := s.comm.Agent(active)
+	if a == nil {
+		return nil, unknownAgent(active)
+	}
+	return s.recommendRef(ctx, a, n, ov)
+}
+
+// recommendRef is RecommendCtx after the one URI resolution.
+func (s *Snapshot) recommendRef(ctx context.Context, a *model.Agent, n int, ov Overrides) ([]core.Recommendation, error) {
+	key := resultKey(a.Ord(), n, ov)
 	if recs, ok := s.results.get(key); ok {
 		stats.Add("results_hit", 1)
 		return recs, nil
 	}
 	stats.Add("results_miss", 1)
 	v, err, shared := s.flights.doCtx(ctx, key.flight(), s.flightCtx, func(fctx context.Context) (any, error) {
-		peers, err := s.RankedPeersCtx(fctx, active, ov)
+		peers, err := s.rankedPeersRef(fctx, a, ov)
 		if err != nil {
 			return nil, err
 		}
@@ -478,7 +553,7 @@ func (s *Snapshot) RecommendCtx(ctx context.Context, active model.AgentID, n int
 		if err != nil {
 			return nil, err
 		}
-		recs, err := rec.RecommendFromCtx(fctx, active, peers, n)
+		recs, err := rec.RecommendFromCtx(fctx, a.ID, peers, n)
 		if err != nil {
 			return nil, err
 		}
@@ -498,7 +573,11 @@ func (s *Snapshot) RecommendCtx(ctx context.Context, active model.AgentID, n int
 //
 //swrec:hotpath
 func (s *Snapshot) CachedRecommend(active model.AgentID, n int, ov Overrides) ([]core.Recommendation, bool) {
-	return s.results.get(resultKey(active, n, ov))
+	a := s.comm.Agent(active)
+	if a == nil {
+		return nil, false
+	}
+	return s.results.get(resultKey(a.Ord(), n, ov))
 }
 
 // Profile returns the agent's Eq. 3 taxonomy profile from the cache,
@@ -515,19 +594,20 @@ func (s *Snapshot) ProfileCtx(ctx context.Context, active model.AgentID) (sparse
 	}
 	a := s.comm.Agent(active)
 	if a == nil {
-		return nil, fmt.Errorf("%w: %s", core.ErrUnknownAgent, active)
+		return nil, unknownAgent(active)
 	}
-	if prof, ok := s.profiles.get(active); ok {
+	ord := a.Ord()
+	if prof, ok := s.profiles.get(ord); ok {
 		stats.Add("profile_hit", 1)
 		return prof, nil
 	}
 	stats.Add("profile_miss", 1)
-	v, err, shared := s.flights.doCtx(ctx, "profile\x00"+string(active), s.flightCtx, func(fctx context.Context) (any, error) {
+	v, err, shared := s.flights.doCtx(ctx, flightKey{kind: flightProfile, agent: ord}, s.flightCtx, func(fctx context.Context) (any, error) {
 		prof, err := s.gen.ProfileCtx(fctx, a, s.comm)
 		if err != nil {
 			return nil, err
 		}
-		s.profiles.add(active, prof)
+		s.profiles.add(ord, prof)
 		return prof, nil
 	})
 	if shared {
@@ -558,7 +638,7 @@ func (s *Snapshot) Subtree(d taxonomy.Topic) []model.ProductID {
 		return pids
 	}
 	stats.Add("subtree_miss", 1)
-	v, _, _ := s.flights.do(fmt.Sprintf("subtree\x00%d", d), func() (any, error) {
+	v, _, _ := s.flights.do(flightKey{kind: flightSubtree, topic: d}, func() (any, error) {
 		pids := s.TopicIndex().Subtree(d)
 		s.subtrees.add(d, pids)
 		return pids, nil

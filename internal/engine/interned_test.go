@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// servingFingerprint hashes the complete serving output of a snapshot on
+// the seeded differential corpus: for every agent, the ranked peers and
+// the top-10 recommendations with full-precision scores. Any behavioral
+// drift in trust propagation, similarity, rank synthesis, or the vote
+// changes the digest.
+func servingFingerprint(t testing.TB, snap *Snapshot) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, id := range snap.Community().Agents() {
+		peers, err := snap.RankedPeers(id, Overrides{})
+		if err != nil {
+			t.Fatalf("RankedPeers(%s): %v", id, err)
+		}
+		fmt.Fprintf(&sb, "A %s\n", id)
+		for _, p := range peers {
+			fmt.Fprintf(&sb, "P %s %.12g %.12g %t %.12g\n", p.Agent, p.Trust, p.Sim, p.SimOK, p.Weight)
+		}
+		recs, err := snap.Recommend(id, 10, Overrides{})
+		if err != nil {
+			t.Fatalf("Recommend(%s): %v", id, err)
+		}
+		for _, r := range recs {
+			fmt.Fprintf(&sb, "R %s %.12g %d\n", r.Product, r.Score, r.Supporters)
+		}
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// preInternFingerprint is the serving fingerprint of the seeded corpus
+// (datagen.SmallScale, 120 agents / 240 products, default test options)
+// computed by the string-keyed implementation immediately before the
+// interned-ID refactor. The differential test below pins the interned
+// data model to byte-identical serving output.
+const preInternFingerprint = "3976785e17235065ef071ec31b2d94984bc9785eb234cc41e81d13212a57f178"
+
+// TestInternedFingerprintMatchesPreRefactor is the interning refactor's
+// differential gate: rekeying every hot-path structure on dense int32
+// ordinals must not move a single score bit. The corpus, options, and
+// answer sizes match the constant's recording run exactly.
+func TestInternedFingerprintMatchesPreRefactor(t *testing.T) {
+	comm := testCommunity(t, 120, 240)
+	e, err := New(comm, testOptions(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := servingFingerprint(t, e.Snapshot())
+	if got != preInternFingerprint {
+		t.Fatalf("serving fingerprint drifted from the pre-refactor recording:\n got %s\nwant %s", got, preInternFingerprint)
+	}
+}

@@ -3,7 +3,6 @@ package engine
 import (
 	"context"
 	"errors"
-	"fmt"
 
 	"swrec/internal/core"
 	"swrec/internal/model"
@@ -11,18 +10,24 @@ import (
 	"swrec/internal/trust"
 )
 
-// Pipe-key suffixes distinguishing the lower rungs' cached artifacts
-// from the rung-1 pipeline's. pipelineKey() output never contains '|',
-// so suffixed keys cannot collide with any override combination. Because
-// they live in the regular peers/results LRUs under peerKey/recKey, the
-// delta-swap carry validates them with the same dependency fingerprints:
-// trustDirty is a reverse reachability closure, so it covers the one
-// extra hop widening takes, and the cached value's own member list is
-// what the rating-change scan walks.
+// Pipe-key rungs distinguishing the lower rungs' cached artifacts from
+// the rung-1 pipeline's (rung 0). Because they live in the regular
+// peers/results LRUs under peerKey/recKey, the delta-swap carry
+// validates them with the same dependency fingerprints: trustDirty is a
+// reverse reachability closure, so it covers the one extra hop widening
+// takes, and the cached value's own member list is what the
+// rating-change scan walks. The checkpoint wire format spells the rungs
+// as the historical "|w"/"|g" pipe-string suffixes (see pipeKey.String).
 const (
-	pipeWiden = "|w" // trust-hop-widened neighborhoods and their votes
-	pipeGen   = "|g" // taxonomy-ancestor re-rankings and their votes
+	rungWiden byte = 'w' // trust-hop-widened neighborhoods and their votes
+	rungGen   byte = 'g' // taxonomy-ancestor re-rankings and their votes
 )
+
+// withRung returns the key tagged as a ladder rung's artifact.
+func (k pipeKey) withRung(r byte) pipeKey {
+	k.rung = r
+	return k
+}
 
 // ladderDeadline reports whether err is deadline-shaped (the request or
 // compute budget expired) rather than durable.
@@ -36,12 +41,8 @@ func ladderDeadline(err error) bool {
 // rung-1 request pays nothing extra. A deadline during gathering sets
 // Signals.Deadline (only the degraded rung can still answer) instead of
 // failing; durable errors (unknown agent, invalid variant) are returned.
-func (e *Engine) ladderSignals(ctx context.Context, snap *Snapshot, active model.AgentID, ov Overrides) (strategy.Signals, []core.PeerRank, error) {
+func (e *Engine) ladderSignals(ctx context.Context, snap *Snapshot, a *model.Agent, ov Overrides) (strategy.Signals, []core.PeerRank, error) {
 	var sig strategy.Signals
-	a := snap.comm.Agent(active)
-	if a == nil {
-		return sig, nil, fmt.Errorf("%w: %s", core.ErrUnknownAgent, active)
-	}
 	sig.Ratings = len(a.Ratings)
 	for _, st := range a.TrustedPeers() {
 		if st.Value > 0 {
@@ -53,7 +54,7 @@ func (e *Engine) ladderSignals(ctx context.Context, snap *Snapshot, active model
 		return sig, nil, err
 	}
 	sig.Taxonomy = rec.Filter().Generator() != nil
-	peers, err := snap.RankedPeersCtx(ctx, active, ov)
+	peers, err := snap.rankedPeersRef(ctx, a, ov)
 	if err != nil {
 		if ladderDeadline(err) {
 			sig.Deadline = true
@@ -76,8 +77,8 @@ func (e *Engine) ladderSignals(ctx context.Context, snap *Snapshot, active model
 // neighborhood LRU under the widened pipe key. base is the rung-1
 // ranking the widening starts from; an empty base widens from the
 // agent's direct positive trust statements.
-func (s *Snapshot) widenedPeers(ctx context.Context, active model.AgentID, ov Overrides, base []core.PeerRank, decay float64) ([]core.PeerRank, error) {
-	key := peerKey{agent: active, pipe: ov.pipelineKey() + pipeWiden}
+func (s *Snapshot) widenedPeers(ctx context.Context, a *model.Agent, ov Overrides, base []core.PeerRank, decay float64) ([]core.PeerRank, error) {
+	key := peerKey{agent: a.Ord(), pipe: ov.pipelineKey().withRung(rungWiden)}
 	if peers, ok := s.peers.get(key); ok {
 		stats.Add("peers_hit", 1)
 		return peers, nil
@@ -88,13 +89,13 @@ func (s *Snapshot) widenedPeers(ctx context.Context, active model.AgentID, ov Ov
 		if err != nil {
 			return nil, err
 		}
-		nb := &trust.Neighborhood{Source: active}
+		nb := &trust.Neighborhood{Source: a.ID}
 		nb.Ranks = make([]trust.Rank, len(base))
 		for i, p := range base {
 			nb.Ranks[i] = trust.Rank{Agent: p.Agent, Trust: p.Trust}
 		}
 		wide := trust.WidenOneHop(trust.FromCommunity(s.comm), nb, decay)
-		peers, err := rec.SynthesizeCtx(fctx, active, wide)
+		peers, err := rec.SynthesizeCtx(fctx, a.ID, wide)
 		if err != nil {
 			return nil, err
 		}
@@ -114,8 +115,8 @@ func (s *Snapshot) widenedPeers(ctx context.Context, active model.AgentID, ov Ov
 // (strategy ladder rung 3), cached under the generalized pipe key.
 // Returns strategy.ErrNotApplicable for pipelines without a taxonomy
 // profile space.
-func (s *Snapshot) generalizedPeers(ctx context.Context, active model.AgentID, ov Overrides, base []core.PeerRank, depth int) ([]core.PeerRank, error) {
-	key := peerKey{agent: active, pipe: ov.pipelineKey() + pipeGen}
+func (s *Snapshot) generalizedPeers(ctx context.Context, a *model.Agent, ov Overrides, base []core.PeerRank, depth int) ([]core.PeerRank, error) {
+	key := peerKey{agent: a.Ord(), pipe: ov.pipelineKey().withRung(rungGen)}
 	if peers, ok := s.peers.get(key); ok {
 		stats.Add("peers_hit", 1)
 		return peers, nil
@@ -127,7 +128,7 @@ func (s *Snapshot) generalizedPeers(ctx context.Context, active model.AgentID, o
 			return nil, err
 		}
 		alpha := ov.apply(s.opt).BlendAlpha()
-		peers, err := strategy.GeneralizedPeers(fctx, rec.Filter(), active, base, alpha, depth)
+		peers, err := strategy.GeneralizedPeers(fctx, rec.Filter(), a.ID, base, alpha, depth)
 		if err != nil {
 			return nil, err
 		}
@@ -146,8 +147,8 @@ func (s *Snapshot) generalizedPeers(ctx context.Context, active model.AgentID, o
 // ladderVote runs (and caches) the stage-4 vote over a lower rung's peer
 // ranking, mirroring RecommendCtx's cache/flight discipline under the
 // suffixed pipe key.
-func (s *Snapshot) ladderVote(ctx context.Context, active model.AgentID, n int, ov Overrides, suffix string, peersFn func(context.Context) ([]core.PeerRank, error)) ([]core.Recommendation, error) {
-	key := recKey{agent: active, n: n, pipe: ov.pipelineKey() + suffix, content: ov.contentKey()}
+func (s *Snapshot) ladderVote(ctx context.Context, a *model.Agent, n int, ov Overrides, rung byte, peersFn func(context.Context) ([]core.PeerRank, error)) ([]core.Recommendation, error) {
+	key := recKey{agent: a.Ord(), n: int32(n), pipe: ov.pipelineKey().withRung(rung), content: ov.contentKey()}
 	if recs, ok := s.results.get(key); ok {
 		stats.Add("results_hit", 1)
 		return recs, nil
@@ -162,7 +163,7 @@ func (s *Snapshot) ladderVote(ctx context.Context, active model.AgentID, n int, 
 		if err != nil {
 			return nil, err
 		}
-		recs, err := rec.RecommendFromCtx(fctx, active, peers, n)
+		recs, err := rec.RecommendFromCtx(fctx, a.ID, peers, n)
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +202,11 @@ func (s *Snapshot) PopularityRank() []core.Recommendation {
 // invalid variant) or deadline-shaped when the ladder was exhausted
 // under deadline pressure — preserving the 504 contract of PR 3.
 func (e *Engine) RecommendLadder(ctx context.Context, snap *Snapshot, active model.AgentID, n int, ov Overrides, sel strategy.Selector) ([]core.Recommendation, *strategy.Result, error) {
-	sig, base, err := e.ladderSignals(ctx, snap, active, ov)
+	a := snap.comm.Agent(active)
+	if a == nil {
+		return nil, nil, unknownAgent(active)
+	}
+	sig, base, err := e.ladderSignals(ctx, snap, a, ov)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -212,15 +217,15 @@ func (e *Engine) RecommendLadder(ctx context.Context, snap *Snapshot, active mod
 	res := e.ladder.Walk(ctx, sig, sel, func(rctx context.Context, r strategy.Rung) (bool, error) {
 		switch r.Procedure {
 		case strategy.FullSynthesis:
-			recs, err := snap.RecommendCtx(rctx, active, n, ov)
+			recs, err := snap.recommendRef(rctx, a, n, ov)
 			if err != nil {
 				return false, err
 			}
 			out = recs
 			return len(recs) > 0, nil
 		case strategy.TrustHopWidening:
-			recs, err := snap.ladderVote(rctx, active, n, ov, pipeWiden, func(fctx context.Context) ([]core.PeerRank, error) {
-				return snap.widenedPeers(fctx, active, ov, base, cfg.HopDecay)
+			recs, err := snap.ladderVote(rctx, a, n, ov, rungWiden, func(fctx context.Context) ([]core.PeerRank, error) {
+				return snap.widenedPeers(fctx, a, ov, base, cfg.HopDecay)
 			})
 			if err != nil {
 				return false, err
@@ -228,8 +233,8 @@ func (e *Engine) RecommendLadder(ctx context.Context, snap *Snapshot, active mod
 			out = recs
 			return len(recs) > 0, nil
 		case strategy.TaxonomyAncestor:
-			recs, err := snap.ladderVote(rctx, active, n, ov, pipeGen, func(fctx context.Context) ([]core.PeerRank, error) {
-				return snap.generalizedPeers(fctx, active, ov, base, cfg.AncestorDepth)
+			recs, err := snap.ladderVote(rctx, a, n, ov, rungGen, func(fctx context.Context) ([]core.PeerRank, error) {
+				return snap.generalizedPeers(fctx, a, ov, base, cfg.AncestorDepth)
 			})
 			if err != nil {
 				return false, err
@@ -237,7 +242,7 @@ func (e *Engine) RecommendLadder(ctx context.Context, snap *Snapshot, active mod
 			out = recs
 			return len(recs) > 0, nil
 		case strategy.Popularity:
-			recs, err := snap.popularityFor(rctx, active, n)
+			recs, err := snap.popularityFor(rctx, a, n)
 			if err != nil {
 				return false, err
 			}
@@ -270,7 +275,7 @@ func (e *Engine) RecommendLadder(ctx context.Context, snap *Snapshot, active mod
 
 // popularityFor serves the rung-4 answer, collapsing concurrent first
 // computations of the snapshot ranking through the flight group.
-func (s *Snapshot) popularityFor(ctx context.Context, active model.AgentID, n int) ([]core.Recommendation, error) {
+func (s *Snapshot) popularityFor(ctx context.Context, a *model.Agent, n int) ([]core.Recommendation, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -278,11 +283,11 @@ func (s *Snapshot) popularityFor(ctx context.Context, active model.AgentID, n in
 		// Build the shared ranking inside a flight so a herd of starved
 		// requests computes it once; the build itself is bounded by the
 		// community size, not the request.
-		_, _, _ = s.flights.do("popularity", func() (any, error) {
+		_, _, _ = s.flights.do(flightKey{kind: flightPopularity}, func() (any, error) {
 			return s.PopularityRank(), nil
 		})
 	}
-	return strategy.PopularityFor(s.comm, s.PopularityRank(), s.comm.Agent(active), n), nil
+	return strategy.PopularityFor(s.comm, s.PopularityRank(), a, n), nil
 }
 
 // finishResult stamps the walk result with the answering epoch and the
@@ -300,7 +305,11 @@ func (e *Engine) finishResult(_ context.Context, snap *Snapshot, res *strategy.R
 // same ladder walk, with the popularity rung recorded as not applicable
 // (there is no agent-independent peer ranking worth serving).
 func (e *Engine) RankedPeersLadder(ctx context.Context, snap *Snapshot, active model.AgentID, ov Overrides, sel strategy.Selector) ([]core.PeerRank, *strategy.Result, error) {
-	sig, base, err := e.ladderSignals(ctx, snap, active, ov)
+	a := snap.comm.Agent(active)
+	if a == nil {
+		return nil, nil, unknownAgent(active)
+	}
+	sig, base, err := e.ladderSignals(ctx, snap, a, ov)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -317,14 +326,14 @@ func (e *Engine) RankedPeersLadder(ctx context.Context, snap *Snapshot, active m
 			out = base
 			return len(base) > 0, nil
 		case strategy.TrustHopWidening:
-			peers, err := snap.widenedPeers(rctx, active, ov, base, cfg.HopDecay)
+			peers, err := snap.widenedPeers(rctx, a, ov, base, cfg.HopDecay)
 			if err != nil {
 				return false, err
 			}
 			out = peers
 			return len(peers) > 0, nil
 		case strategy.TaxonomyAncestor:
-			peers, err := snap.generalizedPeers(rctx, active, ov, base, cfg.AncestorDepth)
+			peers, err := snap.generalizedPeers(rctx, a, ov, base, cfg.AncestorDepth)
 			if err != nil {
 				return false, err
 			}

@@ -123,7 +123,7 @@ func TestLadderRunsAreStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := NewDelta()
-	d.RatingsChanged[other] = true
+	d.RatingsChanged[clone.Agent(other).Ord()] = true
 	snap2, err := e.SwapDelta(clone, d)
 	if err != nil {
 		t.Fatal(err)

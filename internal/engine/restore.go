@@ -2,8 +2,11 @@ package engine
 
 import (
 	"context"
+	"strconv"
+	"strings"
 	"time"
 
+	"swrec/internal/cf"
 	"swrec/internal/core"
 	"swrec/internal/index"
 	"swrec/internal/model"
@@ -17,7 +20,10 @@ import (
 // Options returns the pipeline options this snapshot serves with.
 func (s *Snapshot) Options() core.Options { return s.opt }
 
-// PeersEntry is one exported neighborhood-cache entry.
+// PeersEntry is one exported neighborhood-cache entry, in the checkpoint
+// wire shape: the agent URI and the pipe key spelled as a string. The
+// in-memory caches key on ordinals and fixed-size structs; the
+// conversion happens only here, at export/restore time.
 type PeersEntry struct {
 	Agent model.AgentID
 	Pipe  string // the stages-1-3 override key; "" for the default pipeline
@@ -30,14 +36,108 @@ type ProfileEntry struct {
 	Profile sparse.Vector
 }
 
+// Wire spellings of the ladder rungs (see rungWiden/rungGen): kept
+// identical to the pipe-string suffixes earlier releases checkpointed,
+// so warm caches survive the key-representation change across restarts.
+const (
+	pipeWiden = "|w"
+	pipeGen   = "|g"
+)
+
+// String spells the key in the checkpoint wire format: "m<metric>",
+// "a<alpha>", "s<measure>" for the overrides present, then the rung
+// suffix — byte-identical to the concatenated string keys the cache used
+// before ordinal interning.
+func (k pipeKey) String() string {
+	var b []byte
+	if k.hasMetric {
+		b = append(b, 'm')
+		b = strconv.AppendInt(b, int64(k.metric), 10)
+	}
+	if k.hasAlpha {
+		b = append(b, 'a')
+		b = strconv.AppendFloat(b, k.alpha, 'g', -1, 64)
+	}
+	if k.hasMeasure {
+		b = append(b, 's')
+		b = strconv.AppendInt(b, int64(k.measure), 10)
+	}
+	switch k.rung {
+	case rungWiden:
+		b = append(b, pipeWiden...)
+	case rungGen:
+		b = append(b, pipeGen...)
+	}
+	return string(b)
+}
+
+// parsePipeKey inverts String. ok is false for malformed spellings —
+// restore drops such entries rather than seeding a key no request could
+// ever probe.
+func parsePipeKey(s string) (pipeKey, bool) {
+	var k pipeKey
+	if rest, found := strings.CutSuffix(s, pipeWiden); found {
+		k.rung, s = rungWiden, rest
+	} else if rest, found := strings.CutSuffix(s, pipeGen); found {
+		k.rung, s = rungGen, rest
+	}
+	// Fields appear in m, a, s order; each value runs to the next field
+	// letter (metric and measure are decimal ints, alpha is a %g float —
+	// none of which contain the letters themselves).
+	cut := func(prefix byte, stops string) (string, bool) {
+		if s == "" || s[0] != prefix {
+			return "", false
+		}
+		s = s[1:]
+		end := len(s)
+		if i := strings.IndexAny(s, stops); i >= 0 {
+			end = i
+		}
+		v := s[:end]
+		s = s[end:]
+		return v, true
+	}
+	if v, found := cut('m', "as"); found {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return pipeKey{}, false
+		}
+		k.hasMetric, k.metric = true, core.Metric(n)
+	}
+	if v, found := cut('a', "s"); found {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return pipeKey{}, false
+		}
+		k.hasAlpha, k.alpha = true, f
+	}
+	if v, found := cut('s', ""); found {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return pipeKey{}, false
+		}
+		k.hasMeasure, k.measure = true, cf.Measure(n)
+	}
+	if s != "" {
+		return pipeKey{}, false
+	}
+	return k, true
+}
+
 // ExportPeers snapshots the warm neighborhood cache in least-to-most
 // recently used order, so replaying the entries through a fresh cache
-// reproduces the recency ordering. Values are shared, not copied.
+// reproduces the recency ordering. Values are shared, not copied; keys
+// are translated from ordinals back to URIs for the wire.
 func (s *Snapshot) ExportPeers() []PeersEntry {
+	sym := s.comm.Symbols()
 	es := s.peers.entries()
-	out := make([]PeersEntry, len(es))
-	for i, e := range es {
-		out[i] = PeersEntry{Agent: e.key.agent, Pipe: e.key.pipe, Peers: e.val}
+	out := make([]PeersEntry, 0, len(es))
+	for _, e := range es {
+		id, ok := sym.AgentID(e.key.agent)
+		if !ok {
+			continue // cannot happen: cache keys come from this community
+		}
+		out = append(out, PeersEntry{Agent: id, Pipe: e.key.pipe.String(), Peers: e.val})
 	}
 	return out
 }
@@ -45,10 +145,15 @@ func (s *Snapshot) ExportPeers() []PeersEntry {
 // ExportProfiles snapshots the warm Eq. 3 profile cache in
 // least-to-most recently used order. Values are shared, not copied.
 func (s *Snapshot) ExportProfiles() []ProfileEntry {
+	sym := s.comm.Symbols()
 	es := s.profiles.entries()
-	out := make([]ProfileEntry, len(es))
-	for i, e := range es {
-		out[i] = ProfileEntry{Agent: e.key, Profile: e.val}
+	out := make([]ProfileEntry, 0, len(es))
+	for _, e := range es {
+		id, ok := sym.AgentID(e.key)
+		if !ok {
+			continue
+		}
+		out = append(out, ProfileEntry{Agent: id, Profile: e.val})
 	}
 	return out
 }
@@ -110,17 +215,17 @@ func newSnapshotRestored(epoch uint64, r Restore, opt core.Options, cfg Config) 
 		opt:      opt,
 		rec:      rec,
 		budget:   cfg.ComputeBudget,
-		profiles: newLRU[model.AgentID, sparse.Vector](cfg.ProfileCacheSize),
+		profiles: newLRU[int32, sparse.Vector](cfg.ProfileCacheSize),
 		peers:    newLRU[peerKey, []core.PeerRank](cfg.PeerCacheSize),
 		subtrees: newLRU[taxonomy.Topic, []model.ProductID](cfg.SubtreeCacheSize),
 		results:  newLRU[recKey, []core.Recommendation](cfg.ResultCacheSize),
-		variants: make(map[string]*core.Recommender),
+		variants: make(map[variantKey]*core.Recommender),
 	}
 	if tax := r.Community.Taxonomy(); tax != nil {
 		s.gen = profile.New(tax)
 	}
 	if f := rec.Filter(); f.Compilable() {
-		clean := func(model.AgentID) bool { return false }
+		clean := func(int32) bool { return false }
 		//nolint:ctxflow -- restore runs at process start, not on a request path; there is no caller deadline to thread
 		if err := f.CompileDelta(context.Background(), r.Matrix, clean); err != nil {
 			return nil, err
@@ -132,11 +237,26 @@ func newSnapshotRestored(epoch uint64, r Restore, opt core.Options, cfg Config) 
 	if r.Index != nil {
 		s.ix.Store(r.Index)
 	}
+	// Seed the warm caches, translating wire keys back to this epoch's
+	// ordinals. Entries naming agents the restored community doesn't know,
+	// or pipe spellings no release ever wrote, are dropped: a cold miss is
+	// always safe, a mis-keyed hit never is.
+	sym := r.Community.Symbols()
 	for _, e := range r.Profiles {
-		s.profiles.add(e.Agent, e.Profile)
+		if ord, ok := sym.AgentOrd(e.Agent); ok {
+			s.profiles.add(ord, e.Profile)
+		}
 	}
 	for _, e := range r.Peers {
-		s.peers.add(peerKey{agent: e.Agent, pipe: e.Pipe}, e.Peers)
+		ord, ok := sym.AgentOrd(e.Agent)
+		if !ok {
+			continue
+		}
+		pipe, ok := parsePipeKey(e.Pipe)
+		if !ok {
+			continue
+		}
+		s.peers.add(peerKey{agent: ord, pipe: pipe}, e.Peers)
 	}
 	return s, nil
 }

@@ -3,6 +3,31 @@ package engine
 import (
 	"context"
 	"sync"
+
+	"swrec/internal/taxonomy"
+)
+
+// flightKey identifies one deduplicatable computation: the kind plus the
+// key components that kind uses (zero for the rest). A fixed-size
+// comparable struct, so starting or joining a flight allocates and
+// hashes no strings — the per-request flight keys used to be the
+// engine's last fmt.Sprintf on the serving path.
+type flightKey struct {
+	kind    byte
+	agent   int32 // agent ordinal (peers, recs, profile)
+	n       int32 // answer size (recs)
+	pipe    pipeKey
+	content contKey
+	topic   taxonomy.Topic // subtree
+}
+
+// flightKey kinds.
+const (
+	flightPeers      = 'p'
+	flightRecs       = 'r'
+	flightProfile    = 'f'
+	flightSubtree    = 's'
+	flightPopularity = 'o'
 )
 
 // flightGroup deduplicates concurrent computations of the same key: the
@@ -17,7 +42,7 @@ import (
 // cache fill, so the work already invested still warms the next request.
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[string]*flightCall
+	m  map[flightKey]*flightCall
 }
 
 type flightCall struct {
@@ -37,10 +62,10 @@ func noCancel() (context.Context, context.CancelFunc) {
 // own ctx is done, whichever comes first. shared reports whether this
 // caller joined a flight another caller started. On detach the returned
 // error is ctx.Err() and val is nil.
-func (g *flightGroup) doCtx(ctx context.Context, key string, newCtx func() (context.Context, context.CancelFunc), fn func(context.Context) (any, error)) (val any, err error, shared bool) {
+func (g *flightGroup) doCtx(ctx context.Context, key flightKey, newCtx func() (context.Context, context.CancelFunc), fn func(context.Context) (any, error)) (val any, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
-		g.m = make(map[string]*flightCall)
+		g.m = make(map[flightKey]*flightCall)
 	}
 	c, joined := g.m[key]
 	if !joined {
@@ -72,6 +97,6 @@ func (g *flightGroup) doCtx(ctx context.Context, key string, newCtx func() (cont
 
 // do is doCtx without caller cancellation or a compute budget: it always
 // waits for the flight to finish.
-func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+func (g *flightGroup) do(key flightKey, fn func() (any, error)) (val any, err error, shared bool) {
 	return g.doCtx(context.Background(), key, noCancel, func(context.Context) (any, error) { return fn() })
 }

@@ -20,6 +20,16 @@ type Interner struct {
 	names []string
 }
 
+// Reserve pre-sizes the table for n identifiers, avoiding growth
+// reallocations when the caller knows the graph bound up front. A no-op
+// once interning has started.
+func (in *Interner) Reserve(n int) {
+	if in.ids == nil && n > 0 {
+		in.ids = make(map[string]int, n)
+		in.names = make([]string, 0, n)
+	}
+}
+
 // Intern returns the node index for name, assigning the next free index on
 // first sight.
 func (in *Interner) Intern(name string) int {

@@ -263,13 +263,13 @@ func (p *Pipeline) replay(from uint64) error {
 	if len(muts) == 0 {
 		return nil
 	}
-	d := deltaOf(p.base, muts)
 	clone := p.base.Clone()
 	for _, m := range muts {
 		if err := Apply(clone, m); err != nil {
 			stats.Add("apply_errors", 1)
 		}
 	}
+	d := deltaOf(p.base, clone, muts)
 	snap, err := p.eng.SwapDelta(clone, d)
 	if err != nil {
 		return fmt.Errorf("ingest: replay swap: %w", err)
@@ -464,13 +464,13 @@ func (p *Pipeline) snapshot() error {
 	if len(p.delta) == 0 {
 		return nil
 	}
-	d := deltaOf(p.base, p.delta)
 	clone := p.base.Clone()
 	for _, m := range p.delta {
 		if err := Apply(clone, m); err != nil {
 			stats.Add("apply_errors", 1)
 		}
 	}
+	d := deltaOf(p.base, clone, p.delta)
 	snap, err := p.eng.SwapDelta(clone, d)
 	if err != nil {
 		// The delta stays pending; a later snapshot retries. This only
@@ -647,13 +647,23 @@ func (p *Pipeline) drainAppending() {
 	}
 }
 
-// deltaOf summarizes a mutation batch against the pre-application base
-// community as an engine.Delta, so the epoch swap can carry over every
-// cache entry the batch cannot have invalidated. Marks are conservative:
-// an upsert that restates the existing value still marks its agent dirty,
-// which costs recomputation but never staleness.
-func deltaOf(base *model.Community, muts []wal.Mutation) *engine.Delta {
+// deltaOf summarizes a mutation batch as an engine.Delta, so the epoch
+// swap can carry over every cache entry the batch cannot have
+// invalidated. Novelty (new agents, new products) is judged against the
+// pre-application base; dirty marks are agent ordinals resolved against
+// the post-application clone, which knows every agent the batch touched
+// — including ones it just created, which have no ordinal in base.
+// Marks are conservative: an upsert that restates the existing value
+// still marks its agent dirty, which costs recomputation but never
+// staleness.
+func deltaOf(base, clone *model.Community, muts []wal.Mutation) *engine.Delta {
 	d := engine.NewDelta()
+	sym := clone.Symbols()
+	mark := func(set map[int32]bool, id model.AgentID) {
+		if ord, ok := sym.AgentOrd(id); ok {
+			set[ord] = true
+		}
+	}
 	for _, m := range muts {
 		switch m.Op {
 		case wal.OpUpsertAgent:
@@ -661,15 +671,15 @@ func deltaOf(base *model.Community, muts []wal.Mutation) *engine.Delta {
 				d.AgentsAdded = true
 			}
 		case wal.OpUpsertTrust:
-			d.TrustChanged[m.Agent] = true
+			mark(d.TrustChanged, m.Agent)
 			// SetTrust materializes both endpoints.
 			if base.Agent(m.Agent) == nil || base.Agent(m.Peer) == nil {
 				d.AgentsAdded = true
 			}
 		case wal.OpDeleteTrust:
-			d.TrustChanged[m.Agent] = true
+			mark(d.TrustChanged, m.Agent)
 		case wal.OpUpsertRating:
-			d.RatingsChanged[m.Agent] = true
+			mark(d.RatingsChanged, m.Agent)
 			if base.Agent(m.Agent) == nil {
 				d.AgentsAdded = true
 			}
@@ -678,7 +688,7 @@ func deltaOf(base *model.Community, muts []wal.Mutation) *engine.Delta {
 				d.ProductsChanged = true
 			}
 		case wal.OpDeleteRating:
-			d.RatingsChanged[m.Agent] = true
+			mark(d.RatingsChanged, m.Agent)
 		}
 	}
 	return d

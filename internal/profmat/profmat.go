@@ -54,7 +54,6 @@ func (r *Row) Mean() float64 {
 // self-contained, so an old matrix pins only its own arenas, not an
 // entire superseded epoch.
 type Matrix struct {
-	idx  map[model.AgentID]int32
 	rows []Row
 	// built counts the rows compiled from scratch (vs carried from a
 	// previous matrix) — observability for the delta-swap path.
@@ -68,16 +67,17 @@ func (m *Matrix) Len() int { return len(m.rows) }
 // carried over from the previous epoch's matrix).
 func (m *Matrix) Built() int { return m.built }
 
-// Row returns agent id's compiled row, or nil when the agent is unknown.
-func (m *Matrix) Row(id model.AgentID) *Row {
-	if m == nil {
+// Row returns the compiled row of the agent with the given community
+// ordinal, or nil when the ordinal is outside the compiled range. Rows
+// are positional: row i is agent ordinal i of the source community, so
+// the lookup is a bounds check, not a hash.
+//
+//swrec:hotpath
+func (m *Matrix) Row(ord int32) *Row {
+	if m == nil || ord < 0 || int(ord) >= len(m.rows) {
 		return nil
 	}
-	i, ok := m.idx[id]
-	if !ok {
-		return nil
-	}
-	return &m.rows[i]
+	return &m.rows[ord]
 }
 
 // Source is the community view Build compiles from; *model.Community
@@ -158,25 +158,24 @@ func Build(ctx context.Context, src Source, gen *profile.Generator, dims, worker
 	return BuildDelta(ctx, src, gen, dims, workers, nil, nil)
 }
 
-// BuildDelta compiles a matrix carrying over the rows of prev for agents
-// where dirty reports false. A nil prev or nil dirty compiles everything
-// from scratch. Carried rows alias the previous arenas; dirty and new
-// agents are recompiled. The agent set is taken from src, so agents
-// deleted since prev simply drop out.
-func BuildDelta(ctx context.Context, src Source, gen *profile.Generator, dims, workers int, prev *Matrix, dirty func(model.AgentID) bool) (*Matrix, error) {
+// BuildDelta compiles a matrix carrying over the rows of prev for agent
+// ordinals where dirty reports false. A nil prev or nil dirty compiles
+// everything from scratch. Carried rows alias the previous arenas; dirty
+// and new agents are recompiled. prev must come from an earlier epoch of
+// the same community lineage: communities only append agents, so the
+// previous matrix's rows are a prefix of the new one under identical
+// ordinals, and any ordinal at or past prev.Len() is a new agent that
+// compiles from scratch regardless of dirty.
+func BuildDelta(ctx context.Context, src Source, gen *profile.Generator, dims, workers int, prev *Matrix, dirty func(int32) bool) (*Matrix, error) {
 	ids := src.Agents()
 	m := &Matrix{
-		idx:  make(map[model.AgentID]int32, len(ids)),
 		rows: make([]Row, len(ids)),
 	}
-	var todo []int32 // row indices that need compiling
-	for i, id := range ids {
-		m.idx[id] = int32(i)
-		if prev != nil && dirty != nil && !dirty(id) {
-			if r := prev.Row(id); r != nil {
-				m.rows[i] = *r
-				continue
-			}
+	var todo []int32 // row indices (= agent ordinals) that need compiling
+	for i := range ids {
+		if prev != nil && dirty != nil && i < prev.Len() && !dirty(int32(i)) {
+			m.rows[i] = prev.rows[i]
+			continue
 		}
 		todo = append(todo, int32(i))
 	}

@@ -142,7 +142,7 @@ func TestBuildMatchesGeneratorProfiles(t *testing.T) {
 		t.Fatalf("matrix len=%d built=%d, want %d", mat.Len(), mat.Built(), comm.NumAgents())
 	}
 	for _, id := range comm.Agents() {
-		row := mat.Row(id)
+		row := mat.Row(comm.Agent(id).Ord())
 		if row == nil {
 			t.Fatalf("agent %s missing from matrix", id)
 		}
@@ -178,8 +178,9 @@ func TestBuildDeltaCarriesCleanRows(t *testing.T) {
 		t.Fatal(err)
 	}
 	dirtyID := comm.Agents()[5]
+	dirtyOrd := comm.Agent(dirtyID).Ord()
 	next, err := BuildDelta(context.Background(), comm, gen, tlen, 0, prev,
-		func(id model.AgentID) bool { return id == dirtyID })
+		func(ord int32) bool { return ord == dirtyOrd })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,8 @@ func TestBuildDeltaCarriesCleanRows(t *testing.T) {
 		t.Fatalf("Built = %d, want 1", next.Built())
 	}
 	for _, id := range comm.Agents() {
-		pr, nr := prev.Row(id), next.Row(id)
+		ord := comm.Agent(id).Ord()
+		pr, nr := prev.Row(ord), next.Row(ord)
 		if nr.NNZ() != pr.NNZ() {
 			t.Fatalf("agent %s: nnz changed %d -> %d", id, pr.NNZ(), nr.NNZ())
 		}
@@ -222,7 +224,8 @@ func TestBuildDeterministicAcrossWorkerCounts(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, id := range comm.Agents() {
-			a, b := base.Row(id), m.Row(id)
+			ord := comm.Agent(id).Ord()
+			a, b := base.Row(ord), m.Row(ord)
 			if a.NNZ() != b.NNZ() || a.Norm != b.Norm || a.Sum != b.Sum {
 				t.Fatalf("workers=%d agent %s: row differs", workers, id)
 			}

@@ -1,18 +1,12 @@
 package profmat
 
-import "swrec/internal/model"
-
 // Restore adopts pre-built rows (e.g. decoded from a checkpoint) as a
-// matrix over ids, with rows[i] belonging to ids[i]. The rows are taken
-// by reference — the caller hands over ownership of their backing
-// arenas. Built reports 0: nothing was compiled, everything was carried.
-func Restore(ids []model.AgentID, rows []Row) *Matrix {
-	m := &Matrix{
-		idx:  make(map[model.AgentID]int32, len(ids)),
-		rows: rows,
-	}
-	for i, id := range ids {
-		m.idx[id] = int32(i)
-	}
-	return m
+// matrix, with rows[i] belonging to the agent with community ordinal i —
+// the same positional contract BuildDelta produces, so a checkpoint that
+// encodes rows in community order restores without any id translation.
+// The rows are taken by reference — the caller hands over ownership of
+// their backing arenas. Built reports 0: nothing was compiled,
+// everything was carried.
+func Restore(rows []Row) *Matrix {
+	return &Matrix{rows: rows}
 }

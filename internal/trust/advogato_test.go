@@ -221,9 +221,8 @@ func TestNeighborhoodHelpers(t *testing.T) {
 	if got := nb.Top(0); len(got) != 3 {
 		t.Fatalf("Top(0) = %+v, want all", got)
 	}
-	set := nb.AgentSet()
-	if len(set) != 3 || !set["c"] {
-		t.Fatalf("AgentSet = %v", set)
+	if !nb.Contains("c") || nb.Contains("a") {
+		t.Fatalf("Contains: want member c, non-member a; ranks %+v", nb.Ranks)
 	}
 	if _, ok := nb.RankOf("zz"); ok {
 		t.Fatal("RankOf invented a peer")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"swrec/internal/graph"
 	"swrec/internal/model"
 )
 
@@ -158,7 +159,7 @@ func AppleseedCtx(ctx context.Context, net Network, source model.AgentID, opt Ap
 		}
 	}
 
-	// Pre-size the node slab and index to the graph bound when the
+	// Pre-size the node slab and interner to the graph bound when the
 	// network exposes one (community adapters do), capped by the
 	// expansion range — growth reallocations dominate the metric's
 	// allocation profile otherwise.
@@ -171,8 +172,12 @@ func AppleseedCtx(ctx context.Context, net Network, source model.AgentID, opt Ap
 	if opt.MaxNodes > 0 && hint > opt.MaxNodes+1 {
 		hint = opt.MaxNodes + 1
 	}
-	idx := make(map[model.AgentID]int, hint)
-	idx[source] = 0
+	// sym interns agent URIs in discovery order, so an agent's interned
+	// ordinal IS its node index — the only string-keyed structure of the
+	// whole walk, touched once per discovery, never on the hot update loop.
+	var sym graph.Interner
+	sym.Reserve(hint)
+	sym.Intern(string(source))
 	nodes := make([]appleseedNode, 1, hint)
 	nodes[0] = appleseedNode{id: source, in: opt.Injection}
 
@@ -181,14 +186,13 @@ func AppleseedCtx(ctx context.Context, net Network, source model.AgentID, opt Ap
 	// virtual backward edge) are attached lazily at fetch time — only
 	// nodes that actually receive energy pay for an edge list.
 	discover := func(id model.AgentID) (int, bool) {
-		if i, ok := idx[id]; ok {
+		if i, ok := sym.Lookup(string(id)); ok {
 			return i, true
 		}
 		if opt.MaxNodes > 0 && len(nodes) >= opt.MaxNodes+1 {
 			return 0, false
 		}
-		i := len(nodes)
-		idx[id] = i
+		i := sym.Intern(string(id))
 		nodes = append(nodes, appleseedNode{id: id})
 		return i, true
 	}
@@ -298,7 +302,7 @@ func AppleseedCtx(ctx context.Context, net Network, source model.AgentID, opt Ap
 			}
 		}
 		for _, e := range negEdges {
-			yi, ok := idx[e.to]
+			yi, ok := sym.Lookup(string(e.to))
 			if !ok || yi == 0 {
 				continue // never positively reached, or the source itself
 			}
@@ -318,20 +322,23 @@ func AppleseedCtx(ctx context.Context, net Network, source model.AgentID, opt Ap
 	}
 
 	// Collect ranks; optionally drop peers the source explicitly
-	// distrusts. (Lookups in the nil map are fine when the option is off.)
-	var distrusted map[model.AgentID]bool
+	// distrusts — a dense node-indexed flag vector, since every peer that
+	// could appear in the result has an interned node index.
+	var distrusted []bool
 	if opt.RespectDistrust {
-		distrusted = make(map[model.AgentID]bool)
+		distrusted = make([]bool, len(nodes))
 		for _, st := range net.Peers(source) {
 			if st.Value < 0 {
-				distrusted[st.Dst] = true
+				if i, ok := sym.Lookup(string(st.Dst)); ok {
+					distrusted[i] = true
+				}
 			}
 		}
 	}
 	nb := &Neighborhood{Source: source, Iterations: iterations, Explored: explored}
 	nb.Ranks = make([]Rank, 0, len(nodes)-1)
 	for i := 1; i < len(nodes); i++ {
-		if nodes[i].rank <= 0 || distrusted[nodes[i].id] {
+		if nodes[i].rank <= 0 || (distrusted != nil && distrusted[i]) {
 			continue
 		}
 		nb.Ranks = append(nb.Ranks, Rank{Agent: nodes[i].id, Trust: nodes[i].rank})

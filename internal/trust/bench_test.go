@@ -1,0 +1,105 @@
+package trust
+
+import (
+	"fmt"
+	"testing"
+
+	"swrec/internal/datagen"
+	"swrec/internal/model"
+)
+
+// plainNet hides the community's refNetwork fast path so a benchmark (or
+// differential test) exercises the generic walk the way a partially
+// crawled, non-community view would. It keeps the size hint — both paths
+// deserve fair pre-sizing.
+type plainNet struct{ c *model.Community }
+
+func (n plainNet) Peers(a model.AgentID) []model.TrustStatement {
+	ag := n.c.Agent(a)
+	if ag == nil {
+		return nil
+	}
+	return ag.TrustedPeers()
+}
+
+func (n plainNet) NumAgents() int { return n.c.NumAgents() }
+
+func benchTrustCommunity(b *testing.B, agents int) *model.Community {
+	b.Helper()
+	cfg := datagen.SmallScale()
+	cfg.Agents = agents
+	cfg.Products = agents * 2
+	comm, _ := datagen.Generate(cfg)
+	return comm
+}
+
+// BenchmarkAppleseedRefs measures one full Appleseed computation over the
+// community adapter's resolved-reference fast path: node discovery and
+// edge traversal index a flat ordinal table.
+func BenchmarkAppleseedRefs(b *testing.B) {
+	for _, agents := range []int{100, 400} {
+		b.Run(fmt.Sprintf("agents=%d", agents), func(b *testing.B) {
+			comm := benchTrustCommunity(b, agents)
+			net := FromCommunity(comm)
+			src := comm.Agents()[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Appleseed(net, src, AppleseedOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAppleseedGeneric measures the same computation over a Network
+// that exposes no resolved references — the path every non-community
+// trust view takes, and the one the interned-ID refactor moves from
+// string-keyed maps to a dense interner.
+func BenchmarkAppleseedGeneric(b *testing.B) {
+	for _, agents := range []int{100, 400} {
+		b.Run(fmt.Sprintf("agents=%d", agents), func(b *testing.B) {
+			comm := benchTrustCommunity(b, agents)
+			net := plainNet{comm}
+			src := comm.Agents()[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Appleseed(net, src, AppleseedOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPathTrust measures the scalar baseline's best-chain search.
+func BenchmarkPathTrust(b *testing.B) {
+	comm := benchTrustCommunity(b, 400)
+	net := FromCommunity(comm)
+	src := comm.Agents()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PathTrust(net, src, PathTrustOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWidenOneHop measures the ladder's rung-2 horizon widening.
+func BenchmarkWidenOneHop(b *testing.B) {
+	comm := benchTrustCommunity(b, 400)
+	net := FromCommunity(comm)
+	src := comm.Agents()[0]
+	nb, err := Appleseed(net, src, AppleseedOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WidenOneHop(net, nb, 0.5)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"swrec/internal/graph"
 	"swrec/internal/model"
 )
 
@@ -37,11 +38,14 @@ func (o PathTrustOptions) validate() error {
 	return nil
 }
 
-// ptItem is one frontier entry of the best-path search.
+// ptItem is one frontier entry of the best-path search. The agent is
+// carried both as ID (for the Network fetch) and as its discovery-order
+// node index (for the dense best/done tables).
 type ptItem struct {
 	agent    model.AgentID
+	node     int32
 	strength float64
-	hops     int
+	hops     int32
 }
 
 // ptHeap is a max-heap on path strength, so peers are finalized in
@@ -66,28 +70,49 @@ func (h *ptHeap) Pop() interface{} {
 // & Klein [10]). It is the experiments' stand-in for classic scalar trust
 // metrics: unlike Appleseed it evaluates each peer independently of how
 // many distinct paths support it.
+//
+// Discovered agents are interned to dense node indices once; the
+// relaxation loop's best/done state is flat slices indexed by node, so a
+// peer reached over many paths hashes its URI once, not once per path.
 func PathTrust(net Network, source model.AgentID, opt PathTrustOptions) (*Neighborhood, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
 
-	best := map[model.AgentID]float64{source: 1}
-	done := map[model.AgentID]bool{}
-	h := &ptHeap{{agent: source, strength: 1, hops: 0}}
+	var sym graph.Interner
+	if sh, ok := net.(sizeHinter); ok {
+		sym.Reserve(sh.NumAgents())
+	}
+	sym.Intern(string(source))
+	// best[node] is the strongest chain found so far; 0 doubles as "not
+	// reached", which is unambiguous because only positive trust values
+	// multiply into a strength.
+	best := []float64{1}
+	done := []bool{false}
+	node := func(id model.AgentID) int32 {
+		i := sym.Intern(string(id))
+		if i == len(best) {
+			best = append(best, 0)
+			done = append(done, false)
+		}
+		return int32(i)
+	}
+
+	h := &ptHeap{{agent: source, node: 0, strength: 1, hops: 0}}
 	explored := 0
-	maxHops := 0
+	maxHops := int32(0)
 
 	for h.Len() > 0 {
 		it := heap.Pop(h).(ptItem)
-		if done[it.agent] || it.strength < best[it.agent] {
+		if done[it.node] || it.strength < best[it.node] {
 			continue
 		}
-		done[it.agent] = true
+		done[it.node] = true
 		if it.hops > maxHops {
 			maxHops = it.hops
 		}
-		if it.hops >= opt.Horizon {
+		if int(it.hops) >= opt.Horizon {
 			continue
 		}
 		explored++
@@ -96,22 +121,26 @@ func PathTrust(net Network, source model.AgentID, opt PathTrustOptions) (*Neighb
 				continue
 			}
 			s := it.strength * st.Value
-			if s < opt.MinTrust || done[st.Dst] {
+			if s < opt.MinTrust {
 				continue
 			}
-			if prev, ok := best[st.Dst]; !ok || s > prev {
-				best[st.Dst] = s
-				heap.Push(h, ptItem{agent: st.Dst, strength: s, hops: it.hops + 1})
+			ni := node(st.Dst)
+			if done[ni] {
+				continue
+			}
+			if prev := best[ni]; prev == 0 || s > prev {
+				best[ni] = s
+				heap.Push(h, ptItem{agent: st.Dst, node: ni, strength: s, hops: it.hops + 1})
 			}
 		}
 	}
 
-	nb := &Neighborhood{Source: source, Iterations: maxHops, Explored: explored}
-	for id, s := range best {
-		if id == source {
-			continue
+	nb := &Neighborhood{Source: source, Iterations: int(maxHops), Explored: explored}
+	for i := 1; i < len(best); i++ {
+		if best[i] == 0 {
+			continue // interned but pruned below MinTrust
 		}
-		nb.Ranks = append(nb.Ranks, Rank{Agent: id, Trust: s})
+		nb.Ranks = append(nb.Ranks, Rank{Agent: model.AgentID(sym.Name(i)), Trust: best[i]})
 	}
 	sortRanks(nb.Ranks)
 	return nb, nil

@@ -143,12 +143,3 @@ func (nb *Neighborhood) Contains(peer model.AgentID) bool {
 	_, ok := nb.RankOf(peer)
 	return ok
 }
-
-// AgentSet returns the neighborhood as a membership set.
-func (nb *Neighborhood) AgentSet() map[model.AgentID]bool {
-	s := make(map[model.AgentID]bool, len(nb.Ranks))
-	for _, r := range nb.Ranks {
-		s[r.Agent] = true
-	}
-	return s
-}

@@ -1,6 +1,9 @@
 package trust
 
-import "swrec/internal/model"
+import (
+	"swrec/internal/graph"
+	"swrec/internal/model"
+)
 
 // WidenOneHop expands a computed neighborhood by one trust hop beyond
 // its current range — the ladder's answer to thin neighborhoods where
@@ -17,15 +20,38 @@ import "swrec/internal/model"
 // members keeps the strongest contribution. Existing members keep their
 // ranks untouched; negative statements never widen (distrust must not
 // recruit). The input neighborhood is not modified.
+//
+// Community-backed networks take an ordinal-indexed walk: membership and
+// contributions live in flat tables indexed by Agent.Ord, so no edge
+// visit hashes a URI. Generic networks fall back to interning discovered
+// agents to dense indices once each.
 func WidenOneHop(net Network, nb *Neighborhood, decay float64) *Neighborhood {
 	if decay <= 0 || decay > 1 {
 		decay = 0.5
 	}
-	in := make(map[model.AgentID]bool, len(nb.Ranks)+1)
-	in[nb.Source] = true
+	if rn, ok := net.(refNetwork); ok {
+		if src := rn.AgentRef(nb.Source); src != nil {
+			return widenRefs(rn, nb, src, decay)
+		}
+	}
+	return widenGeneric(net, nb, decay)
+}
+
+// widenRefs is the refNetwork fast path: in/added are dense ordinal
+// tables, the touched list keeps the collection pass proportional to the
+// widened frontier rather than the community size.
+func widenRefs(net refNetwork, nb *Neighborhood, src *model.Agent, decay float64) *Neighborhood {
+	n := net.NumAgents()
+	in := make([]bool, n)
+	added := make([]float64, n)
+	var touched []*model.Agent
+
+	in[src.Ord()] = true
 	maxRank := 0.0
 	for _, r := range nb.Ranks {
-		in[r.Agent] = true
+		if a := net.AgentRef(r.Agent); a != nil {
+			in[a.Ord()] = true
+		}
 		if r.Trust > maxRank {
 			maxRank = r.Trust
 		}
@@ -34,16 +60,86 @@ func WidenOneHop(net Network, nb *Neighborhood, decay float64) *Neighborhood {
 		maxRank = 1
 	}
 
-	added := make(map[model.AgentID]float64)
+	explored := 0
+	contribute := func(from *model.Agent, rank float64) {
+		explored++
+		for _, pr := range net.PeerRefs(from) {
+			if pr.Value <= 0 {
+				continue
+			}
+			ord := pr.Peer.Ord()
+			if in[ord] {
+				continue
+			}
+			if r := decay * rank * pr.Value; r > added[ord] {
+				if added[ord] == 0 {
+					touched = append(touched, pr.Peer)
+				}
+				added[ord] = r
+			}
+		}
+	}
+	contribute(src, maxRank)
+	for _, r := range nb.Ranks {
+		if a := net.AgentRef(r.Agent); a != nil {
+			contribute(a, r.Trust)
+		}
+	}
+
+	out := &Neighborhood{
+		Source:     nb.Source,
+		Iterations: nb.Iterations,
+		Explored:   nb.Explored + explored,
+	}
+	out.Ranks = make([]Rank, len(nb.Ranks), len(nb.Ranks)+len(touched))
+	copy(out.Ranks, nb.Ranks)
+	for _, ref := range touched {
+		out.Ranks = append(out.Ranks, Rank{Agent: ref.ID, Trust: added[ref.Ord()]})
+	}
+	sortRanks(out.Ranks)
+	return out
+}
+
+// widenGeneric is WidenOneHop over a plain Network: discovered agents are
+// interned to dense indices, membership and contribution live in flat
+// slices over the intern space.
+func widenGeneric(net Network, nb *Neighborhood, decay float64) *Neighborhood {
+	var sym graph.Interner
+	sym.Intern(string(nb.Source))
+	for _, r := range nb.Ranks {
+		sym.Intern(string(r.Agent))
+	}
+	// Indices below inCount are the source and current members; every
+	// index at or past it is a widened candidate.
+	inCount := sym.Len()
+	maxRank := 0.0
+	for _, r := range nb.Ranks {
+		if r.Trust > maxRank {
+			maxRank = r.Trust
+		}
+	}
+	if maxRank <= 0 {
+		maxRank = 1
+	}
+
+	var added []float64 // added[i-inCount] is candidate i's best contribution
 	explored := 0
 	contribute := func(from model.AgentID, rank float64) {
 		explored++
 		for _, st := range net.Peers(from) {
-			if st.Value <= 0 || in[st.Dst] {
+			if st.Value <= 0 {
 				continue
 			}
-			if r := decay * rank * st.Value; r > added[st.Dst] {
-				added[st.Dst] = r
+			i := sym.Intern(string(st.Dst))
+			if i < inCount {
+				continue
+			}
+			j := i - inCount
+			if j == len(added) {
+				added = append(added, 0)
+			}
+			if r := decay * rank * st.Value; r > added[j] {
+				added[j] = r
 			}
 		}
 	}
@@ -59,8 +155,10 @@ func WidenOneHop(net Network, nb *Neighborhood, decay float64) *Neighborhood {
 	}
 	out.Ranks = make([]Rank, len(nb.Ranks), len(nb.Ranks)+len(added))
 	copy(out.Ranks, nb.Ranks)
-	for id, r := range added {
-		out.Ranks = append(out.Ranks, Rank{Agent: id, Trust: r})
+	for j, r := range added {
+		if r > 0 {
+			out.Ranks = append(out.Ranks, Rank{Agent: model.AgentID(sym.Name(inCount + j)), Trust: r})
+		}
 	}
 	sortRanks(out.Ranks)
 	return out
